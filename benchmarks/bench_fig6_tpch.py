@@ -1,0 +1,53 @@
+"""Figure 6: provenance of the TPC-H sublink queries.
+
+The paper (Fig. 6 a-d) runs the nine sublink templates at 1MB-1GB: the
+Gen strategy everywhere, Left/Move additionally on the uncorrelated Q11,
+Q15 and Q16, with queries over the cutoff excluded.  These benchmarks
+measure the representative '10MB' rung; the full four-size ladder with
+timeout handling is ``python -m repro.bench fig6``.
+
+Expected shape (matches the paper): Gen on correlated templates is the
+most expensive by orders of magnitude; Left and Move are close to each
+other on the uncorrelated templates.
+"""
+
+import pytest
+
+from repro.tpch import query_sql, query_strategies
+
+# Gen on every paper template would take minutes per query at this scale
+# (that is Figure 6's point); the benchmark samples the tractable ones.
+GEN_QUERIES = (4, 11, 15, 16, 22)
+UNCORRELATED = (11, 15, 16)
+
+
+@pytest.mark.parametrize("query", GEN_QUERIES)
+def test_gen_strategy(benchmark, tpch_db, query):
+    sql = query_sql(query, seed=0)
+    benchmark.group = f"fig6-Q{query}"
+    benchmark.name = f"Q{query}-gen"
+    benchmark.pedantic(
+        lambda: tpch_db.provenance(sql, strategy="gen"),
+        rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.mark.parametrize("query", UNCORRELATED)
+@pytest.mark.parametrize("strategy", ("left", "move"))
+def test_uncorrelated_strategies(benchmark, tpch_db, query, strategy):
+    sql = query_sql(query, seed=0)
+    benchmark.group = f"fig6-Q{query}"
+    benchmark.name = f"Q{query}-{strategy}"
+    benchmark.pedantic(
+        lambda: tpch_db.provenance(sql, strategy=strategy),
+        rounds=3, iterations=1, warmup_rounds=0)
+
+
+@pytest.mark.parametrize("query", UNCORRELATED)
+def test_plain_query_baseline(benchmark, tpch_db, query):
+    """The original queries, as the no-provenance baseline."""
+    sql = query_sql(query, seed=0)
+    benchmark.group = f"fig6-Q{query}"
+    benchmark.name = f"Q{query}-baseline"
+    benchmark.pedantic(
+        lambda: tpch_db.sql(sql), rounds=3, iterations=1,
+        warmup_rounds=0)

@@ -1,0 +1,46 @@
+"""Figure 7: synthetic queries, varying the input relation size.
+
+Sublink relation fixed (paper: 1000 tuples; here 500), input relation
+swept.  Expected shape: Unn fastest by an order of magnitude on q1,
+Left ≈ Move well below Gen, Gen growing steeply (it re-executes the
+rewritten sublink per CrossBase candidate).
+"""
+
+import pytest
+
+from repro.synthetic import q1_sql, q2_sql
+
+SUBLINK_SIZE = 500
+INPUT_SIZES = (100, 500, 1000)
+
+Q1_STRATEGIES = ("gen", "left", "move", "unn")
+Q2_STRATEGIES = ("gen", "left", "move")
+
+
+def _measure(benchmark, db, sql, strategy, heavy):
+    rounds = 1 if heavy else 3
+    benchmark.pedantic(
+        lambda: db.provenance(sql, strategy=strategy),
+        rounds=rounds, iterations=1, warmup_rounds=0)
+
+
+@pytest.mark.parametrize("input_size", INPUT_SIZES)
+@pytest.mark.parametrize("strategy", Q1_STRATEGIES)
+def test_q1_vary_input(benchmark, synthetic_dbs, input_size, strategy):
+    if strategy == "gen" and input_size > 500:
+        pytest.skip("Gen beyond this size is covered by the CLI sweep")
+    db = synthetic_dbs(input_size, SUBLINK_SIZE)
+    sql = q1_sql(input_size, SUBLINK_SIZE, seed=0)
+    benchmark.group = f"fig7-q1-n{input_size}"
+    _measure(benchmark, db, sql, strategy, heavy=(strategy == "gen"))
+
+
+@pytest.mark.parametrize("input_size", INPUT_SIZES)
+@pytest.mark.parametrize("strategy", Q2_STRATEGIES)
+def test_q2_vary_input(benchmark, synthetic_dbs, input_size, strategy):
+    if strategy == "gen" and input_size > 500:
+        pytest.skip("Gen beyond this size is covered by the CLI sweep")
+    db = synthetic_dbs(input_size, SUBLINK_SIZE)
+    sql = q2_sql(input_size, SUBLINK_SIZE, seed=0)
+    benchmark.group = f"fig7-q2-n{input_size}"
+    _measure(benchmark, db, sql, strategy, heavy=(strategy == "gen"))

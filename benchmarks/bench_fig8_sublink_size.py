@@ -1,0 +1,45 @@
+"""Figure 8: synthetic queries, varying the sublink relation size.
+
+Input relation fixed (paper: fixed input, sublink relation swept).  Gen
+degrades fastest here — the CrossBase grows with the sublink relation and
+the membership EXISTS re-runs the rewritten sublink query per candidate.
+"""
+
+import pytest
+
+from repro.synthetic import q1_sql, q2_sql
+
+INPUT_SIZE = 500
+SUBLINK_SIZES = (100, 500, 1000)
+
+Q1_STRATEGIES = ("gen", "left", "move", "unn")
+Q2_STRATEGIES = ("gen", "left", "move")
+
+
+def _measure(benchmark, db, sql, strategy):
+    rounds = 1 if strategy == "gen" else 3
+    benchmark.pedantic(
+        lambda: db.provenance(sql, strategy=strategy),
+        rounds=rounds, iterations=1, warmup_rounds=0)
+
+
+@pytest.mark.parametrize("sublink_size", SUBLINK_SIZES)
+@pytest.mark.parametrize("strategy", Q1_STRATEGIES)
+def test_q1_vary_sublink(benchmark, synthetic_dbs, sublink_size, strategy):
+    if strategy == "gen" and sublink_size > 500:
+        pytest.skip("Gen beyond this size is covered by the CLI sweep")
+    db = synthetic_dbs(INPUT_SIZE, sublink_size)
+    sql = q1_sql(INPUT_SIZE, sublink_size, seed=0)
+    benchmark.group = f"fig8-q1-m{sublink_size}"
+    _measure(benchmark, db, sql, strategy)
+
+
+@pytest.mark.parametrize("sublink_size", SUBLINK_SIZES)
+@pytest.mark.parametrize("strategy", Q2_STRATEGIES)
+def test_q2_vary_sublink(benchmark, synthetic_dbs, sublink_size, strategy):
+    if strategy == "gen" and sublink_size > 500:
+        pytest.skip("Gen beyond this size is covered by the CLI sweep")
+    db = synthetic_dbs(INPUT_SIZE, sublink_size)
+    sql = q2_sql(INPUT_SIZE, sublink_size, seed=0)
+    benchmark.group = f"fig8-q2-m{sublink_size}"
+    _measure(benchmark, db, sql, strategy)

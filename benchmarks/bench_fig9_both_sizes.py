@@ -1,0 +1,39 @@
+"""Figure 9: synthetic queries, varying both relation sizes together."""
+
+import pytest
+
+from repro.synthetic import q1_sql, q2_sql
+
+SIZES = (100, 300, 600)
+
+Q1_STRATEGIES = ("gen", "left", "move", "unn")
+Q2_STRATEGIES = ("gen", "left", "move")
+
+
+def _measure(benchmark, db, sql, strategy):
+    rounds = 1 if strategy == "gen" else 3
+    benchmark.pedantic(
+        lambda: db.provenance(sql, strategy=strategy),
+        rounds=rounds, iterations=1, warmup_rounds=0)
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("strategy", Q1_STRATEGIES)
+def test_q1_vary_both(benchmark, synthetic_dbs, size, strategy):
+    if strategy == "gen" and size > 300:
+        pytest.skip("Gen beyond this size is covered by the CLI sweep")
+    db = synthetic_dbs(size, size)
+    sql = q1_sql(size, size, seed=0)
+    benchmark.group = f"fig9-q1-n{size}"
+    _measure(benchmark, db, sql, strategy)
+
+
+@pytest.mark.parametrize("size", SIZES)
+@pytest.mark.parametrize("strategy", Q2_STRATEGIES)
+def test_q2_vary_both(benchmark, synthetic_dbs, size, strategy):
+    if strategy == "gen" and size > 300:
+        pytest.skip("Gen beyond this size is covered by the CLI sweep")
+    db = synthetic_dbs(size, size)
+    sql = q2_sql(size, size, seed=0)
+    benchmark.group = f"fig9-q2-n{size}"
+    _measure(benchmark, db, sql, strategy)

@@ -1,0 +1,37 @@
+"""Shared benchmark fixtures.
+
+The pytest-benchmark suites measure representative points of each figure
+(kept small so ``pytest benchmarks/ --benchmark-only`` completes in
+minutes).  The full sweeps with the paper's ladders and timeouts live in
+``python -m repro.bench <figure>``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.synthetic import SyntheticConfig, load_synthetic
+from repro.tpch import install_views, load_tpch
+
+
+@pytest.fixture(scope="session")
+def tpch_db():
+    """One shared small TPC-H instance (the '10MB' rung of the ladder)."""
+    db = load_tpch(scale=0.00015, seed=0)
+    install_views(db)
+    return db
+
+
+@pytest.fixture(scope="session")
+def synthetic_dbs():
+    """Synthetic instances keyed by (input_size, sublink_size)."""
+    cache: dict[tuple[int, int], object] = {}
+
+    def get(input_size: int, sublink_size: int):
+        key = (input_size, sublink_size)
+        if key not in cache:
+            cache[key] = load_synthetic(
+                SyntheticConfig(input_size, sublink_size, seed=0))
+        return cache[key]
+
+    return get

@@ -1,0 +1,85 @@
+"""Tracing errors back to their source: the curated-database use case.
+
+The paper's introduction motivates provenance with error tracing in
+transformed data.  This example builds a small sensor warehouse where one
+ingest batch is corrupted, computes a report with nested subqueries, spots
+an anomalous row, and uses ``SELECT PROVENANCE`` to find the exact source
+tuples — including through a correlated sublink.
+
+Run with::
+
+    python examples/data_debugging.py
+"""
+
+from repro import Database
+
+
+def build_warehouse() -> Database:
+    db = Database()
+    db.execute_script("""
+        CREATE TABLE sensors (sensor_id int, site text, unit text);
+        INSERT INTO sensors VALUES
+            (1, 'roof', 'celsius'),
+            (2, 'basement', 'celsius'),
+            (3, 'garden', 'celsius');
+
+        CREATE TABLE batches (batch_id int, source text);
+        INSERT INTO batches VALUES
+            (100, 'gateway-a'),
+            (101, 'gateway-b');
+
+        CREATE TABLE readings (sensor_id int, batch_id int, value float);
+        INSERT INTO readings VALUES
+            (1, 100, 21.0), (1, 100, 22.5), (1, 101, 21.5),
+            (2, 100, 18.0), (2, 101, 17.5),
+            -- gateway-b shipped Fahrenheit for the garden sensor:
+            (3, 100, 19.0), (3, 101, 66.0), (3, 101, 68.5);
+    """)
+    return db
+
+
+REPORT = """
+    SELECT site, avg(value) AS mean_temp
+    FROM sensors, readings
+    WHERE sensors.sensor_id = readings.sensor_id
+      AND EXISTS (SELECT * FROM batches
+                  WHERE batch_id = readings.batch_id)
+    GROUP BY site
+"""
+
+
+def main() -> None:
+    db = build_warehouse()
+
+    print("== the report ==")
+    report = db.sql(REPORT)
+    print(report.pretty())
+    print()
+
+    suspicious = [row for row in report.rows if row[1] > 30]
+    print(f"anomaly: {suspicious[0][0]!r} has a mean temperature of "
+          f"{suspicious[0][1]:.1f} °C — trace it:")
+    print()
+
+    prov = db.provenance(REPORT, strategy="gen")
+    culprit_rows = [row for row in prov.rows if row[0] == "garden"]
+    print("== provenance of the 'garden' row ==")
+    print(prov.schema.names)
+    for row in culprit_rows:
+        print(" ", row)
+    print()
+
+    # the reading columns are prov_readings_(sensor_id, batch_id, value)
+    names = list(prov.schema.names)
+    batch_pos = names.index("prov_readings_batch_id")
+    value_pos = names.index("prov_readings_value")
+    bad = {(row[batch_pos]) for row in culprit_rows
+           if row[value_pos] and row[value_pos] > 30}
+    print(f"readings above 30°C all come from batch(es): {sorted(bad)}")
+    source = db.sql(
+        f"SELECT source FROM batches WHERE batch_id = {sorted(bad)[0]}")
+    print(f"=> corrupted ingest source: {source.rows[0][0]!r}")
+
+
+if __name__ == "__main__":
+    main()

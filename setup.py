@@ -1,0 +1,16 @@
+"""Setup shim: the offline environment lacks the ``wheel`` package, so the
+legacy ``setup.py develop`` editable path is used (no [build-system] table
+in pyproject.toml)."""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'Provenance for Nested Subqueries' "
+        "(Glavic & Alonso, EDBT 2009)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+)

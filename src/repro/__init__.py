@@ -1,0 +1,53 @@
+"""repro — a reproduction of *Provenance for Nested Subqueries*
+(Glavic & Alonso, EDBT 2009).
+
+A pure-Python, Perm-style provenance management system: a bag-semantics
+relational engine with a SQL frontend whose ``SELECT PROVENANCE`` queries
+are rewritten — via the paper's Gen / Left / Move / Unn strategies — into
+plain relational algebra that computes each result tuple's Why-provenance
+(Definition 2, extended provenance contribution) alongside the result.
+
+Quickstart::
+
+    from repro import Database
+
+    db = Database()
+    db.execute("CREATE TABLE r (a int, b int)")
+    db.execute("INSERT INTO r VALUES (1, 1), (2, 1), (3, 2)")
+    db.execute("CREATE TABLE s (c int, d int)")
+    db.execute("INSERT INTO s VALUES (1, 3), (2, 4), (4, 5)")
+    result = db.sql(
+        "SELECT PROVENANCE * FROM r WHERE a = ANY (SELECT c FROM s)")
+    print(result.pretty())
+"""
+
+from .catalog import Catalog
+from .datatypes import NULL, SQLType
+from .db import Database
+from .engine import ExecutionStats, Executor
+from .errors import (
+    AnalyzerError,
+    CatalogError,
+    ExecutionError,
+    ExpressionError,
+    ReproError,
+    RewriteError,
+    SchemaError,
+    SQLSyntaxError,
+    UnsupportedFeatureError,
+)
+from .provenance import ProvenanceRewriter, RewriteResult
+from .relation import Relation
+from .schema import Attribute, Schema
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Attribute", "Catalog", "Database", "ExecutionStats", "Executor",
+    "NULL", "ProvenanceRewriter", "Relation", "RewriteResult", "SQLType",
+    "Schema",
+    "AnalyzerError", "CatalogError", "ExecutionError", "ExpressionError",
+    "ReproError", "RewriteError", "SQLSyntaxError", "SchemaError",
+    "UnsupportedFeatureError",
+    "__version__",
+]

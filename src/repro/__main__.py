@@ -1,0 +1,7 @@
+"""``python -m repro`` starts the interactive shell."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

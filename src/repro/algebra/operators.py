@@ -1,0 +1,347 @@
+"""Algebra operator nodes.
+
+The operator set mirrors Figure 1 of the paper:
+
+* bag/set projection (``Project`` with a ``distinct`` flag),
+* selection,
+* cross product / inner join / left outer join (``Join``),
+* aggregation (grouping on *columns* — the analyzer normalizes grouping
+  expressions into a projection below, exactly as the paper simulates
+  GROUP BY sublinks),
+* bag/set union, intersection, difference (``SetOp`` with an ``all`` flag),
+* base relation access and literal relations (``Values``, used for the
+  ``null(R)`` padding rows of the Gen strategy's CrossBase),
+* ``Sort``/``Limit`` for SQL completeness.
+
+The nesting operators (ANY/ALL/EXISTS/scalar) are *expressions* —
+:class:`repro.expressions.ast.Sublink` — attached to selection conditions,
+projection items and join conditions, as in the paper's algebra.
+
+Operators compare by identity; trees are rebuilt, never mutated, by the
+provenance rewriter.  Every operator exposes:
+
+* ``schema``        — the (cached) output schema,
+* ``children()``    — input operators,
+* ``replace_children(new)`` — rebuild with new inputs,
+* ``expressions()`` — the expressions attached to this node,
+* ``replace_expressions(new)`` — rebuild with new expressions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Any, Sequence
+
+from ..errors import SchemaError
+from ..expressions.ast import AggCall, Expr, TRUE
+from ..schema import Attribute, Schema
+from ..datatypes import SQLType
+
+
+class Operator:
+    """Base class of all algebra nodes."""
+
+    __slots__ = ("_schema",)
+
+    def __init__(self) -> None:
+        self._schema: Schema | None = None
+
+    @property
+    def schema(self) -> Schema:
+        """Output schema (computed once, cached)."""
+        if self._schema is None:
+            self._schema = self._infer_schema()
+        return self._schema
+
+    def _infer_schema(self) -> Schema:
+        raise NotImplementedError
+
+    def children(self) -> tuple["Operator", ...]:
+        return ()
+
+    def replace_children(self, new: Sequence["Operator"]) -> "Operator":
+        assert not new
+        return self
+
+    def expressions(self) -> tuple[Expr, ...]:
+        return ()
+
+    def replace_expressions(self, new: Sequence[Expr]) -> "Operator":
+        assert not new
+        return self
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from .printer import summarize
+        return summarize(self)
+
+
+class BaseRelation(Operator):
+    """A scan of a catalog table.
+
+    ``table`` is the catalog name; ``schema`` carries the *output* attribute
+    names chosen by the analyzer (unique within the query scope — usually
+    ``alias.column``).  Positions match the stored relation's columns.
+    """
+
+    __slots__ = ("table", "alias")
+
+    def __init__(self, table: str, alias: str, schema: Schema):
+        super().__init__()
+        self.table = table
+        self.alias = alias
+        self._schema = schema
+
+
+class Values(Operator):
+    """A literal relation (used for ``null(R)`` rows and for testing)."""
+
+    __slots__ = ("rows",)
+
+    def __init__(self, schema: Schema, rows: Sequence[tuple]):
+        super().__init__()
+        self._schema = schema
+        self.rows = [tuple(row) for row in rows]
+        for row in self.rows:
+            if len(row) != len(schema):
+                raise SchemaError(
+                    f"Values row arity {len(row)} != schema {len(schema)}")
+
+
+class Project(Operator):
+    """Bag or set projection onto named expressions.
+
+    ``items`` is a sequence of ``(name, expr)``; ``distinct=True`` is the
+    duplicate-removing set version (SQL ``SELECT DISTINCT``).
+    """
+
+    __slots__ = ("input", "items", "distinct")
+
+    def __init__(self, input: Operator,
+                 items: Sequence[tuple[str, Expr]],
+                 distinct: bool = False):
+        super().__init__()
+        self.input = input
+        self.items = tuple(items)
+        self.distinct = distinct
+
+    def _infer_schema(self) -> Schema:
+        from ..expressions.ast import Col
+        attributes = []
+        for name, expr in self.items:
+            type_ = SQLType.ANY
+            if isinstance(expr, Col) and expr.level == 0 \
+                    and expr.name in self.input.schema:
+                type_ = self.input.schema[expr.name].type
+            attributes.append(Attribute(name, type_))
+        return Schema(attributes)
+
+    def children(self):
+        return (self.input,)
+
+    def replace_children(self, new):
+        return Project(new[0], self.items, self.distinct)
+
+    def expressions(self):
+        return tuple(expr for _, expr in self.items)
+
+    def replace_expressions(self, new):
+        items = tuple(
+            (name, expr) for (name, _), expr in zip(self.items, new))
+        return Project(self.input, items, self.distinct)
+
+
+class Select(Operator):
+    """Selection: keep input rows whose condition is definitely true."""
+
+    __slots__ = ("input", "condition")
+
+    def __init__(self, input: Operator, condition: Expr):
+        super().__init__()
+        self.input = input
+        self.condition = condition
+
+    def _infer_schema(self) -> Schema:
+        return self.input.schema
+
+    def children(self):
+        return (self.input,)
+
+    def replace_children(self, new):
+        return Select(new[0], self.condition)
+
+    def expressions(self):
+        return (self.condition,)
+
+    def replace_expressions(self, new):
+        return Select(self.input, new[0])
+
+
+class JoinKind(Enum):
+    """Join flavors: cross product, inner join, left outer join."""
+
+    CROSS = "cross"
+    INNER = "inner"
+    LEFT = "left"
+
+
+class Join(Operator):
+    """Binary join; output schema is left ++ right."""
+
+    __slots__ = ("left", "right", "condition", "kind")
+
+    def __init__(self, left: Operator, right: Operator,
+                 condition: Expr = TRUE, kind: JoinKind = JoinKind.INNER):
+        super().__init__()
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.kind = kind
+
+    def _infer_schema(self) -> Schema:
+        return self.left.schema.concat(self.right.schema)
+
+    def children(self):
+        return (self.left, self.right)
+
+    def replace_children(self, new):
+        return Join(new[0], new[1], self.condition, self.kind)
+
+    def expressions(self):
+        return (self.condition,)
+
+    def replace_expressions(self, new):
+        return Join(self.left, self.right, new[0], self.kind)
+
+
+class Aggregate(Operator):
+    """Grouping + aggregation.
+
+    ``group`` is a tuple of input *column names* (the analyzer projects
+    grouping expressions into columns below this operator).  ``aggregates``
+    is a tuple of ``(output_name, AggCall)``.  Output schema = group columns
+    followed by aggregate results, one row per group; with no group columns
+    exactly one output row (even for empty input — SQL semantics).
+    """
+
+    __slots__ = ("input", "group", "aggregates")
+
+    def __init__(self, input: Operator, group: Sequence[str],
+                 aggregates: Sequence[tuple[str, AggCall]]):
+        super().__init__()
+        self.input = input
+        self.group = tuple(group)
+        self.aggregates = tuple(aggregates)
+
+    def _infer_schema(self) -> Schema:
+        attributes = [self.input.schema[name] for name in self.group]
+        attributes.extend(Attribute(name) for name, _ in self.aggregates)
+        return Schema(attributes)
+
+    def children(self):
+        return (self.input,)
+
+    def replace_children(self, new):
+        return Aggregate(new[0], self.group, self.aggregates)
+
+    def expressions(self):
+        return tuple(call for _, call in self.aggregates)
+
+    def replace_expressions(self, new):
+        aggregates = tuple(
+            (name, call) for (name, _), call in zip(self.aggregates, new))
+        return Aggregate(self.input, self.group, aggregates)
+
+
+class SetOpKind(Enum):
+    """Set operation flavors."""
+
+    UNION = "union"
+    INTERSECT = "intersect"
+    EXCEPT = "except"
+
+
+class SetOp(Operator):
+    """Union/intersection/difference; ``all=True`` is the bag version."""
+
+    __slots__ = ("kind", "left", "right", "all")
+
+    def __init__(self, kind: SetOpKind, left: Operator, right: Operator,
+                 all: bool = False):
+        super().__init__()
+        self.kind = kind
+        self.left = left
+        self.right = right
+        self.all = all
+
+    def _infer_schema(self) -> Schema:
+        if len(self.left.schema) != len(self.right.schema):
+            raise SchemaError(
+                f"{self.kind.value} over different arities "
+                f"{len(self.left.schema)} vs {len(self.right.schema)}")
+        return self.left.schema
+
+    def children(self):
+        return (self.left, self.right)
+
+    def replace_children(self, new):
+        return SetOp(self.kind, new[0], new[1], self.all)
+
+
+@dataclass(frozen=True)
+class SortKey:
+    """One ORDER BY key."""
+
+    expr: Expr
+    ascending: bool = True
+
+
+class Sort(Operator):
+    """Deterministic ordering (NULLs sort first ascending, last descending)."""
+
+    __slots__ = ("input", "keys")
+
+    def __init__(self, input: Operator, keys: Sequence[SortKey]):
+        super().__init__()
+        self.input = input
+        self.keys = tuple(keys)
+
+    def _infer_schema(self) -> Schema:
+        return self.input.schema
+
+    def children(self):
+        return (self.input,)
+
+    def replace_children(self, new):
+        return Sort(new[0], self.keys)
+
+    def expressions(self):
+        return tuple(key.expr for key in self.keys)
+
+    def replace_expressions(self, new):
+        keys = tuple(
+            SortKey(expr, key.ascending)
+            for key, expr in zip(self.keys, new))
+        return Sort(self.input, keys)
+
+
+class Limit(Operator):
+    """LIMIT/OFFSET."""
+
+    __slots__ = ("input", "count", "offset")
+
+    def __init__(self, input: Operator, count: int | None,
+                 offset: int = 0):
+        super().__init__()
+        self.input = input
+        self.count = count
+        self.offset = offset
+
+    def _infer_schema(self) -> Schema:
+        return self.input.schema
+
+    def children(self):
+        return (self.input,)
+
+    def replace_children(self, new):
+        return Limit(new[0], self.count, self.offset)

@@ -1,0 +1,82 @@
+"""Static properties of algebra trees used by the rewriter and planner.
+
+* :func:`is_correlated` — does a sublink query reference enclosing scopes?
+  (decides Gen vs Left/Move applicability, Section 3.6)
+* :func:`collect_base_relations` — the ``Base(Tsub)`` list used to build
+  the Gen strategy's CrossBase.
+* :func:`contains_sublinks` / :func:`contains_aggregates` — expression
+  classification helpers.
+"""
+
+from __future__ import annotations
+
+from ..expressions.ast import AggCall, Col, Expr, Sublink
+from .operators import BaseRelation, Operator
+from .trees import iter_operators
+
+
+def _expr_nodes(expr: Expr):
+    yield expr
+    for child in expr.children():
+        yield from _expr_nodes(child)
+
+
+def contains_sublinks(expr: Expr) -> bool:
+    """True iff *expr* contains a sublink node (at any depth of the
+    expression, not looking inside sublink query trees)."""
+    return any(isinstance(node, Sublink) for node in _expr_nodes(expr))
+
+
+def contains_aggregates(expr: Expr) -> bool:
+    """True iff *expr* contains an aggregate call outside sublinks."""
+    return any(isinstance(node, AggCall) for node in _expr_nodes(expr))
+
+
+def _max_escape_expr(expr: Expr, boundary: int) -> int:
+    """Largest ``level - boundary_at_ref + 1`` over escaping refs, i.e. how
+    many levels above the fragment root the expression reaches (0 = none)."""
+    deepest = 0
+    if isinstance(expr, Col):
+        if expr.level >= boundary:
+            deepest = expr.level - boundary + 1
+    for child in expr.children():
+        deepest = max(deepest, _max_escape_expr(child, boundary))
+    if isinstance(expr, Sublink):
+        deepest = max(deepest, _max_escape_op(expr.query, boundary + 1))
+    return deepest
+
+
+def _max_escape_op(op: Operator, boundary: int) -> int:
+    deepest = 0
+    for node in iter_operators(op):
+        for expr in node.expressions():
+            deepest = max(deepest, _max_escape_expr(expr, boundary))
+    for node in iter_operators(op):
+        for expr in node.expressions():
+            for sub in _expr_nodes(expr):
+                if isinstance(sub, Sublink):
+                    deepest = max(
+                        deepest, _max_escape_op(sub.query, boundary + 1))
+    return deepest
+
+
+def correlation_depth(query: Operator) -> int:
+    """How many enclosing scopes *query* reaches into (0 = uncorrelated)."""
+    return _max_escape_op(query, boundary=1)
+
+
+def is_correlated(query: Operator) -> bool:
+    """True iff the sublink query *query* references an enclosing scope."""
+    return correlation_depth(query) > 0
+
+
+def expr_is_correlated(expr: Expr) -> bool:
+    """True iff *expr* (e.g. a sublink's test) escapes its own scope."""
+    return _max_escape_expr(expr, boundary=0) > 0
+
+
+def collect_base_relations(op: Operator) -> list[BaseRelation]:
+    """All base-relation accesses of *op*'s tree, in depth-first order,
+    including those inside nested sublink queries (``Base(T)``)."""
+    return [node for node in iter_operators(op, into_sublinks=True)
+            if isinstance(node, BaseRelation)]

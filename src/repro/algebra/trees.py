@@ -1,0 +1,148 @@
+"""Tree utilities over algebra operators and their expressions.
+
+The central piece is :func:`shift_correlation`: when the Gen strategy
+relocates an expression (or a whole rewritten sublink query) *inside a new
+sublink boundary*, every column reference escaping the relocated fragment
+must point one level further out.  Levels behave like de Bruijn indices:
+a ``Col`` at sublink-boundary depth ``b`` within the fragment escapes the
+fragment iff ``level >= b``, and exactly those references are shifted.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Callable, Iterator
+
+from ..expressions.ast import Col, Expr, Sublink
+from .operators import Operator
+
+
+def iter_operators(op: Operator, into_sublinks: bool = False
+                   ) -> Iterator[Operator]:
+    """Pre-order iteration over *op* and its descendants.
+
+    With ``into_sublinks=True`` the iteration also descends into the algebra
+    trees of sublink expressions.
+    """
+    yield op
+    for child in op.children():
+        yield from iter_operators(child, into_sublinks)
+    if into_sublinks:
+        for expr in op.expressions():
+            for node in _walk_expr(expr):
+                if isinstance(node, Sublink):
+                    yield from iter_operators(node.query, True)
+
+
+def _walk_expr(expr: Expr) -> Iterator[Expr]:
+    yield expr
+    for child in expr.children():
+        yield from _walk_expr(child)
+
+
+def iter_expressions(op: Operator) -> Iterator[Expr]:
+    """All expressions attached to operators of *op*'s tree (top query level
+    only — sublink query trees are not entered)."""
+    for node in iter_operators(op):
+        yield from node.expressions()
+
+
+def transform_expressions(op: Operator,
+                          fn: Callable[[Expr], Expr]) -> Operator:
+    """Rebuild *op*'s tree with every attached expression mapped by *fn*.
+
+    *fn* receives whole attached expressions (conditions, projection items);
+    it is responsible for any recursion it needs.  Children operators are
+    transformed first.
+    """
+    new_children = [transform_expressions(c, fn) for c in op.children()]
+    if list(op.children()) != new_children:
+        op = op.replace_children(new_children)
+    old_exprs = op.expressions()
+    if old_exprs:
+        new_exprs = [fn(e) for e in old_exprs]
+        if list(old_exprs) != new_exprs:
+            op = op.replace_expressions(new_exprs)
+    return op
+
+
+# ---------------------------------------------------------------------------
+# Cloning
+# ---------------------------------------------------------------------------
+
+def clone(op: Operator) -> Operator:
+    """Deep-copy an operator tree.
+
+    Expressions are immutable and shared, *except* sublinks, whose query
+    trees are cloned so the copy never aliases operators with the original
+    (the executor's sublink cache is keyed by operator identity).
+    """
+    new_children = [clone(child) for child in op.children()]
+    if new_children:
+        op = op.replace_children(new_children)
+    else:
+        op = copy.copy(op)  # leaves (BaseRelation/Values) get fresh nodes
+    exprs = op.expressions()
+    if exprs:
+        op = op.replace_expressions([clone_expr(e) for e in exprs])
+    return op
+
+
+def clone_expr(expr: Expr) -> Expr:
+    """Copy *expr*, deep-cloning any sublink query trees inside it."""
+    new_children = [clone_expr(c) for c in expr.children()]
+    if new_children != list(expr.children()):
+        expr = expr.replace_children(new_children)
+    if isinstance(expr, Sublink):
+        return Sublink(expr.kind, clone(expr.query), expr.op, expr.test)
+    return expr
+
+
+# ---------------------------------------------------------------------------
+# Correlation-level shifting
+# ---------------------------------------------------------------------------
+
+def shift_correlation_expr(expr: Expr, delta: int, boundary: int = 0) -> Expr:
+    """Shift escaping column references of an expression fragment.
+
+    A ``Col`` at sublink depth ``b`` (relative to the fragment root, where
+    the fragment itself starts at depth *boundary*) escapes the fragment iff
+    ``level >= b``; escaping references get ``level += delta``.
+    """
+    if isinstance(expr, Col):
+        if expr.level >= boundary:
+            return Col(expr.name, expr.level + delta)
+        return expr
+    new_children = [
+        shift_correlation_expr(child, delta, boundary)
+        for child in expr.children()]
+    if new_children != list(expr.children()):
+        expr = expr.replace_children(new_children)
+    if isinstance(expr, Sublink):
+        shifted_query = shift_correlation(expr.query, delta, boundary + 1)
+        if shifted_query is not expr.query:
+            expr = Sublink(expr.kind, shifted_query, expr.op, expr.test)
+    return expr
+
+
+def shift_correlation(op: Operator, delta: int, boundary: int = 1
+                      ) -> Operator:
+    """Shift escaping references of a whole (sub)query operator tree.
+
+    For a sublink query being relocated, expressions attached directly to
+    its operators live at depth 1 relative to the construct that hosts the
+    sublink — hence the default ``boundary=1``.
+    """
+    if delta == 0:
+        return op
+    new_children = [
+        shift_correlation(child, delta, boundary) for child in op.children()]
+    if list(op.children()) != new_children:
+        op = op.replace_children(new_children)
+    exprs = op.expressions()
+    if exprs:
+        new_exprs = [
+            shift_correlation_expr(e, delta, boundary) for e in exprs]
+        if list(exprs) != new_exprs:
+            op = op.replace_expressions(new_exprs)
+    return op

@@ -1,0 +1,25 @@
+"""Benchmark harness reproducing the paper's figures.
+
+Run ``python -m repro.bench --help`` for the CLI; each figure also has a
+pytest-benchmark counterpart under ``benchmarks/``.
+"""
+
+from .harness import BenchResult, Timeout, time_provenance_query
+from .figures import (
+    FIG6_SCALES,
+    FIG7_INPUT_SIZES,
+    FIG8_SUBLINK_SIZES,
+    FIG9_BOTH_SIZES,
+    run_fig6,
+    run_fig7,
+    run_fig8,
+    run_fig9,
+    format_table,
+)
+
+__all__ = [
+    "BenchResult", "Timeout", "time_provenance_query",
+    "FIG6_SCALES", "FIG7_INPUT_SIZES", "FIG8_SUBLINK_SIZES",
+    "FIG9_BOTH_SIZES",
+    "run_fig6", "run_fig7", "run_fig8", "run_fig9", "format_table",
+]

@@ -1,0 +1,63 @@
+"""CLI for regenerating the paper's figures.
+
+Examples::
+
+    python -m repro.bench fig7                 # synthetic, vary |R1|
+    python -m repro.bench fig6 --timeout 30    # TPC-H ladder
+    python -m repro.bench all --instances 1    # everything, quick pass
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .figures import (
+    format_table, run_fig6, run_fig7, run_fig8, run_fig9,
+)
+
+_RUNNERS = {
+    "fig6": lambda args: run_fig6(
+        instances=args.instances, timeout_s=args.timeout,
+        seed=args.seed, verbose=args.verbose),
+    "fig7": lambda args: run_fig7(
+        instances=args.instances, timeout_s=args.timeout,
+        seed=args.seed, verbose=args.verbose),
+    "fig8": lambda args: run_fig8(
+        instances=args.instances, timeout_s=args.timeout,
+        seed=args.seed, verbose=args.verbose),
+    "fig9": lambda args: run_fig9(
+        instances=args.instances, timeout_s=args.timeout,
+        seed=args.seed, verbose=args.verbose),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's experimental figures.")
+    parser.add_argument(
+        "figure", choices=[*_RUNNERS, "all"],
+        help="which figure to regenerate")
+    parser.add_argument(
+        "--instances", type=int, default=3,
+        metavar="N", help="random query instances per point (default 3)")
+    parser.add_argument(
+        "--timeout", type=float, default=60.0, metavar="SECONDS",
+        help="per-case budget, the paper's 6h cutoff rescaled (default 60)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--verbose", action="store_true",
+                        help="print each point as it is measured")
+    args = parser.parse_args(argv)
+
+    figures = list(_RUNNERS) if args.figure == "all" else [args.figure]
+    for figure in figures:
+        print(f"== {figure} ==", flush=True)
+        rows = _RUNNERS[figure](args)
+        print(format_table(rows))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

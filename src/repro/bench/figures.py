@@ -1,0 +1,173 @@
+"""Per-figure experiment drivers.
+
+Each ``run_fig*`` function regenerates one figure of the paper as a list
+of result rows (printable with :func:`format_table`).  Scales are reduced
+from the paper's PostgreSQL testbed to pure-Python-engine scale; the
+*shape* of each figure — which strategy wins, by how much, and how costs
+grow — is what these reproduce (see EXPERIMENTS.md).
+
+Figure 6 (a-d): the nine TPC-H sublink templates at four database sizes,
+Gen on all nine, Left/Move additionally on the uncorrelated Q11/Q15/Q16.
+The paper's six-hour cutoff becomes a per-case timeout.
+
+Figures 7/8/9: synthetic q1 (equality ANY, Unn-eligible) and q2
+(inequality ALL) varying the input relation size, the sublink relation
+size, and both.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from ..synthetic import SyntheticConfig, load_synthetic, q1_sql, q2_sql
+from ..tpch import (
+    PAPER_SUBLINK_QUERIES, install_views, load_tpch, query_sql,
+    query_strategies,
+)
+from .harness import BenchResult, time_provenance_query
+
+# The paper's 1MB / 10MB / 100MB / 1GB ladder, rescaled: each step grows
+# ~3x (1000x total would be days of pure-Python execution).
+FIG6_SCALES: dict[str, float] = {
+    "1MB": 0.00005,
+    "10MB": 0.00015,
+    "100MB": 0.0005,
+    "1GB": 0.0015,
+}
+
+FIG7_INPUT_SIZES = (10, 50, 100, 500, 1000, 2000)
+FIG8_SUBLINK_SIZES = (10, 50, 100, 500, 1000, 2000)
+FIG9_BOTH_SIZES = (10, 50, 100, 200, 500, 1000)
+
+#: Synthetic strategies: all four for q1 (Unn applies via rule U2), and
+#: the three general ones for q2 (the paper: "except Unn that provides
+#: only a rewrite rule for query q1").
+Q1_STRATEGIES = ("gen", "left", "move", "unn")
+Q2_STRATEGIES = ("gen", "left", "move")
+
+
+@dataclass
+class FigureRow:
+    """One measured point of a figure."""
+
+    figure: str
+    case: str              # e.g. "Q11" or "input=500"
+    size: str              # e.g. "10MB" or "n=1000"
+    strategy: str
+    result: BenchResult
+    instances: int = 1
+
+    def cells(self) -> tuple[str, ...]:
+        return (self.figure, self.case, self.size, self.strategy,
+                self.result.label,
+                "-" if self.result.rows is None else str(self.result.rows))
+
+
+def _mean_result(results: Sequence[BenchResult]) -> BenchResult:
+    finished = [r for r in results if not r.timed_out]
+    if not finished:
+        return BenchResult(None, None, timed_out=True)
+    return BenchResult(
+        statistics.mean(r.seconds for r in finished),
+        round(statistics.mean(r.rows for r in finished)))
+
+
+def run_fig6(scales: dict[str, float] | None = None,
+             queries: Iterable[int] = PAPER_SUBLINK_QUERIES,
+             instances: int = 3, timeout_s: float = 60.0,
+             seed: int = 0, verbose: bool = False) -> list[FigureRow]:
+    """Figure 6 (a-d): TPC-H sublink queries across database sizes."""
+    scales = scales or FIG6_SCALES
+    rows: list[FigureRow] = []
+    for size_label, scale in scales.items():
+        db = load_tpch(scale=scale, seed=seed)
+        install_views(db)
+        for query in queries:
+            for strategy in query_strategies(query):
+                results = []
+                for instance in range(instances):
+                    sql = query_sql(query, seed=seed + instance)
+                    results.append(time_provenance_query(
+                        db, sql, strategy, timeout_s))
+                    if results[-1].timed_out:
+                        break  # larger instances will also time out
+                row = FigureRow("fig6", f"Q{query}", size_label, strategy,
+                                _mean_result(results), len(results))
+                rows.append(row)
+                if verbose:
+                    print("  " + " | ".join(row.cells()), flush=True)
+    return rows
+
+
+def _run_synthetic(figure: str, cases: Iterable[tuple[int, int]],
+                   instances: int, timeout_s: float, seed: int,
+                   verbose: bool) -> list[FigureRow]:
+    rows: list[FigureRow] = []
+    for input_size, sublink_size in cases:
+        for query_name, sql_fn, strategies in (
+                ("q1", q1_sql, Q1_STRATEGIES),
+                ("q2", q2_sql, Q2_STRATEGIES)):
+            for strategy in strategies:
+                results = []
+                for instance in range(instances):
+                    db = load_synthetic(SyntheticConfig(
+                        input_size, sublink_size, seed + instance))
+                    sql = sql_fn(input_size, sublink_size,
+                                 seed + instance)
+                    results.append(time_provenance_query(
+                        db, sql, strategy, timeout_s))
+                    if results[-1].timed_out:
+                        break
+                size_label = f"|R1|={input_size},|R2|={sublink_size}"
+                row = FigureRow(figure, query_name, size_label, strategy,
+                                _mean_result(results), len(results))
+                rows.append(row)
+                if verbose:
+                    print("  " + " | ".join(row.cells()), flush=True)
+    return rows
+
+
+def run_fig7(input_sizes: Sequence[int] = FIG7_INPUT_SIZES,
+             sublink_size: int = 1000, instances: int = 3,
+             timeout_s: float = 60.0, seed: int = 0,
+             verbose: bool = False) -> list[FigureRow]:
+    """Figure 7: vary the selection's input relation, sublink fixed."""
+    cases = [(n, sublink_size) for n in input_sizes]
+    return _run_synthetic("fig7", cases, instances, timeout_s, seed,
+                          verbose)
+
+
+def run_fig8(sublink_sizes: Sequence[int] = FIG8_SUBLINK_SIZES,
+             input_size: int = 1000, instances: int = 3,
+             timeout_s: float = 60.0, seed: int = 0,
+             verbose: bool = False) -> list[FigureRow]:
+    """Figure 8: vary the sublink relation, input fixed."""
+    cases = [(input_size, n) for n in sublink_sizes]
+    return _run_synthetic("fig8", cases, instances, timeout_s, seed,
+                          verbose)
+
+
+def run_fig9(sizes: Sequence[int] = FIG9_BOTH_SIZES, instances: int = 3,
+             timeout_s: float = 60.0, seed: int = 0,
+             verbose: bool = False) -> list[FigureRow]:
+    """Figure 9: vary both relation sizes together."""
+    cases = [(n, n) for n in sizes]
+    return _run_synthetic("fig9", cases, instances, timeout_s, seed,
+                          verbose)
+
+
+def format_table(rows: Sequence[FigureRow]) -> str:
+    """Aligned text table of figure rows."""
+    header = ("figure", "case", "size", "strategy", "mean time", "rows")
+    table = [header] + [row.cells() for row in rows]
+    widths = [max(len(line[i]) for line in table)
+              for i in range(len(header))]
+    lines = []
+    for index, line in enumerate(table):
+        lines.append("  ".join(
+            cell.ljust(width) for cell, width in zip(line, widths)))
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)

@@ -1,0 +1,65 @@
+"""The catalog: the set of named base relations a query can reference.
+
+The provenance rewriter needs to know, for every base-relation access, the
+relation's schema — :func:`Catalog.get` is the single lookup point used by
+the analyzer and by ``CrossBase`` construction.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence
+
+from .errors import CatalogError
+from .relation import Relation
+from .schema import Schema
+
+
+class Catalog:
+    """A mapping from lower-cased table names to :class:`Relation` objects."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, Relation] = {}
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._tables
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tables)
+
+    def names(self) -> list[str]:
+        """All table names, in creation order."""
+        return list(self._tables)
+
+    def create(self, name: str, schema: Schema,
+               rows: Iterable[Sequence[Any]] = ()) -> Relation:
+        """Create a table; raises :class:`CatalogError` if it exists."""
+        key = name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        table = Relation(schema, rows)
+        self._tables[key] = table
+        return table
+
+    def register(self, name: str, relation: Relation,
+                 replace: bool = False) -> None:
+        """Register an existing :class:`Relation` under *name*."""
+        key = name.lower()
+        if key in self._tables and not replace:
+            raise CatalogError(f"table {name!r} already exists")
+        self._tables[key] = relation
+
+    def drop(self, name: str) -> None:
+        """Remove a table; raises :class:`CatalogError` if absent."""
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"table {name!r} does not exist")
+        del self._tables[key]
+
+    def get(self, name: str) -> Relation:
+        """Look up a table; raises :class:`CatalogError` if absent."""
+        try:
+            return self._tables[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"table {name!r} does not exist; known tables: "
+                f"{self.names()}") from None

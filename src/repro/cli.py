@@ -1,0 +1,159 @@
+"""Interactive SQL shell (``python -m repro``).
+
+A psql-flavoured REPL over an in-memory :class:`~repro.db.Database`:
+
+=====================  ===================================================
+command                effect
+=====================  ===================================================
+``\\d``                 list tables and views
+``\\d <table>``         describe a table
+``\\strategy [name]``   show / set the default provenance strategy
+``\\explain <select>``  print the (rewritten) plan
+``\\timing``            toggle per-query timing
+``\\tpch [scale]``      load a TPC-H instance into the session
+``\\i <file>``          run a SQL script
+``\\q``                 quit
+=====================  ===================================================
+
+Everything else is executed as SQL (``SELECT PROVENANCE ...`` included).
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from .db import Database
+from .errors import ReproError
+
+
+class Shell:
+    """State and command dispatch for the REPL."""
+
+    def __init__(self, db: Database | None = None):
+        self.db = db or Database()
+        self.strategy = "auto"
+        self.timing = False
+
+    # -- meta commands --------------------------------------------------------
+
+    def run_meta(self, line: str, out) -> bool:
+        """Handle a backslash command; returns False to quit."""
+        parts = line.split()
+        command, args = parts[0], parts[1:]
+        if command in ("\\q", "\\quit"):
+            return False
+        if command == "\\d":
+            if args:
+                self._describe(args[0], out)
+            else:
+                self._list_tables(out)
+        elif command == "\\strategy":
+            if args:
+                self.strategy = args[0]
+            print(f"provenance strategy: {self.strategy}", file=out)
+        elif command == "\\timing":
+            self.timing = not self.timing
+            print(f"timing: {'on' if self.timing else 'off'}", file=out)
+        elif command == "\\explain":
+            sql = line[len("\\explain"):].strip()
+            print(self.db.explain(sql), file=out)
+        elif command == "\\tpch":
+            from .tpch import install_views, load_tpch
+            scale = float(args[0]) if args else 0.0001
+            generated = load_tpch(scale=scale)
+            for table in generated.catalog.names():
+                self.db.catalog.register(
+                    table, generated.catalog.get(table), replace=True)
+            install_views(self.db)
+            print(f"loaded TPC-H at scale {scale}", file=out)
+        elif command == "\\i":
+            if not args:
+                print("usage: \\i <file>", file=out)
+            else:
+                with open(args[0]) as handle:
+                    self.db.execute_script(handle.read())
+                print(f"ran {args[0]}", file=out)
+        else:
+            print(f"unknown command {command}; try \\d, \\strategy, "
+                  f"\\explain, \\timing, \\tpch, \\i, \\q", file=out)
+        return True
+
+    def _list_tables(self, out) -> None:
+        for name in self.db.catalog.names():
+            rows = len(self.db.catalog.get(name).rows)
+            print(f"  table {name} ({rows} rows)", file=out)
+        for name in self.db.views:
+            print(f"  view  {name}", file=out)
+        if not self.db.catalog.names() and not self.db.views:
+            print("  (no tables)", file=out)
+
+    def _describe(self, name: str, out) -> None:
+        stored = self.db.catalog.get(name)
+        for attribute in stored.schema:
+            print(f"  {attribute.name:24s} {attribute.type.value}",
+                  file=out)
+
+    # -- SQL ----------------------------------------------------------------------
+
+    def run_sql(self, text: str, out) -> None:
+        started = time.perf_counter()
+        try:
+            from .sql.ast import SelectStmt
+            from .sql.parser import parse_statement
+            statement = parse_statement(text)
+            if isinstance(statement, SelectStmt):
+                if statement.provenance == "auto" and \
+                        self.strategy != "auto":
+                    statement.provenance = self.strategy
+                relation = self.db._run_select(statement)
+                print(relation.pretty(), file=out)
+                print(f"({len(relation.rows)} rows)", file=out)
+            else:
+                self.db._run(statement)
+                print("ok", file=out)
+        except ReproError as exc:
+            print(f"error: {exc}", file=out)
+            return
+        if self.timing:
+            elapsed = (time.perf_counter() - started) * 1000
+            print(f"time: {elapsed:.1f} ms", file=out)
+
+    def run_line(self, line: str, out) -> bool:
+        """Process one input line; returns False to quit."""
+        stripped = line.strip()
+        if not stripped:
+            return True
+        if stripped.startswith("\\"):
+            return self.run_meta(stripped, out)
+        self.run_sql(stripped.rstrip(";"), out)
+        return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    """REPL entry point."""
+    shell = Shell()
+    print("repro — Provenance for Nested Subqueries (EDBT 2009 repro)")
+    print('type SQL, "\\tpch" to load data, or "\\q" to quit')
+    buffer: list[str] = []
+    while True:
+        prompt = "repro> " if not buffer else "  ...> "
+        try:
+            line = input(prompt)
+        except EOFError:
+            print()
+            return 0
+        if line.strip().startswith("\\"):
+            if not shell.run_meta(line.strip(), sys.stdout):
+                return 0
+            continue
+        buffer.append(line)
+        if line.rstrip().endswith(";") or not line.strip():
+            text = " ".join(buffer).strip()
+            buffer.clear()
+            if text and not shell.run_line(text, sys.stdout):
+                return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,270 @@
+"""SQL value model and three-valued logic (3VL).
+
+The engine represents SQL values with plain Python objects:
+
+============  =======================
+SQL type      Python representation
+============  =======================
+``NULL``      ``None``
+``INTEGER``   ``int``
+``FLOAT``     ``float``
+``TEXT``      ``str``
+``BOOLEAN``   ``bool``
+============  =======================
+
+Dates are stored as ISO-8601 strings, which order correctly under string
+comparison — exactly what TPC-H's date predicates need.
+
+Truth values of conditions live in Kleene three-valued logic where SQL's
+``NULL`` plays the role of *unknown*.  The helpers in this module implement
+the 3VL connectives and the SQL comparison/arithmetic semantics (any
+comparison or arithmetic involving ``NULL`` yields ``NULL``).
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Iterable
+
+from .errors import ExpressionError
+
+#: The SQL NULL value.  An alias for ``None`` kept for readability.
+NULL = None
+
+
+class SQLType(Enum):
+    """Logical column types known to the engine.
+
+    The engine is dynamically typed at runtime; :class:`SQLType` is used by
+    schemas for documentation, by the analyzer for sanity checks and by the
+    data generators.  ``ANY`` means "not statically known".
+    """
+
+    INTEGER = "integer"
+    FLOAT = "float"
+    TEXT = "text"
+    BOOLEAN = "boolean"
+    DATE = "date"
+    ANY = "any"
+
+    @classmethod
+    def parse(cls, name: str) -> "SQLType":
+        """Map a SQL type name (``int``, ``varchar(55)``, ...) to a member."""
+        normalized = name.strip().lower()
+        if "(" in normalized:
+            normalized = normalized[: normalized.index("(")]
+        aliases = {
+            "int": cls.INTEGER, "integer": cls.INTEGER, "bigint": cls.INTEGER,
+            "smallint": cls.INTEGER, "serial": cls.INTEGER,
+            "float": cls.FLOAT, "real": cls.FLOAT, "double": cls.FLOAT,
+            "decimal": cls.FLOAT, "numeric": cls.FLOAT,
+            "text": cls.TEXT, "varchar": cls.TEXT, "char": cls.TEXT,
+            "string": cls.TEXT,
+            "bool": cls.BOOLEAN, "boolean": cls.BOOLEAN,
+            "date": cls.DATE, "timestamp": cls.DATE,
+            "any": cls.ANY,
+        }
+        try:
+            return aliases[normalized]
+        except KeyError:
+            raise ExpressionError(f"unknown SQL type: {name!r}") from None
+
+
+def is_null(value: Any) -> bool:
+    """Return True iff *value* is the SQL NULL."""
+    return value is None
+
+
+# ---------------------------------------------------------------------------
+# Three-valued logic.  A truth value is True, False or None (unknown).
+# ---------------------------------------------------------------------------
+
+def tv_and(left: bool | None, right: bool | None) -> bool | None:
+    """Kleene AND: false dominates, unknown propagates otherwise."""
+    if left is False or right is False:
+        return False
+    if left is None or right is None:
+        return None
+    return True
+
+
+def tv_or(left: bool | None, right: bool | None) -> bool | None:
+    """Kleene OR: true dominates, unknown propagates otherwise."""
+    if left is True or right is True:
+        return True
+    if left is None or right is None:
+        return None
+    return False
+
+
+def tv_not(value: bool | None) -> bool | None:
+    """Kleene NOT: unknown stays unknown."""
+    if value is None:
+        return None
+    return not value
+
+
+def tv_all(values: Iterable[bool | None]) -> bool | None:
+    """Fold :func:`tv_and` over *values* (empty iterable is vacuously true)."""
+    result: bool | None = True
+    for value in values:
+        result = tv_and(result, value)
+        if result is False:
+            return False
+    return result
+
+
+def tv_any(values: Iterable[bool | None]) -> bool | None:
+    """Fold :func:`tv_or` over *values* (empty iterable is false)."""
+    result: bool | None = False
+    for value in values:
+        result = tv_or(result, value)
+        if result is True:
+            return True
+    return result
+
+
+def is_true(value: bool | None) -> bool:
+    """SQL WHERE semantics: only a definite True passes the filter."""
+    return value is True
+
+
+# ---------------------------------------------------------------------------
+# Comparisons
+# ---------------------------------------------------------------------------
+
+_NUMERIC_TYPES = (int, float)
+
+
+def _comparable(left: Any, right: Any) -> bool:
+    if isinstance(left, bool) or isinstance(right, bool):
+        return isinstance(left, bool) and isinstance(right, bool)
+    if isinstance(left, _NUMERIC_TYPES) and isinstance(right, _NUMERIC_TYPES):
+        return True
+    return type(left) is type(right)
+
+
+def compare(op: str, left: Any, right: Any) -> bool | None:
+    """Evaluate ``left op right`` under SQL semantics.
+
+    Returns ``None`` (unknown) when either operand is NULL.  *op* is one of
+    ``=  <>  <  <=  >  >=``.
+    """
+    if left is None or right is None:
+        return None
+    if not _comparable(left, right):
+        raise ExpressionError(
+            f"cannot compare {type(left).__name__} with {type(right).__name__}"
+            f" ({left!r} {op} {right!r})")
+    if op == "=":
+        return left == right
+    if op == "<>":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise ExpressionError(f"unknown comparison operator {op!r}")
+
+
+def null_safe_equal(left: Any, right: Any) -> bool:
+    """The paper's ``=n`` operator: NULL compares equal to NULL.
+
+    ``a =n b  <=>  a = b OR (a IS NULL AND b IS NULL)`` — always two-valued.
+    """
+    if left is None and right is None:
+        return True
+    if left is None or right is None:
+        return False
+    return left == right
+
+
+def null_safe_row_equal(left: Iterable[Any], right: Iterable[Any]) -> bool:
+    """Component-wise ``=n`` over two equally long rows."""
+    return all(null_safe_equal(a, b) for a, b in zip(left, right))
+
+
+NEGATED_COMPARISON = {
+    "=": "<>", "<>": "=", "<": ">=", "<=": ">", ">": "<=", ">=": "<",
+}
+
+FLIPPED_COMPARISON = {
+    "=": "=", "<>": "<>", "<": ">", "<=": ">=", ">": "<", ">=": "<=",
+}
+
+
+# ---------------------------------------------------------------------------
+# Arithmetic
+# ---------------------------------------------------------------------------
+
+def arithmetic(op: str, left: Any, right: Any) -> Any:
+    """Evaluate ``left op right`` for ``+ - * / %`` and string ``||``.
+
+    NULL in, NULL out.  Division follows SQL: integer ``/`` on two ints is
+    float division here (closer to PostgreSQL's numeric division used by
+    TPC-H aggregates); division by zero raises.
+    """
+    if left is None or right is None:
+        return None
+    if op == "||":
+        return str(left) + str(right)
+    if not isinstance(left, _NUMERIC_TYPES) or isinstance(left, bool) or \
+            not isinstance(right, _NUMERIC_TYPES) or isinstance(right, bool):
+        raise ExpressionError(
+            f"arithmetic {op!r} needs numeric operands, got "
+            f"{left!r} and {right!r}")
+    if op == "+":
+        return left + right
+    if op == "-":
+        return left - right
+    if op == "*":
+        return left * right
+    if op == "/":
+        if right == 0:
+            raise ExpressionError("division by zero")
+        return left / right
+    if op == "%":
+        if right == 0:
+            raise ExpressionError("modulo by zero")
+        return left % right
+    raise ExpressionError(f"unknown arithmetic operator {op!r}")
+
+
+def negate(value: Any) -> Any:
+    """Unary minus with NULL propagation."""
+    if value is None:
+        return None
+    if not isinstance(value, _NUMERIC_TYPES) or isinstance(value, bool):
+        raise ExpressionError(f"cannot negate {value!r}")
+    return -value
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+def render_value(value: Any) -> str:
+    """Human-readable rendering used by :meth:`Relation.pretty`."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    return str(value)
+
+
+def sql_literal(value: Any) -> str:
+    """Render *value* as a SQL literal (used by the deparser)."""
+    if value is None:
+        return "NULL"
+    if isinstance(value, bool):
+        return "TRUE" if value else "FALSE"
+    if isinstance(value, str):
+        escaped = value.replace("'", "''")
+        return f"'{escaped}'"
+    return repr(value)

@@ -1,0 +1,195 @@
+"""The user-facing :class:`Database` facade.
+
+A thin, SQLite-like in-process API over the catalog, SQL frontend,
+provenance rewriter and executor::
+
+    from repro import Database
+
+    db = Database()
+    db.execute("CREATE TABLE r (a int, b int)")
+    db.execute("INSERT INTO r VALUES (1, 1), (2, 1), (3, 2)")
+    result = db.sql("SELECT PROVENANCE * FROM r WHERE a = 2")
+    print(result.pretty())
+
+``SELECT PROVENANCE`` (Perm's SQL extension) triggers the provenance
+rewrite; ``SELECT PROVENANCE (left)`` forces a strategy.  The same is
+available programmatically via :meth:`Database.provenance`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from .catalog import Catalog
+from .datatypes import SQLType
+from .errors import AnalyzerError, ReproError
+from .engine import ExecutionStats, Executor
+from .expressions.ast import Expr
+from .expressions.evaluator import EvalContext, evaluate
+from .algebra.operators import Operator
+from .algebra.printer import explain
+from .provenance import ProvenanceRewriter
+from .relation import Relation
+from .schema import Attribute, Schema
+from .sql.analyzer import Analyzer
+from .sql.ast import (
+    CreateTableStmt, CreateViewStmt, DeleteStmt, DropStmt, InsertStmt,
+    SelectStmt,
+)
+from .sql.parser import parse_statement, parse_statements
+
+
+class Database:
+    """An in-process relational database with provenance support."""
+
+    def __init__(self) -> None:
+        self.catalog = Catalog()
+        self.views: dict[str, SelectStmt] = {}
+        self.last_stats: ExecutionStats | None = None
+
+    # -- DDL / DML convenience (programmatic) ----------------------------------
+
+    def create_table(self, name: str,
+                     columns: Sequence[tuple[str, str]]) -> None:
+        """Create a table from ``(column, type-name)`` pairs."""
+        schema = Schema(
+            Attribute(column, SQLType.parse(type_name))
+            for column, type_name in columns)
+        self.catalog.create(name, schema)
+
+    def insert(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Bulk-insert rows; returns the number of rows inserted."""
+        stored = self.catalog.get(table)
+        count = 0
+        for row in rows:
+            stored.insert(row)
+            count += 1
+        return count
+
+    # -- SQL entry points ---------------------------------------------------------
+
+    def execute(self, text: str) -> Relation | None:
+        """Execute one SQL statement; SELECTs return a :class:`Relation`."""
+        statement = parse_statement(text)
+        return self._run(statement)
+
+    def execute_script(self, text: str) -> None:
+        """Execute a ``;``-separated script, discarding SELECT outputs."""
+        for statement in parse_statements(text):
+            self._run(statement)
+
+    def sql(self, text: str, strategy: str | None = None) -> Relation:
+        """Run a SELECT (optionally ``SELECT PROVENANCE``).
+
+        *strategy* overrides the strategy named in the SQL text; it is only
+        meaningful for provenance queries.
+        """
+        statement = parse_statement(text)
+        if not isinstance(statement, SelectStmt):
+            raise AnalyzerError("sql() expects a SELECT statement")
+        if strategy is not None:
+            statement.provenance = strategy
+        return self._run_select(statement)
+
+    def provenance(self, text: str, strategy: str = "auto") -> Relation:
+        """Compute the provenance of a plain SELECT query."""
+        statement = parse_statement(text)
+        if not isinstance(statement, SelectStmt):
+            raise AnalyzerError("provenance() expects a SELECT statement")
+        statement.provenance = strategy
+        return self._run_select(statement)
+
+    def plan(self, text: str, strategy: str | None = None) -> Operator:
+        """The algebra plan a query would execute (after any rewrite)."""
+        statement = parse_statement(text)
+        if not isinstance(statement, SelectStmt):
+            raise AnalyzerError("plan() expects a SELECT statement")
+        if strategy is not None:
+            statement.provenance = strategy
+        return self._plan_select(statement)
+
+    def explain(self, text: str, strategy: str | None = None) -> str:
+        """EXPLAIN-style rendering of the (possibly rewritten) plan."""
+        return explain(self.plan(text, strategy))
+
+    def create_view(self, name: str, text: str) -> None:
+        """Register a view over a SELECT statement."""
+        statement = parse_statement(text)
+        if not isinstance(statement, SelectStmt):
+            raise AnalyzerError("a view must be defined by a SELECT")
+        self.views[name.lower()] = statement
+
+    # -- internals -------------------------------------------------------------------
+
+    def _analyzer(self) -> Analyzer:
+        return Analyzer(self.catalog, self.views)
+
+    def _plan_select(self, statement: SelectStmt) -> Operator:
+        strategy = statement.provenance
+        statement.provenance = None
+        plan = self._analyzer().analyze(statement)
+        if strategy:
+            rewriter = ProvenanceRewriter(self.catalog, strategy)
+            plan = rewriter.rewrite_query(plan).plan
+        return plan
+
+    def _run_select(self, statement: SelectStmt) -> Relation:
+        plan = self._plan_select(statement)
+        executor = Executor(self.catalog)
+        result = executor.execute(plan)
+        self.last_stats = executor.stats
+        return result
+
+    def _run(self, statement) -> Relation | None:
+        if isinstance(statement, SelectStmt):
+            return self._run_select(statement)
+        if isinstance(statement, CreateTableStmt):
+            self.create_table(statement.name, statement.columns)
+            return None
+        if isinstance(statement, CreateViewStmt):
+            self.views[statement.name.lower()] = statement.query
+            return None
+        if isinstance(statement, InsertStmt):
+            rows = [
+                [_constant(expr) for expr in row] for row in statement.rows]
+            self.insert(statement.table, rows)
+            return None
+        if isinstance(statement, DropStmt):
+            if statement.kind == "view":
+                if statement.name.lower() not in self.views:
+                    raise AnalyzerError(
+                        f"view {statement.name!r} does not exist")
+                del self.views[statement.name.lower()]
+            else:
+                self.catalog.drop(statement.name)
+            return None
+        if isinstance(statement, DeleteStmt):
+            self._delete(statement)
+            return None
+        raise ReproError(f"unsupported statement {statement!r}")
+
+    def _delete(self, statement: DeleteStmt) -> None:
+        stored = self.catalog.get(statement.table)
+        if statement.where is None:
+            stored.rows.clear()
+            return
+        from .sql.analyzer import Scope
+        scope = Scope()
+        for attr in stored.schema:
+            scope.add(statement.table, attr.name, attr.name)
+        condition = self._analyzer()._analyze_expr(statement.where, scope)
+        executor = Executor(self.catalog)
+        from .expressions.evaluator import Frame
+        index = Frame.index_for(stored.schema.names)
+        kept = []
+        for row in stored.rows:
+            ctx = EvalContext((Frame(index, row),), executor)
+            if evaluate(condition, ctx) is not True:
+                kept.append(row)
+        stored.rows[:] = kept
+
+
+def _constant(expr: Expr) -> Any:
+    """Evaluate a constant expression (INSERT VALUES)."""
+    ctx = EvalContext((), None)
+    return evaluate(expr, ctx)

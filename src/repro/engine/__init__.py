@@ -1,0 +1,5 @@
+"""Execution engine: evaluates algebra trees over a catalog."""
+
+from .executor import ExecutionStats, Executor
+
+__all__ = ["ExecutionStats", "Executor"]

@@ -1,0 +1,206 @@
+"""A minimal logical optimizer: selection pushdown + join-condition
+extraction.
+
+Perm relies on PostgreSQL's planner to turn ``σ_C(A × B × C)`` — the shape
+both the SQL analyzer (comma FROM lists) and the provenance rewrite rules
+produce — into selective joins.  Without an equivalent pass, every
+benchmark would measure cross-product materialization instead of the
+strategies under study.  This pass implements exactly the subset of
+planning the experiments need, deliberately nothing more:
+
+* flatten ``Select(Select(x))`` chains,
+* push conjuncts of a selection into the side of a join that covers all
+  the columns they need (left side only for LEFT joins),
+* fold conjuncts spanning both sides of an inner/cross join into the join
+  condition (enabling the executor's hash-join fast path),
+* push sublink-free conjuncts through pure-rename projections,
+* recurse into sublink query trees.
+
+Correlated references *inside* sublinks are handled precisely: a conjunct
+is pushable iff every column it reads **at the selection's own scope**
+(level == boundary depth) is covered — levels further out are enclosing
+query scopes and do not constrain pushdown; levels further in are the
+sublink's own columns.
+"""
+
+from __future__ import annotations
+
+from ..expressions.ast import BoolOp, Col, Expr, Sublink, TRUE, and_all
+from ..algebra.operators import (
+    Join, JoinKind, Operator, Project, Select,
+)
+from ..algebra.trees import transform_expressions
+
+
+def scope_column_names(expr: Expr, boundary: int = 0) -> set[str]:
+    """Column names *expr* reads at its own scope (see module docstring)."""
+    names: set[str] = set()
+    _collect_scope_names(expr, boundary, names)
+    return names
+
+
+def _collect_scope_names(expr: Expr, boundary: int,
+                         names: set[str]) -> None:
+    if isinstance(expr, Col):
+        if expr.level == boundary:
+            names.add(expr.name)
+        return
+    for child in expr.children():
+        _collect_scope_names(child, boundary, names)
+    if isinstance(expr, Sublink):
+        _collect_op_scope_names(expr.query, boundary + 1, names)
+
+
+def _collect_op_scope_names(op: Operator, boundary: int,
+                            names: set[str]) -> None:
+    for expr in op.expressions():
+        _collect_scope_names(expr, boundary, names)
+    for child in op.children():
+        _collect_op_scope_names(child, boundary, names)
+
+
+def _conjuncts(expr: Expr) -> list[Expr]:
+    if isinstance(expr, BoolOp) and expr.op == "and":
+        return list(expr.items)
+    return [expr]
+
+
+def _substitute_renames(expr: Expr, mapping: dict[str, str],
+                        boundary: int = 0) -> Expr:
+    """Rewrite scope-level column references through a rename map,
+    descending into sublink queries with the boundary raised."""
+    if isinstance(expr, Col):
+        if expr.level == boundary and expr.name in mapping:
+            return Col(mapping[expr.name], expr.level)
+        return expr
+    new_children = [
+        _substitute_renames(child, mapping, boundary)
+        for child in expr.children()]
+    if new_children != list(expr.children()):
+        expr = expr.replace_children(new_children)
+    if isinstance(expr, Sublink):
+        new_query = _substitute_op_renames(expr.query, mapping, boundary + 1)
+        if new_query is not expr.query:
+            expr = Sublink(expr.kind, new_query, expr.op, expr.test)
+    return expr
+
+
+def _substitute_op_renames(op: Operator, mapping: dict[str, str],
+                           boundary: int) -> Operator:
+    new_children = [
+        _substitute_op_renames(child, mapping, boundary)
+        for child in op.children()]
+    if list(op.children()) != new_children:
+        op = op.replace_children(new_children)
+    exprs = op.expressions()
+    if exprs:
+        new_exprs = [_substitute_renames(e, mapping, boundary)
+                     for e in exprs]
+        if list(exprs) != new_exprs:
+            op = op.replace_expressions(new_exprs)
+    return op
+
+
+def _contains_sublink(expr: Expr) -> bool:
+    if isinstance(expr, Sublink):
+        return True
+    return any(_contains_sublink(child) for child in expr.children())
+
+
+def _push_conjunct(op: Operator, conjunct: Expr) -> Operator | None:
+    """Try to absorb *conjunct* into *op*'s subtree; None if impossible."""
+    needed = scope_column_names(conjunct)
+    if not needed:
+        return None  # constant predicates stay put
+
+    if isinstance(op, Select):
+        pushed = _push_conjunct(op.input, conjunct)
+        if pushed is not None:
+            return Select(pushed, op.condition)
+        return Select(op.input, and_all([op.condition, conjunct]))
+
+    if isinstance(op, Join):
+        left_names = set(op.left.schema.names)
+        right_names = set(op.right.schema.names)
+        if needed <= left_names:
+            pushed = _push_conjunct(op.left, conjunct)
+            if pushed is None:
+                pushed = Select(op.left, conjunct)
+            return Join(pushed, op.right, op.condition, op.kind)
+        if needed <= right_names and op.kind != JoinKind.LEFT:
+            pushed = _push_conjunct(op.right, conjunct)
+            if pushed is None:
+                pushed = Select(op.right, conjunct)
+            return Join(op.left, pushed, op.condition, op.kind)
+        if op.kind in (JoinKind.INNER, JoinKind.CROSS) and \
+                needed <= left_names | right_names:
+            condition = and_all([op.condition, conjunct]) \
+                if op.condition != TRUE else conjunct
+            return Join(op.left, op.right, condition, JoinKind.INNER)
+        return None
+
+    if isinstance(op, Project) and not op.distinct \
+            and not _contains_sublink(conjunct):
+        mapping: dict[str, str] = {}
+        for name, expr in op.items:
+            if isinstance(expr, Col) and expr.level == 0:
+                mapping[name] = expr.name
+        if needed <= set(mapping):
+            rewritten = _substitute_renames(conjunct, mapping)
+            pushed = _push_conjunct(op.input, rewritten)
+            if pushed is None:
+                pushed = Select(op.input, rewritten)
+            return Project(pushed, op.items, op.distinct)
+        return None
+
+    return None
+
+
+def _optimize_node(op: Operator) -> Operator:
+    if isinstance(op, Select):
+        input_op = op.input
+        # flatten nested selections so all conjuncts are considered together
+        conjuncts: list[Expr] = _conjuncts(op.condition)
+        while isinstance(input_op, Select):
+            conjuncts.extend(_conjuncts(input_op.condition))
+            input_op = input_op.input
+        remaining: list[Expr] = []
+        for conjunct in conjuncts:
+            pushed = _push_conjunct(input_op, conjunct)
+            if pushed is None:
+                remaining.append(conjunct)
+            else:
+                input_op = pushed
+        if remaining:
+            return Select(input_op, and_all(remaining))
+        return input_op
+    return op
+
+
+def optimize(op: Operator) -> Operator:
+    """Optimize an operator tree (bottom-up, including sublink queries)."""
+    new_children = [optimize(child) for child in op.children()]
+    if list(op.children()) != new_children:
+        op = op.replace_children(new_children)
+
+    def fix_sublinks(expr: Expr) -> Expr:
+        return _optimize_expr_sublinks(expr)
+
+    exprs = op.expressions()
+    if exprs:
+        new_exprs = [fix_sublinks(e) for e in exprs]
+        if list(exprs) != new_exprs:
+            op = op.replace_expressions(new_exprs)
+    return _optimize_node(op)
+
+
+def _optimize_expr_sublinks(expr: Expr) -> Expr:
+    new_children = [
+        _optimize_expr_sublinks(child) for child in expr.children()]
+    if new_children != list(expr.children()):
+        expr = expr.replace_children(new_children)
+    if isinstance(expr, Sublink):
+        optimized = optimize(expr.query)
+        if optimized is not expr.query:
+            expr = Sublink(expr.kind, optimized, expr.op, expr.test)
+    return expr

@@ -1,0 +1,66 @@
+"""Exception hierarchy for the repro provenance DBMS.
+
+All errors raised by the library derive from :class:`ReproError` so that
+callers can catch everything with a single ``except`` clause while still
+being able to discriminate parse errors from semantic errors and runtime
+errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every error raised by this library."""
+
+
+class CatalogError(ReproError):
+    """A catalog operation failed (unknown/duplicate table, bad schema)."""
+
+
+class SchemaError(ReproError):
+    """A schema is malformed or two schemas are incompatible."""
+
+
+class SQLSyntaxError(ReproError):
+    """The SQL text could not be tokenized or parsed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token when
+    they are known.
+    """
+
+    def __init__(self, message: str, line: int | None = None,
+                 column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (at line {line}, column {column})"
+        super().__init__(message)
+
+
+class AnalyzerError(ReproError):
+    """The SQL statement parsed but is semantically invalid.
+
+    Examples: unknown column, ambiguous reference, aggregate nested inside
+    another aggregate, a scalar sublink with more than one result column.
+    """
+
+
+class ExpressionError(ReproError):
+    """An expression could not be typed, bound, or evaluated."""
+
+
+class ExecutionError(ReproError):
+    """The executor failed at runtime (e.g. scalar sublink returned >1 row)."""
+
+
+class RewriteError(ReproError):
+    """A provenance rewrite rule could not be applied.
+
+    Raised for instance when the Left/Move strategies are requested for a
+    query containing correlated sublinks, or Unn for a sublink pattern it
+    does not support.
+    """
+
+
+class UnsupportedFeatureError(ReproError):
+    """The query uses a SQL feature outside the supported subset."""

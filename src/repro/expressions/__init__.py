@@ -1,0 +1,35 @@
+"""Expression language: AST nodes, registries and the 3VL evaluator."""
+
+from .ast import (
+    AggCall,
+    Arith,
+    BoolOp,
+    Case,
+    Cast,
+    Col,
+    Comparison,
+    Const,
+    Expr,
+    FuncCall,
+    IsNull,
+    Like,
+    Neg,
+    Not,
+    NullSafeEq,
+    Sublink,
+    SublinkKind,
+    and_all,
+    or_all,
+)
+from .evaluator import EvalContext, Frame, evaluate
+from .functions import SCALAR_FUNCTIONS, call_function
+from .aggregates import AGGREGATE_FUNCTIONS, Accumulator, make_accumulator
+
+__all__ = [
+    "AggCall", "Arith", "BoolOp", "Case", "Cast", "Col", "Comparison",
+    "Const", "Expr", "FuncCall", "IsNull", "Like", "Neg", "Not",
+    "NullSafeEq", "Sublink", "SublinkKind", "and_all", "or_all",
+    "EvalContext", "Frame", "evaluate",
+    "SCALAR_FUNCTIONS", "call_function",
+    "AGGREGATE_FUNCTIONS", "Accumulator", "make_accumulator",
+]

@@ -1,0 +1,146 @@
+"""Aggregate function implementations.
+
+Each aggregate is an :class:`Accumulator`: feed it values with ``add`` and
+read the result with ``result``.  SQL semantics: NULL inputs are skipped by
+every aggregate except ``count(*)``; an empty input yields NULL for all
+aggregates except ``count``/``count(*)`` which yield 0.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..errors import ExpressionError
+
+
+class Accumulator:
+    """Base class: one aggregate computation over one group."""
+
+    def add(self, value: Any) -> None:
+        raise NotImplementedError
+
+    def result(self) -> Any:
+        raise NotImplementedError
+
+
+class _Count(Accumulator):
+    def __init__(self) -> None:
+        self.n = 0
+
+    def add(self, value: Any) -> None:
+        if value is not None:
+            self.n += 1
+
+    def result(self) -> int:
+        return self.n
+
+
+class _CountStar(Accumulator):
+    def __init__(self) -> None:
+        self.n = 0
+
+    def add(self, value: Any) -> None:
+        self.n += 1
+
+    def result(self) -> int:
+        return self.n
+
+
+class _Sum(Accumulator):
+    def __init__(self) -> None:
+        self.total: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        self.total = value if self.total is None else self.total + value
+
+    def result(self) -> Any:
+        return self.total
+
+
+class _Avg(Accumulator):
+    def __init__(self) -> None:
+        self.total = 0.0
+        self.n = 0
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        self.total += value
+        self.n += 1
+
+    def result(self) -> Any:
+        return self.total / self.n if self.n else None
+
+
+class _Min(Accumulator):
+    def __init__(self) -> None:
+        self.best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.best is None or value < self.best:
+            self.best = value
+
+    def result(self) -> Any:
+        return self.best
+
+
+class _Max(Accumulator):
+    def __init__(self) -> None:
+        self.best: Any = None
+
+    def add(self, value: Any) -> None:
+        if value is None:
+            return
+        if self.best is None or value > self.best:
+            self.best = value
+
+    def result(self) -> Any:
+        return self.best
+
+
+class _Distinct(Accumulator):
+    """Wraps another accumulator, feeding it each distinct value once."""
+
+    def __init__(self, inner: Accumulator) -> None:
+        self.inner = inner
+        self.seen: set = set()
+
+    def add(self, value: Any) -> None:
+        if value is None or value in self.seen:
+            return
+        self.seen.add(value)
+        self.inner.add(value)
+
+    def result(self) -> Any:
+        return self.inner.result()
+
+
+AGGREGATE_FUNCTIONS: dict[str, Callable[[], Accumulator]] = {
+    "count": _Count,
+    "count(*)": _CountStar,
+    "sum": _Sum,
+    "avg": _Avg,
+    "min": _Min,
+    "max": _Max,
+}
+
+
+def make_accumulator(name: str, star: bool = False,
+                     distinct: bool = False) -> Accumulator:
+    """Instantiate the accumulator for aggregate *name*.
+
+    ``star=True`` selects ``count(*)``.  ``distinct=True`` wraps the
+    accumulator so duplicates are fed only once.
+    """
+    key = "count(*)" if (star and name.lower() == "count") else name.lower()
+    try:
+        accumulator = AGGREGATE_FUNCTIONS[key]()
+    except KeyError:
+        raise ExpressionError(f"unknown aggregate {name!r}") from None
+    if distinct:
+        accumulator = _Distinct(accumulator)
+    return accumulator

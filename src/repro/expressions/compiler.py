@@ -1,0 +1,163 @@
+"""Expression compiler: AST -> Python closures.
+
+The tree-walking evaluator re-dispatches on node types for every row; the
+compiler performs that dispatch once, producing a closure over an
+:class:`~repro.expressions.evaluator.EvalContext`.  Column positions are
+*not* baked in (frames carry their own name index), so one compiled
+expression works under any schema that provides the referenced names —
+which is exactly what the provenance rewrites rely on.
+
+This is the engine's counterpart of PostgreSQL's expression JIT; the
+ablation benchmark (``benchmarks/bench_ablation.py``) measures its
+effect.  Semantics are identical to :func:`repro.expressions.evaluator.
+evaluate` — the property test in ``tests/test_compiler.py`` checks them
+against each other on random expressions.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from ..datatypes import (
+    arithmetic, compare, is_true, negate, null_safe_equal, tv_not,
+)
+from ..errors import ExpressionError
+from .ast import (
+    AggCall, Arith, BoolOp, Case, Cast, Col, Comparison, Const, Expr,
+    FuncCall, IsNull, Like, Neg, Not, NullSafeEq, Sublink,
+)
+from .evaluator import EvalContext, _cast, _eval_sublink, _like_regex
+from .functions import SCALAR_FUNCTIONS
+
+Compiled = Callable[[EvalContext], Any]
+
+
+def compile_expr(expr: Expr) -> Compiled:
+    """Compile *expr* into a closure over an :class:`EvalContext`."""
+    if isinstance(expr, Const):
+        value = expr.value
+        return lambda ctx: value
+
+    if isinstance(expr, Col):
+        name = expr.name
+        level = expr.level
+        if level == 0:
+            def read_current(ctx: EvalContext) -> Any:
+                frame = ctx.frames[-1]
+                return frame.row[frame.index[name]]
+            return read_current
+
+        def read_outer(ctx: EvalContext) -> Any:
+            return ctx.lookup(name, level)
+        return read_outer
+
+    if isinstance(expr, Comparison):
+        op = expr.op
+        left = compile_expr(expr.left)
+        right = compile_expr(expr.right)
+        return lambda ctx: compare(op, left(ctx), right(ctx))
+
+    if isinstance(expr, NullSafeEq):
+        left = compile_expr(expr.left)
+        right = compile_expr(expr.right)
+        return lambda ctx: null_safe_equal(left(ctx), right(ctx))
+
+    if isinstance(expr, BoolOp):
+        items = [compile_expr(item) for item in expr.items]
+        if expr.op == "and":
+            def conjunction(ctx: EvalContext) -> Any:
+                result: Any = True
+                for item in items:
+                    value = item(ctx)
+                    if value is False:
+                        return False
+                    if value is None:
+                        result = None
+                return result
+            return conjunction
+
+        def disjunction(ctx: EvalContext) -> Any:
+            result: Any = False
+            for item in items:
+                value = item(ctx)
+                if value is True:
+                    return True
+                if value is None:
+                    result = None
+            return result
+        return disjunction
+
+    if isinstance(expr, Not):
+        operand = compile_expr(expr.operand)
+        return lambda ctx: tv_not(operand(ctx))
+
+    if isinstance(expr, IsNull):
+        operand = compile_expr(expr.operand)
+        return lambda ctx: operand(ctx) is None
+
+    if isinstance(expr, Arith):
+        op = expr.op
+        left = compile_expr(expr.left)
+        right = compile_expr(expr.right)
+        return lambda ctx: arithmetic(op, left(ctx), right(ctx))
+
+    if isinstance(expr, Neg):
+        operand = compile_expr(expr.operand)
+        return lambda ctx: negate(operand(ctx))
+
+    if isinstance(expr, FuncCall):
+        try:
+            fn = SCALAR_FUNCTIONS[expr.name.lower()]
+        except KeyError:
+            raise ExpressionError(
+                f"unknown function {expr.name!r}") from None
+        args = [compile_expr(arg) for arg in expr.args]
+
+        def call(ctx: EvalContext) -> Any:
+            try:
+                return fn(*[arg(ctx) for arg in args])
+            except ExpressionError:
+                raise
+            except Exception as exc:
+                raise ExpressionError(
+                    f"error in {expr.name}: {exc}") from exc
+        return call
+
+    if isinstance(expr, Like):
+        operand = compile_expr(expr.operand)
+        pattern = compile_expr(expr.pattern)
+
+        def like(ctx: EvalContext) -> Any:
+            value = operand(ctx)
+            text = pattern(ctx)
+            if value is None or text is None:
+                return None
+            return _like_regex(text).fullmatch(value) is not None
+        return like
+
+    if isinstance(expr, Cast):
+        operand = compile_expr(expr.operand)
+        type_name = expr.type_name
+        return lambda ctx: _cast(operand(ctx), type_name)
+
+    if isinstance(expr, Case):
+        whens = [(compile_expr(cond), compile_expr(value))
+                 for cond, value in expr.whens]
+        default = compile_expr(expr.default)
+
+        def case(ctx: EvalContext) -> Any:
+            for condition, value in whens:
+                if is_true(condition(ctx)):
+                    return value(ctx)
+            return default(ctx)
+        return case
+
+    if isinstance(expr, Sublink):
+        node = expr
+        return lambda ctx: _eval_sublink(node, ctx)
+
+    if isinstance(expr, AggCall):
+        raise ExpressionError(
+            "aggregate call compiled outside an Aggregate operator")
+
+    raise ExpressionError(f"cannot compile expression node {expr!r}")

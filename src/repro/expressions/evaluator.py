@@ -1,0 +1,208 @@
+"""The expression evaluator.
+
+Evaluation happens against an :class:`EvalContext`, which is a stack of
+:class:`Frame` objects: ``frames[-1]`` is the current operator's input row,
+``frames[-1-k]`` the row of the query *k* sublink boundaries out (see
+:class:`~repro.expressions.ast.Col`).
+
+Sublink expressions are delegated to a *subquery runner* — the execution
+engine passes itself in — so this module stays independent of the engine.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Protocol, Sequence
+
+from ..datatypes import (
+    arithmetic, compare, is_true, negate, null_safe_equal, tv_all, tv_and,
+    tv_any, tv_not, tv_or,
+)
+from ..errors import ExecutionError, ExpressionError
+from ..datatypes import SQLType
+from .ast import (
+    AggCall, Arith, BoolOp, Case, Cast, Col, Comparison, Const, Expr,
+    FuncCall, IsNull, Like, Neg, Not, NullSafeEq, Sublink, SublinkKind,
+)
+from .functions import call_function
+
+
+class Frame:
+    """One row visible to the evaluator, with a name->position index."""
+
+    __slots__ = ("index", "row")
+
+    def __init__(self, index: dict[str, int], row: Sequence[Any]):
+        self.index = index
+        self.row = row
+
+    @classmethod
+    def index_for(cls, names: Sequence[str]) -> dict[str, int]:
+        """Precompute the name index shared by all rows of an operator."""
+        return {name: position for position, name in enumerate(names)}
+
+
+class SubqueryRunner(Protocol):
+    """The engine-facing hook used to evaluate sublink queries."""
+
+    def run_subquery(self, query: Any,
+                     frames: tuple[Frame, ...]) -> list[tuple]:
+        """Execute *query* with *frames* visible as outer rows."""
+        ...
+
+
+class EvalContext:
+    """Evaluation state: visible frames plus the subquery runner."""
+
+    __slots__ = ("frames", "runner")
+
+    def __init__(self, frames: tuple[Frame, ...],
+                 runner: SubqueryRunner | None = None):
+        self.frames = frames
+        self.runner = runner
+
+    def push(self, frame: Frame) -> "EvalContext":
+        """Context with one more (innermost) frame."""
+        return EvalContext((*self.frames, frame), self.runner)
+
+    def lookup(self, name: str, level: int) -> Any:
+        """Value of column *name*, *level* frames out."""
+        try:
+            frame = self.frames[-1 - level]
+        except IndexError:
+            raise ExpressionError(
+                f"column reference {name!r} at level {level} exceeds "
+                f"available {len(self.frames)} frame(s)") from None
+        try:
+            return frame.row[frame.index[name]]
+        except KeyError:
+            raise ExpressionError(
+                f"unknown column {name!r} at level {level}; frame has "
+                f"{sorted(frame.index)}") from None
+
+
+_LIKE_CACHE: dict[str, re.Pattern] = {}
+
+
+def _like_regex(pattern: str) -> re.Pattern:
+    compiled = _LIKE_CACHE.get(pattern)
+    if compiled is None:
+        parts = []
+        for char in pattern:
+            if char == "%":
+                parts.append(".*")
+            elif char == "_":
+                parts.append(".")
+            else:
+                parts.append(re.escape(char))
+        compiled = re.compile("".join(parts), re.DOTALL)
+        _LIKE_CACHE[pattern] = compiled
+    return compiled
+
+
+def _cast(value: Any, type_name: str) -> Any:
+    if value is None:
+        return None
+    target = SQLType.parse(type_name)
+    try:
+        if target == SQLType.INTEGER:
+            return int(value)
+        if target == SQLType.FLOAT:
+            return float(value)
+        if target in (SQLType.TEXT, SQLType.DATE):
+            return str(value)
+        if target == SQLType.BOOLEAN:
+            if isinstance(value, str):
+                return value.strip().lower() in ("t", "true", "1", "yes")
+            return bool(value)
+    except (TypeError, ValueError) as exc:
+        raise ExpressionError(f"cannot cast {value!r} to {type_name}") from exc
+    return value
+
+
+def _eval_sublink(node: Sublink, ctx: EvalContext) -> Any:
+    if ctx.runner is None:
+        raise ExecutionError(
+            "sublink evaluated without an execution engine attached")
+    rows = ctx.runner.run_subquery(node.query, ctx.frames)
+    if node.kind == SublinkKind.EXISTS:
+        return len(rows) > 0
+    if node.kind == SublinkKind.SCALAR:
+        if not rows:
+            return None
+        if len(rows) > 1:
+            raise ExecutionError(
+                f"scalar sublink returned {len(rows)} rows (expected <= 1)")
+        return rows[0][0]
+    test_value = evaluate(node.test, ctx)
+    if node.kind == SublinkKind.ANY:
+        return tv_any(
+            compare(node.op, test_value, row[0]) for row in rows)
+    if node.kind == SublinkKind.ALL:
+        return tv_all(
+            compare(node.op, test_value, row[0]) for row in rows)
+    raise ExpressionError(f"unknown sublink kind {node.kind}")
+
+
+def evaluate(expr: Expr, ctx: EvalContext) -> Any:
+    """Evaluate *expr* in *ctx*; boolean results use 3VL (None = unknown)."""
+    if isinstance(expr, Const):
+        return expr.value
+    if isinstance(expr, Col):
+        return ctx.lookup(expr.name, expr.level)
+    if isinstance(expr, Comparison):
+        return compare(expr.op, evaluate(expr.left, ctx),
+                       evaluate(expr.right, ctx))
+    if isinstance(expr, NullSafeEq):
+        return null_safe_equal(evaluate(expr.left, ctx),
+                               evaluate(expr.right, ctx))
+    if isinstance(expr, BoolOp):
+        if expr.op == "and":
+            result: Any = True
+            for item in expr.items:
+                result = tv_and(result, evaluate(item, ctx))
+                if result is False:
+                    return False
+            return result
+        result = False
+        for item in expr.items:
+            result = tv_or(result, evaluate(item, ctx))
+            if result is True:
+                return True
+        return result
+    if isinstance(expr, Not):
+        return tv_not(evaluate(expr.operand, ctx))
+    if isinstance(expr, IsNull):
+        return evaluate(expr.operand, ctx) is None
+    if isinstance(expr, Arith):
+        return arithmetic(expr.op, evaluate(expr.left, ctx),
+                          evaluate(expr.right, ctx))
+    if isinstance(expr, Neg):
+        return negate(evaluate(expr.operand, ctx))
+    if isinstance(expr, FuncCall):
+        return call_function(
+            expr.name, [evaluate(arg, ctx) for arg in expr.args])
+    if isinstance(expr, Like):
+        operand = evaluate(expr.operand, ctx)
+        pattern = evaluate(expr.pattern, ctx)
+        if operand is None or pattern is None:
+            return None
+        return _like_regex(pattern).fullmatch(operand) is not None
+    if isinstance(expr, Cast):
+        return _cast(evaluate(expr.operand, ctx), expr.type_name)
+    if isinstance(expr, Case):
+        for condition, value in expr.whens:
+            if is_true(evaluate(condition, ctx)):
+                return evaluate(value, ctx)
+        return evaluate(expr.default, ctx)
+    if isinstance(expr, Sublink):
+        return _eval_sublink(expr, ctx)
+    if isinstance(expr, AggCall):
+        raise ExpressionError(
+            "aggregate call evaluated outside an Aggregate operator")
+    raise ExpressionError(f"cannot evaluate expression node {expr!r}")
+
+
+def evaluate_predicate(expr: Expr, ctx: EvalContext) -> bool:
+    """WHERE semantics: unknown filters the row out."""
+    return is_true(evaluate(expr, ctx))

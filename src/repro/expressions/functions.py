@@ -1,0 +1,90 @@
+"""Scalar function registry.
+
+Functions are looked up by lower-case name.  Every function receives
+already-evaluated argument values and must implement SQL NULL propagation
+itself where appropriate (most do "NULL in, NULL out"; ``coalesce`` is the
+notable exception).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable
+
+from ..errors import ExpressionError
+
+
+def _null_in_null_out(fn: Callable[..., Any]) -> Callable[..., Any]:
+    def wrapper(*args: Any) -> Any:
+        if any(arg is None for arg in args):
+            return None
+        return fn(*args)
+    return wrapper
+
+
+def _substr(value: str, start: int, length: int | None = None) -> str:
+    """1-based SQL substring; negative/overlong ranges clamp like SQL."""
+    begin = max(start - 1, 0)
+    if length is None:
+        return value[begin:]
+    if length < 0:
+        raise ExpressionError("negative length in substr()")
+    return value[begin:begin + length]
+
+
+def _round(value: float, digits: int = 0) -> float:
+    return round(value, digits)
+
+
+def _sign(value: float) -> int:
+    if value > 0:
+        return 1
+    if value < 0:
+        return -1
+    return 0
+
+
+SCALAR_FUNCTIONS: dict[str, Callable[..., Any]] = {
+    "abs": _null_in_null_out(abs),
+    "ceil": _null_in_null_out(math.ceil),
+    "floor": _null_in_null_out(math.floor),
+    "round": _null_in_null_out(_round),
+    "sqrt": _null_in_null_out(math.sqrt),
+    "power": _null_in_null_out(pow),
+    "mod": _null_in_null_out(lambda a, b: a % b),
+    "sign": _null_in_null_out(_sign),
+    "length": _null_in_null_out(len),
+    "upper": _null_in_null_out(str.upper),
+    "lower": _null_in_null_out(str.lower),
+    "trim": _null_in_null_out(str.strip),
+    "ltrim": _null_in_null_out(str.lstrip),
+    "rtrim": _null_in_null_out(str.rstrip),
+    "substr": _null_in_null_out(_substr),
+    "substring": _null_in_null_out(_substr),
+    "replace": _null_in_null_out(str.replace),
+    "concat": lambda *args: "".join(str(a) for a in args if a is not None),
+    "coalesce": lambda *args: next(
+        (a for a in args if a is not None), None),
+    "nullif": lambda a, b: None if a == b else a,
+    "greatest": _null_in_null_out(max),
+    "least": _null_in_null_out(min),
+}
+
+
+def call_function(name: str, args: list[Any]) -> Any:
+    """Dispatch a scalar function call; raises for unknown names."""
+    try:
+        fn = SCALAR_FUNCTIONS[name.lower()]
+    except KeyError:
+        raise ExpressionError(f"unknown function {name!r}") from None
+    try:
+        return fn(*args)
+    except ExpressionError:
+        raise
+    except Exception as exc:
+        raise ExpressionError(f"error in {name}({args!r}): {exc}") from exc
+
+
+def register_function(name: str, fn: Callable[..., Any]) -> None:
+    """Register a user-defined scalar function (UDF support)."""
+    SCALAR_FUNCTIONS[name.lower()] = fn

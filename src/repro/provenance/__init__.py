@@ -1,0 +1,26 @@
+"""Provenance rewriting — the paper's contribution.
+
+The public entry point is :class:`ProvenanceRewriter`: it transforms an
+algebra tree ``q`` into ``q+``, a tree whose output contains every original
+result tuple extended with the contributing tuple of each base relation
+access (Section 3.1's single-relation representation), computed according
+to the paper's extended provenance contribution (Definition 2).
+"""
+
+from .direct import DirectProvenanceExecutor, direct_provenance
+from .naming import BaseAccess, NamingRegistry, prov_attribute_names
+from .rewriter import ProvenanceRewriter, RewriteResult
+from .influence import (
+    InfluenceRole,
+    influence_role,
+    jsub_condition,
+    sublink_provenance_filter,
+)
+
+__all__ = [
+    "BaseAccess", "DirectProvenanceExecutor", "NamingRegistry",
+    "direct_provenance", "prov_attribute_names",
+    "ProvenanceRewriter", "RewriteResult",
+    "InfluenceRole", "influence_role", "jsub_condition",
+    "sublink_provenance_filter",
+]

@@ -1,0 +1,130 @@
+"""Influence roles and the ``Jsub`` join/filter conditions (Section 3.3).
+
+Under the extended contribution definition (Definition 2) the provenance of
+a sublink depends only on the sublink's truth value, which lets every
+strategy use one *role-agnostic* condition per sublink kind:
+
+====================  =================================
+sublink               ``Jsub``
+====================  =================================
+``A op ANY (Tsub)``   ``C'sub OR NOT Csub``
+``A op ALL (Tsub)``   ``Csub OR NOT C'sub``
+``EXISTS (Tsub)``     ``true``
+scalar ``Tsub``       ``true``
+====================  =================================
+
+where ``C'sub = A op t'`` compares the outer test expression against the
+sublink query's result column, and ``Csub`` is the original sublink re-
+evaluated.  :func:`jsub_condition` builds these conditions; the classical
+influence-role analysis (`reqtrue`/`reqfalse`/`ind`, Section 2.3) is kept
+in :func:`influence_role` for the semantic oracle and the test suite.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Any, Callable
+
+from ..datatypes import compare, is_true, tv_not
+from ..expressions.ast import (
+    Col, Comparison, Expr, Not, Sublink, SublinkKind, TRUE, or_all,
+)
+from ..algebra.trees import clone_expr, shift_correlation_expr
+
+
+class InfluenceRole(Enum):
+    """The role a sublink plays in a condition for a given input tuple."""
+
+    REQTRUE = "reqtrue"    # condition holds only if the sublink is true
+    REQFALSE = "reqfalse"  # condition holds only if the sublink is false
+    IND = "ind"            # condition is independent of the sublink
+
+
+def influence_role(condition_value: Callable[[Any], Any],
+                   actual: Any) -> InfluenceRole:
+    """Classify a sublink's influence on a condition for one input tuple.
+
+    *condition_value* maps an assumed sublink truth value to the condition's
+    truth value; *actual* is the sublink's real value.  This mirrors the
+    paper's Section 2.3 definition and is used by the oracle and tests, not
+    by the rewrites (Definition 2 removed the need for role analysis at
+    rewrite time).
+    """
+    with_true = condition_value(True)
+    with_false = condition_value(False)
+    if with_true == with_false:
+        return InfluenceRole.IND
+    if is_true(actual):
+        return InfluenceRole.REQTRUE if is_true(with_true) \
+            else InfluenceRole.REQFALSE
+    return InfluenceRole.REQFALSE if is_true(with_false) \
+        else InfluenceRole.REQTRUE
+
+
+def jsub_condition(sublink: Sublink, result_column: str,
+                   shift_into_sublink: bool = False) -> Expr:
+    """Build ``Jsub`` for *sublink*, with ``t'`` read from *result_column*.
+
+    With ``shift_into_sublink=True`` (the Gen strategy), the condition will
+    be evaluated *inside* a new EXISTS sublink one boundary deeper than the
+    host operator, so every reference escaping the original sublink
+    construct — the test expression and the embedded original ``Csub`` —
+    is shifted by one level.  With ``False`` (Left/Move), the condition is a
+    join condition at the host operator's own level and no shift applies.
+    """
+    if sublink.kind in (SublinkKind.EXISTS, SublinkKind.SCALAR):
+        return TRUE
+    test = clone_expr(sublink.test)
+    embedded = clone_expr(sublink)
+    if shift_into_sublink:
+        test = shift_correlation_expr(test, 1, 0)
+        embedded = shift_correlation_expr(embedded, 1, 0)
+    comparison = Comparison(sublink.op, test, Col(result_column))
+    if sublink.kind == SublinkKind.ANY:
+        return or_all([comparison, Not(embedded)])
+    if sublink.kind == SublinkKind.ALL:
+        return or_all([embedded, Not(comparison)])
+    raise AssertionError(f"unhandled sublink kind {sublink.kind}")
+
+
+def jsub_with_result_column(sublink: Sublink, csub_value_column: str,
+                            result_column: str) -> Expr:
+    """The Move strategy's ``Jsub``: ``Csub`` replaced by a boolean column.
+
+    The sublink has already been evaluated into *csub_value_column* by a
+    projection, so the join condition references that column instead of
+    re-evaluating the sublink.
+    """
+    if sublink.kind in (SublinkKind.EXISTS, SublinkKind.SCALAR):
+        return TRUE
+    comparison = Comparison(
+        sublink.op, clone_expr(sublink.test), Col(result_column))
+    if sublink.kind == SublinkKind.ANY:
+        return or_all([comparison, Not(Col(csub_value_column))])
+    if sublink.kind == SublinkKind.ALL:
+        return or_all([Col(csub_value_column), Not(comparison)])
+    raise AssertionError(f"unhandled sublink kind {sublink.kind}")
+
+
+def sublink_provenance_filter(sublink: Sublink, sublink_value: Any,
+                              test_value: Any) -> Callable[[tuple], bool]:
+    """Direct (non-algebraic) evaluation of ``Jsub`` for the oracle.
+
+    Returns a predicate over sublink-query result rows deciding membership
+    in the sublink's provenance, given the sublink's overall value and the
+    evaluated test expression — the closed forms of Figure 2 under
+    Definition 2 (``Tsub_true`` / ``Tsub_false`` / ``Tsub``).
+    """
+    if sublink.kind in (SublinkKind.EXISTS, SublinkKind.SCALAR):
+        return lambda row: True
+    op = sublink.op
+
+    if sublink.kind == SublinkKind.ANY:
+        if is_true(sublink_value):
+            return lambda row: is_true(compare(op, test_value, row[0]))
+        return lambda row: True
+
+    # ALL sublink
+    if is_true(sublink_value):
+        return lambda row: True
+    return lambda row: is_true(tv_not(compare(op, test_value, row[0])))

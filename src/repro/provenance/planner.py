@@ -1,0 +1,70 @@
+"""Strategy selection.
+
+``auto`` picks, per operator, the cheapest applicable strategy — the
+preference order the paper's experiments justify::
+
+    Unn  >  Left  >  Gen
+
+(Move is measurably equal to Left in both the paper and this engine; it is
+available by explicit request and in the benchmarks.)  Explicitly requested
+strategies are *forced*: if they do not apply, the rewrite fails with
+:class:`~repro.errors.RewriteError` rather than silently degrading, so
+benchmark results always measure what they claim to measure.
+"""
+
+from __future__ import annotations
+
+from ..errors import RewriteError
+from ..algebra.operators import Project, Select
+from ..algebra.properties import is_correlated
+from .strategies import (
+    GenStrategy, LeftStrategy, MoveStrategy, SublinkStrategy, UnnStrategy,
+)
+
+STRATEGY_NAMES = ("auto", "gen", "left", "move", "unn")
+
+
+class StrategyPlanner:
+    """Maps sublink-bearing operators to rewrite strategies."""
+
+    def __init__(self, strategy: str = "auto"):
+        if strategy not in STRATEGY_NAMES:
+            raise RewriteError(
+                f"unknown strategy {strategy!r}; expected one of "
+                f"{STRATEGY_NAMES}")
+        self.strategy = strategy
+        self._gen = GenStrategy()
+        self._left = LeftStrategy()
+        self._move = MoveStrategy()
+        self._unn = UnnStrategy()
+
+    def _forced(self) -> SublinkStrategy | None:
+        return {
+            "gen": self._gen, "left": self._left,
+            "move": self._move, "unn": self._unn,
+        }.get(self.strategy)
+
+    def for_select(self, op: Select) -> SublinkStrategy:
+        """Strategy for a selection whose condition holds sublinks."""
+        forced = self._forced()
+        if forced is not None:
+            return forced
+        if UnnStrategy.applicable_select(op):
+            return self._unn
+        sublinks = SublinkStrategy.select_sublinks(op)
+        if all(not is_correlated(s.query) for s in sublinks):
+            return self._left
+        return self._gen
+
+    def for_project(self, op: Project) -> SublinkStrategy:
+        """Strategy for a projection whose items hold sublinks."""
+        forced = self._forced()
+        if forced is not None:
+            if forced is self._unn:
+                raise RewriteError(
+                    "the Unn strategy defines no projection rewrite")
+            return forced
+        sublinks = SublinkStrategy.project_sublinks(op)
+        if all(not is_correlated(s.query) for s in sublinks):
+            return self._left
+        return self._gen

@@ -1,0 +1,12 @@
+"""Sublink rewrite strategies (Figure 5 of the paper)."""
+
+from .base import SublinkStrategy
+from .gen import GenStrategy
+from .left import LeftStrategy
+from .move import MoveStrategy
+from .unn import UnnStrategy
+
+__all__ = [
+    "SublinkStrategy", "GenStrategy", "LeftStrategy", "MoveStrategy",
+    "UnnStrategy",
+]

@@ -1,0 +1,85 @@
+"""Common machinery shared by the sublink rewrite strategies."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ...errors import RewriteError
+from ...expressions.ast import Col, Expr, Sublink, collect_sublinks
+from ...algebra.operators import Operator, Project, Select
+from ...algebra.properties import is_correlated
+from ...algebra.trees import clone
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..rewriter import ProvenanceRewriter, RewriteResult
+
+
+class SublinkStrategy:
+    """Interface: rewrite a Select/Project whose expressions hold sublinks."""
+
+    name = "abstract"
+
+    def rewrite_select(self, op: Select,
+                       rewriter: "ProvenanceRewriter") -> "RewriteResult":
+        raise NotImplementedError
+
+    def rewrite_project(self, op: Project,
+                        rewriter: "ProvenanceRewriter") -> "RewriteResult":
+        raise NotImplementedError
+
+    # -- shared helpers -------------------------------------------------------
+
+    @staticmethod
+    def select_sublinks(op: Select) -> list[Sublink]:
+        """Sublinks of a selection condition, in discovery order."""
+        return collect_sublinks(op.condition)
+
+    @staticmethod
+    def project_sublinks(op: Project) -> list[Sublink]:
+        """Sublinks of a projection list, in discovery order."""
+        found: list[Sublink] = []
+        for _, expr in op.items:
+            found.extend(collect_sublinks(expr))
+        return found
+
+    def require_uncorrelated(self, sublinks: list[Sublink]) -> None:
+        """Left/Move/Unn applicability guard (Section 3.6)."""
+        for sublink in sublinks:
+            if is_correlated(sublink.query):
+                raise RewriteError(
+                    f"the {self.name} strategy does not support correlated "
+                    f"sublinks; use the Gen strategy")
+
+    @staticmethod
+    def rewrite_sublink_query(sublink: Sublink,
+                              rewriter: "ProvenanceRewriter"
+                              ) -> "RewriteResult":
+        """``Tsub+``: rewrite a (cloned) copy of the sublink query so the
+        rewritten plan never aliases operators of the original tree."""
+        return rewriter.rewrite(clone(sublink.query))
+
+    @staticmethod
+    def passthrough_items(names) -> list[tuple[str, Col]]:
+        """Identity projection items for *names*."""
+        return [(name, Col(name)) for name in names]
+
+    @staticmethod
+    def final_projection(plan: Operator, original_names, prov_names
+                         ) -> Project:
+        """Keep the original operator's schema plus all provenance columns,
+        dropping strategy-internal helper columns."""
+        items = [(name, Col(name)) for name in original_names]
+        items.extend((name, Col(name)) for name in prov_names)
+        return Project(plan, items)
+
+
+def replace_sublinks(expr: Expr, mapping: dict[int, str]) -> Expr:
+    """Replace sublinks (by identity) with column references (Move/``Ctar``)."""
+    from ...expressions.ast import transform
+
+    def rule(node: Expr) -> Expr | None:
+        if isinstance(node, Sublink) and id(node) in mapping:
+            return Col(mapping[id(node)])
+        return None
+
+    return transform(expr, rule)

@@ -1,0 +1,109 @@
+"""The Unn strategy (rules U1/U2, Section 3.6.3) — un-nesting rewrites.
+
+Applicable to selections whose condition is a conjunction of sublink-free
+predicates and sublinks of two specific uncorrelated shapes:
+
+* ``EXISTS (Tsub)``      — rule U1: the provenance of an EXISTS sublink is
+  all of ``Tsub`` and the condition only passes when ``Tsub`` is non-empty,
+  so a plain cross product with ``Tsub+`` suffices.
+* ``x = ANY (Tsub)``     — rule U2: always *reqtrue*, so the sublink becomes
+  an equality join with ``Tsub+`` (which the executor hash-joins — the
+  source of Unn's order-of-magnitude advantage in Figures 7-9).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ...errors import RewriteError
+from ...expressions.ast import (
+    BoolOp, Col, Comparison, Expr, Sublink, SublinkKind, TRUE, and_all,
+)
+from ...algebra.operators import (
+    Join, JoinKind, Operator, Project, Select,
+)
+from ...algebra.properties import contains_sublinks, is_correlated
+from ...algebra.trees import clone_expr
+from .base import SublinkStrategy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..rewriter import ProvenanceRewriter, RewriteResult
+
+
+def _conjuncts(expr: Expr) -> tuple[Expr, ...]:
+    if isinstance(expr, BoolOp) and expr.op == "and":
+        return expr.items
+    return (expr,)
+
+
+class UnnStrategy(SublinkStrategy):
+    """Rules U1 (EXISTS) and U2 (equality ANY)."""
+
+    name = "unn"
+
+    @classmethod
+    def applicable_select(cls, op: Select) -> bool:
+        """True iff every sublink-bearing conjunct matches U1 or U2."""
+        saw_sublink = False
+        for part in _conjuncts(op.condition):
+            if not contains_sublinks(part):
+                continue
+            saw_sublink = True
+            if not isinstance(part, Sublink) or is_correlated(part.query):
+                return False
+            if part.kind == SublinkKind.EXISTS:
+                continue
+            if part.kind == SublinkKind.ANY and part.op == "=" \
+                    and not contains_sublinks(part.test):
+                continue
+            return False
+        return saw_sublink
+
+    def rewrite_select(self, op: Select,
+                       rewriter: "ProvenanceRewriter") -> "RewriteResult":
+        from ..rewriter import RewriteResult
+        from ..naming import prov_attribute_names
+
+        if not self.applicable_select(op):
+            raise RewriteError(
+                "the Unn strategy applies only to conjunctions of "
+                "sublink-free predicates with uncorrelated EXISTS or "
+                "equality-ANY sublinks")
+        inner = rewriter.rewrite(op.input)
+        current: Operator = inner.plan
+        accesses = list(inner.accesses)
+        plain = [clone_expr(part) for part in _conjuncts(op.condition)
+                 if not contains_sublinks(part)]
+        if plain:
+            current = Select(current, and_all(plain))
+        for part in _conjuncts(op.condition):
+            if not contains_sublinks(part):
+                continue
+            sublink = part
+            sub = self.rewrite_sublink_query(sublink, rewriter)
+            prov_names = sub.prov_names
+            if sublink.kind == SublinkKind.EXISTS:
+                right = Project(
+                    sub.plan, [(n, Col(n)) for n in prov_names])
+                current = Join(current, right, TRUE, JoinKind.CROSS)
+            else:
+                result_names = [
+                    name for name in sub.plan.schema.names
+                    if name not in set(prov_names)]
+                fresh = rewriter.registry.fresh(f"sub_{result_names[0]}")
+                items = [(fresh, Col(result_names[0]))]
+                items += [(n, Col(n)) for n in prov_names]
+                right = Project(sub.plan, items)
+                condition = Comparison(
+                    "=", clone_expr(sublink.test), Col(fresh))
+                current = Join(current, right, condition, JoinKind.INNER)
+            accesses = accesses + sub.accesses
+        plan = self.final_projection(
+            current, op.input.schema.names, prov_attribute_names(accesses))
+        return RewriteResult(plan, accesses)
+
+    def rewrite_project(self, op: Project,
+                        rewriter: "ProvenanceRewriter") -> "RewriteResult":
+        raise RewriteError(
+            "the Unn strategy defines no rewrite for sublinks in "
+            "projections; use Left, Move or Gen")

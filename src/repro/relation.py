@@ -1,0 +1,172 @@
+"""Bag-semantics relations.
+
+A :class:`Relation` couples a :class:`~repro.schema.Schema` with a list of
+rows (plain tuples of values).  Duplicate rows are meaningful: the algebra
+of the paper (Figure 1) is defined over bags, and the provenance
+representation deliberately duplicates result tuples — one copy per
+combination of contributing input tuples.
+
+The bag set-operations (union/intersect/difference with multiplicity
+arithmetic) live here so both the executor and the test suite share one
+implementation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Any, Callable, Iterable, Iterator, Sequence
+
+from .datatypes import render_value
+from .errors import SchemaError
+from .schema import Attribute, Schema
+
+Row = tuple  # a row is a plain tuple of values
+
+
+class Relation:
+    """A named-schema bag of rows."""
+
+    __slots__ = ("schema", "rows")
+
+    def __init__(self, schema: Schema, rows: Iterable[Sequence[Any]] = ()):
+        self.schema = schema
+        self.rows: list[Row] = [self._coerce(schema, row) for row in rows]
+
+    @staticmethod
+    def _coerce(schema: Schema, row: Sequence[Any]) -> Row:
+        values = tuple(row)
+        if len(values) != len(schema):
+            raise SchemaError(
+                f"row arity {len(values)} does not match schema arity "
+                f"{len(schema)} ({list(schema.names)})")
+        return values
+
+    @classmethod
+    def from_columns(cls, names: Sequence[str],
+                     rows: Iterable[Sequence[Any]]) -> "Relation":
+        """Convenience constructor from column names + row data."""
+        return cls(Schema(Attribute(n) for n in names), rows)
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def __iter__(self) -> Iterator[Row]:
+        return iter(self.rows)
+
+    def __repr__(self) -> str:
+        return f"Relation({list(self.schema.names)}, {len(self.rows)} rows)"
+
+    # -- mutation (used by the catalog / DML only) ---------------------------
+
+    def insert(self, row: Sequence[Any]) -> None:
+        """Append one row (arity-checked)."""
+        self.rows.append(self._coerce(self.schema, row))
+
+    def extend(self, rows: Iterable[Sequence[Any]]) -> None:
+        """Append many rows."""
+        for row in rows:
+            self.insert(row)
+
+    # -- bag algebra ---------------------------------------------------------
+
+    def multiset(self) -> Counter:
+        """Multiplicity map of the rows.  Hashable because values are."""
+        return Counter(self.rows)
+
+    def distinct(self) -> "Relation":
+        """Duplicate-eliminated copy (set projection on all attributes)."""
+        seen: dict[Row, None] = dict.fromkeys(self.rows)
+        return Relation(self.schema, seen.keys())
+
+    def _check_compatible(self, other: "Relation") -> None:
+        if len(self.schema) != len(other.schema):
+            raise SchemaError(
+                f"set operation over incompatible arities "
+                f"{len(self.schema)} vs {len(other.schema)}")
+
+    def bag_union(self, other: "Relation") -> "Relation":
+        """``T1 ∪_B T2`` — multiplicities add (SQL UNION ALL)."""
+        self._check_compatible(other)
+        return Relation(self.schema, [*self.rows, *other.rows])
+
+    def bag_intersect(self, other: "Relation") -> "Relation":
+        """``T1 ∩_B T2`` — multiplicity is min(n, m)."""
+        self._check_compatible(other)
+        counts = other.multiset()
+        taken: Counter = Counter()
+        result = []
+        for row in self.rows:
+            if taken[row] < counts.get(row, 0):
+                taken[row] += 1
+                result.append(row)
+        return Relation(self.schema, result)
+
+    def bag_difference(self, other: "Relation") -> "Relation":
+        """``T1 −_B T2`` — multiplicity is max(n − m, 0)."""
+        self._check_compatible(other)
+        remaining = other.multiset()
+        result = []
+        for row in self.rows:
+            if remaining.get(row, 0) > 0:
+                remaining[row] -= 1
+            else:
+                result.append(row)
+        return Relation(self.schema, result)
+
+    def set_union(self, other: "Relation") -> "Relation":
+        """``T1 ∪_S T2`` — duplicate-free union."""
+        return self.bag_union(other).distinct()
+
+    def set_intersect(self, other: "Relation") -> "Relation":
+        """``T1 ∩_S T2`` — duplicate-free intersection."""
+        return self.bag_intersect(other).distinct()
+
+    def set_difference(self, other: "Relation") -> "Relation":
+        """``T1 −_S T2`` — rows of T1 absent from T2, duplicate-free."""
+        self._check_compatible(other)
+        exclude = set(other.rows)
+        seen: dict[Row, None] = dict.fromkeys(
+            row for row in self.rows if row not in exclude)
+        return Relation(self.schema, seen.keys())
+
+    # -- comparisons used by tests -------------------------------------------
+
+    def bag_equal(self, other: "Relation") -> bool:
+        """True iff both relations hold the same rows with multiplicity."""
+        return self.multiset() == other.multiset()
+
+    def project_names(self, names: Sequence[str]) -> "Relation":
+        """Bag projection onto *names* (test/bench helper)."""
+        positions = self.schema.positions(names)
+        return Relation(
+            self.schema.project(names),
+            [tuple(row[p] for p in positions) for row in self.rows])
+
+    def sorted(self, key: Callable[[Row], Any] | None = None) -> "Relation":
+        """Rows sorted deterministically (NULLs first), for stable output."""
+        def default_key(row: Row):
+            return tuple((value is not None, value) for value in row)
+
+        return Relation(self.schema, sorted(self.rows, key=key or default_key))
+
+    # -- display ---------------------------------------------------------------
+
+    def pretty(self, max_rows: int = 50) -> str:
+        """An aligned ASCII table of the first *max_rows* rows."""
+        names = list(self.schema.names)
+        rendered = [[render_value(v) for v in row]
+                    for row in self.rows[:max_rows]]
+        widths = [len(n) for n in names]
+        for row in rendered:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        sep = "-+-".join("-" * w for w in widths)
+        lines = [" | ".join(n.ljust(w) for n, w in zip(names, widths)), sep]
+        lines.extend(
+            " | ".join(c.ljust(w) for c, w in zip(row, widths))
+            for row in rendered)
+        if len(self.rows) > max_rows:
+            lines.append(f"... ({len(self.rows) - max_rows} more rows)")
+        return "\n".join(lines)

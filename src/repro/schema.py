@@ -1,0 +1,136 @@
+"""Schemas: ordered lists of named, typed attributes.
+
+A :class:`Schema` is immutable.  Attribute names are unique within a schema
+— the SQL analyzer guarantees this by qualifying and, where necessary,
+suffixing names before it builds algebra trees, and the provenance rewriter
+relies on it (rewrite rules address attributes by name, never by position).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+from .datatypes import SQLType
+from .errors import SchemaError
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """A named, typed column."""
+
+    name: str
+    type: SQLType = SQLType.ANY
+
+    def renamed(self, name: str) -> "Attribute":
+        """Return a copy of this attribute under a new name."""
+        return Attribute(name, self.type)
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{self.name}:{self.type.value}"
+
+
+class Schema:
+    """An immutable, ordered collection of :class:`Attribute` objects."""
+
+    __slots__ = ("_attributes", "_index")
+
+    def __init__(self, attributes: Iterable[Attribute]):
+        attrs = tuple(attributes)
+        index: dict[str, int] = {}
+        for position, attribute in enumerate(attrs):
+            if attribute.name in index:
+                raise SchemaError(
+                    f"duplicate attribute name {attribute.name!r} in schema "
+                    f"{[a.name for a in attrs]}")
+            index[attribute.name] = position
+        self._attributes = attrs
+        self._index = index
+
+    @classmethod
+    def of(cls, *names: str) -> "Schema":
+        """Build an untyped schema from attribute names (test helper)."""
+        return cls(Attribute(name) for name in names)
+
+    @classmethod
+    def from_pairs(cls, pairs: Iterable[tuple[str, SQLType]]) -> "Schema":
+        """Build a schema from ``(name, type)`` pairs."""
+        return cls(Attribute(name, type_) for name, type_ in pairs)
+
+    # -- container protocol -------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._attributes)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attributes)
+
+    def __getitem__(self, key: int | str) -> Attribute:
+        if isinstance(key, str):
+            return self._attributes[self.position(key)]
+        return self._attributes[key]
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attributes == other._attributes
+
+    def __hash__(self) -> int:
+        return hash(self._attributes)
+
+    def __repr__(self) -> str:
+        return f"Schema({', '.join(a.name for a in self._attributes)})"
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Attribute names in schema order."""
+        return tuple(a.name for a in self._attributes)
+
+    def position(self, name: str) -> int:
+        """Position of attribute *name*; raises :class:`SchemaError`."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(
+                f"unknown attribute {name!r}; schema has {list(self.names)}"
+            ) from None
+
+    def positions(self, names: Iterable[str]) -> tuple[int, ...]:
+        """Positions of several attributes, in the order given."""
+        return tuple(self.position(name) for name in names)
+
+    # -- construction of derived schemas ------------------------------------
+
+    def concat(self, other: "Schema") -> "Schema":
+        """The schema of a cross product / join: this ++ other."""
+        return Schema((*self._attributes, *other._attributes))
+
+    def project(self, names: Iterable[str]) -> "Schema":
+        """Sub-schema containing *names* in the given order."""
+        return Schema(self[name] for name in names)
+
+    def rename(self, mapping: dict[str, str]) -> "Schema":
+        """Rename attributes per *mapping* (missing names are kept)."""
+        return Schema(
+            attr.renamed(mapping.get(attr.name, attr.name))
+            for attr in self._attributes)
+
+
+def disambiguate(name: str, taken: set[str]) -> str:
+    """Return *name*, suffixed with ``_<k>`` if needed, absent from *taken*.
+
+    The chosen name is added to *taken* as a side effect so repeated calls
+    keep producing fresh names.
+    """
+    candidate = name
+    counter = 1
+    while candidate in taken:
+        candidate = f"{name}_{counter}"
+        counter += 1
+    taken.add(candidate)
+    return candidate

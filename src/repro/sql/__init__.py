@@ -1,0 +1,11 @@
+"""SQL frontend: lexer, parser, analyzer (SQL -> algebra), deparser."""
+
+from .lexer import Token, TokenKind, tokenize
+from .parser import parse_statement, parse_statements
+from .analyzer import Analyzer
+
+__all__ = [
+    "Token", "TokenKind", "tokenize",
+    "parse_statement", "parse_statements",
+    "Analyzer",
+]

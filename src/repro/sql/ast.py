@@ -1,0 +1,133 @@
+"""SQL statement AST.
+
+Scalar expressions reuse :mod:`repro.expressions.ast` node classes — the
+parser emits them with *unresolved* column names (``Col("alias.col")`` or
+``Col("col")``, always ``level=0``) and with :class:`Sublink` nodes whose
+``query`` attribute holds a :class:`SelectStmt` rather than an algebra
+tree.  The analyzer resolves names to unique attribute names with proper
+correlation levels and replaces sublink queries with algebra trees.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..expressions.ast import Expr
+
+
+@dataclass
+class Star:
+    """``*`` or ``alias.*`` in a select list."""
+
+    qualifier: str | None = None
+
+
+@dataclass
+class SelectItem:
+    """One select-list entry: an expression with an optional alias."""
+
+    expr: Expr | Star
+    alias: str | None = None
+
+
+@dataclass
+class TableRef:
+    """``FROM name [AS alias]`` — a base table or view reference."""
+
+    name: str
+    alias: str | None = None
+
+
+@dataclass
+class SubqueryRef:
+    """``FROM (SELECT ...) AS alias``."""
+
+    query: "SelectStmt"
+    alias: str = "subquery"
+
+
+@dataclass
+class JoinExpr:
+    """Explicit JOIN syntax; ``kind`` is ``cross``/``inner``/``left``."""
+
+    kind: str
+    left: Any
+    right: Any
+    condition: Expr | None = None
+
+
+@dataclass
+class OrderItem:
+    """One ORDER BY key."""
+
+    expr: Expr
+    ascending: bool = True
+
+
+@dataclass
+class SelectStmt:
+    """A (possibly compound) SELECT statement.
+
+    ``set_ops`` chains further select cores onto this one:
+    ``[(op, all, stmt), ...]`` with op in ``union``/``intersect``/``except``.
+    ``provenance`` is None, or a strategy name (``"auto"`` when the SQL just
+    says ``SELECT PROVENANCE``).
+    """
+
+    items: list[SelectItem] = field(default_factory=list)
+    from_items: list[Any] = field(default_factory=list)
+    where: Expr | None = None
+    group_by: list[Expr] = field(default_factory=list)
+    having: Expr | None = None
+    distinct: bool = False
+    provenance: str | None = None
+    set_ops: list[tuple[str, bool, "SelectStmt"]] = field(
+        default_factory=list)
+    order_by: list[OrderItem] = field(default_factory=list)
+    limit: int | None = None
+    offset: int = 0
+
+
+@dataclass
+class CreateTableStmt:
+    """``CREATE TABLE name (col type, ...)``."""
+
+    name: str
+    columns: list[tuple[str, str]]  # (name, type text)
+
+
+@dataclass
+class CreateViewStmt:
+    """``CREATE VIEW name AS SELECT ...``."""
+
+    name: str
+    query: SelectStmt
+
+
+@dataclass
+class InsertStmt:
+    """``INSERT INTO name VALUES (...), (...)`` (constant expressions)."""
+
+    table: str
+    rows: list[list[Expr]]
+
+
+@dataclass
+class DropStmt:
+    """``DROP TABLE|VIEW name``."""
+
+    kind: str
+    name: str
+
+
+@dataclass
+class DeleteStmt:
+    """``DELETE FROM name [WHERE cond]``."""
+
+    table: str
+    where: Expr | None = None
+
+
+Statement = (SelectStmt | CreateTableStmt | CreateViewStmt | InsertStmt
+             | DropStmt | DeleteStmt)

@@ -1,0 +1,194 @@
+"""Deparser: algebra trees back to executable SQL text.
+
+Useful for debugging rewrites and for demonstrating the paper's central
+claim that the rewritten query ``q+`` *is plain relational algebra / SQL*
+— it can be printed, stored as a view, or fed to any engine.  The emitted
+dialect is this package's own (round-trips through the parser, modulo
+correlation levels, which SQL expresses by name scoping).
+
+Limitations: correlated references (``Col`` with ``level >= 1``) are
+emitted as bare column names and rely on SQL's name-based scoping, so a
+rewrite that introduced *shadowed* names at different levels may not
+round-trip; the rewriter's fresh-name discipline avoids this for its own
+output.
+"""
+
+from __future__ import annotations
+
+from ..datatypes import sql_literal
+from ..errors import UnsupportedFeatureError
+from ..expressions.ast import (
+    AggCall, Arith, BoolOp, Case, Cast, Col, Comparison, Const, Expr,
+    FuncCall, IsNull, Like, Neg, Not, NullSafeEq, Sublink, SublinkKind,
+    TRUE,
+)
+from ..algebra.operators import (
+    Aggregate, BaseRelation, Join, JoinKind, Limit, Operator, Project,
+    Select, SetOp, SetOpKind, Sort, Values,
+)
+
+
+def _quote(name: str) -> str:
+    if name.replace("_", "").isalnum() and not name[0].isdigit() \
+            and "." not in name:
+        return name
+    return '"' + name.replace('"', '""') + '"'
+
+
+def deparse_expr(expr: Expr) -> str:
+    """Render an expression as SQL text."""
+    if isinstance(expr, Const):
+        return sql_literal(expr.value)
+    if isinstance(expr, Col):
+        return _quote(expr.name)
+    if isinstance(expr, Comparison):
+        return (f"({deparse_expr(expr.left)} {expr.op} "
+                f"{deparse_expr(expr.right)})")
+    if isinstance(expr, NullSafeEq):
+        left, right = deparse_expr(expr.left), deparse_expr(expr.right)
+        return (f"(({left} = {right}) OR ({left} IS NULL AND {right} "
+                f"IS NULL))")
+    if isinstance(expr, BoolOp):
+        joiner = f" {expr.op.upper()} "
+        return "(" + joiner.join(deparse_expr(i) for i in expr.items) + ")"
+    if isinstance(expr, Not):
+        return f"(NOT {deparse_expr(expr.operand)})"
+    if isinstance(expr, IsNull):
+        return f"({deparse_expr(expr.operand)} IS NULL)"
+    if isinstance(expr, Arith):
+        return (f"({deparse_expr(expr.left)} {expr.op} "
+                f"{deparse_expr(expr.right)})")
+    if isinstance(expr, Neg):
+        return f"(- {deparse_expr(expr.operand)})"
+    if isinstance(expr, FuncCall):
+        args = ", ".join(deparse_expr(a) for a in expr.args)
+        return f"{expr.name}({args})"
+    if isinstance(expr, Like):
+        return (f"({deparse_expr(expr.operand)} LIKE "
+                f"{deparse_expr(expr.pattern)})")
+    if isinstance(expr, Cast):
+        return f"CAST({deparse_expr(expr.operand)} AS {expr.type_name})"
+    if isinstance(expr, Case):
+        parts = ["CASE"]
+        for condition, value in expr.whens:
+            parts.append(f"WHEN {deparse_expr(condition)} "
+                         f"THEN {deparse_expr(value)}")
+        parts.append(f"ELSE {deparse_expr(expr.default)} END")
+        return " ".join(parts)
+    if isinstance(expr, AggCall):
+        if expr.arg is None:
+            return f"{expr.name}(*)"
+        distinct = "DISTINCT " if expr.distinct else ""
+        return f"{expr.name}({distinct}{deparse_expr(expr.arg)})"
+    if isinstance(expr, Sublink):
+        body = deparse(expr.query)
+        if expr.kind == SublinkKind.EXISTS:
+            return f"EXISTS ({body})"
+        if expr.kind == SublinkKind.SCALAR:
+            return f"({body})"
+        return (f"({deparse_expr(expr.test)} {expr.op} "
+                f"{expr.kind.name} ({body}))")
+    raise UnsupportedFeatureError(
+        f"cannot deparse expression {type(expr).__name__}")
+
+
+def _derived(op: Operator, alias: str) -> str:
+    return f"({deparse(op)}) AS {_quote(alias)}"
+
+
+_ALIAS_COUNTER = [0]
+
+
+def _fresh_alias() -> str:
+    _ALIAS_COUNTER[0] += 1
+    return f"dt_{_ALIAS_COUNTER[0]}"
+
+
+def deparse(op: Operator) -> str:
+    """Render an operator tree as a SQL SELECT statement."""
+    if isinstance(op, BaseRelation):
+        items = ", ".join(
+            f"{_quote(src)} AS {_quote(out)}"
+            for out, src in zip(op.schema.names,
+                                _stored_names(op)))
+        return f"SELECT {items} FROM {_quote(op.table)}"
+    if isinstance(op, Values):
+        return _deparse_values(op)
+    if isinstance(op, Project):
+        distinct = "DISTINCT " if op.distinct else ""
+        items = ", ".join(
+            f"{deparse_expr(expr)} AS {_quote(name)}"
+            for name, expr in op.items)
+        return (f"SELECT {distinct}{items} FROM "
+                f"{_derived(op.input, _fresh_alias())}")
+    if isinstance(op, Select):
+        items = _reexport(op.schema.names)
+        return (f"SELECT {items} FROM {_derived(op.input, _fresh_alias())} "
+                f"WHERE {deparse_expr(op.condition)}")
+    if isinstance(op, Join):
+        items = _reexport(op.schema.names)
+        left = _derived(op.left, _fresh_alias())
+        right = _derived(op.right, _fresh_alias())
+        if op.kind == JoinKind.CROSS and op.condition == TRUE:
+            return f"SELECT {items} FROM {left} CROSS JOIN {right}"
+        keyword = "LEFT JOIN" if op.kind == JoinKind.LEFT else "JOIN"
+        return (f"SELECT {items} FROM {left} {keyword} {right} "
+                f"ON {deparse_expr(op.condition)}")
+    if isinstance(op, Aggregate):
+        items = [f"{_quote(name)} AS {_quote(name)}" for name in op.group]
+        items += [f"{deparse_expr(call)} AS {_quote(name)}"
+                  for name, call in op.aggregates]
+        group = f" GROUP BY {', '.join(_quote(g) for g in op.group)}" \
+            if op.group else ""
+        return (f"SELECT {', '.join(items)} FROM "
+                f"{_derived(op.input, _fresh_alias())}{group}")
+    if isinstance(op, SetOp):
+        keyword = {
+            SetOpKind.UNION: "UNION", SetOpKind.INTERSECT: "INTERSECT",
+            SetOpKind.EXCEPT: "EXCEPT"}[op.kind]
+        if op.all:
+            keyword += " ALL"
+        return f"({deparse(op.left)}) {keyword} ({deparse(op.right)})"
+    if isinstance(op, Sort):
+        keys = ", ".join(
+            f"{deparse_expr(key.expr)} "
+            f"{'ASC' if key.ascending else 'DESC'}" for key in op.keys)
+        items = _reexport(op.schema.names)
+        return (f"SELECT {items} FROM {_derived(op.input, _fresh_alias())} "
+                f"ORDER BY {keys}")
+    if isinstance(op, Limit):
+        items = _reexport(op.schema.names)
+        text = f"SELECT {items} FROM {_derived(op.input, _fresh_alias())}"
+        if op.count is not None:
+            text += f" LIMIT {op.count}"
+        if op.offset:
+            text += f" OFFSET {op.offset}"
+        return text
+    raise UnsupportedFeatureError(
+        f"cannot deparse operator {type(op).__name__}")
+
+
+def _reexport(names) -> str:
+    """Explicit pass-through select list (never ``*`` — star expansion
+    re-labels dotted names on re-parse)."""
+    return ", ".join(f"{_quote(n)} AS {_quote(n)}" for n in names)
+
+
+def _stored_names(op: BaseRelation) -> list[str]:
+    """Best-effort source column names: strip alias qualification."""
+    return [name.rsplit(".", 1)[-1] for name in op.schema.names]
+
+
+def _deparse_values(op: Values) -> str:
+    if not op.rows:
+        # an empty relation: SELECT ... WHERE FALSE
+        items = ", ".join(
+            f"NULL AS {_quote(name)}" for name in op.schema.names)
+        return f"SELECT {items} WHERE FALSE"
+    selects = []
+    for row in op.rows:
+        items = ", ".join(
+            f"{sql_literal(value)} AS {_quote(name)}"
+            for value, name in zip(row, op.schema.names))
+        selects.append(f"SELECT {items}")
+    return " UNION ALL ".join(selects)

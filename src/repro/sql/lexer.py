@@ -1,0 +1,203 @@
+"""SQL tokenizer.
+
+Hand-written single-pass lexer producing :class:`Token` objects with
+line/column positions for error reporting.  Keywords are case-insensitive;
+identifiers are lower-cased (quoted identifiers ``"Like This"`` preserve
+case).  String literals use single quotes with ``''`` escaping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from ..errors import SQLSyntaxError
+
+
+class TokenKind(Enum):
+    """Lexical token categories."""
+
+    KEYWORD = "keyword"
+    IDENT = "ident"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    PUNCT = "punct"
+    END = "end"
+
+
+KEYWORDS = {
+    "select", "provenance", "distinct", "from", "where", "group", "by",
+    "having", "order", "limit", "offset", "as", "on", "join", "inner",
+    "left", "right", "outer", "cross", "union", "intersect", "except",
+    "all", "any", "some", "exists", "in", "like", "between", "is", "not",
+    "and", "or", "null", "true", "false", "case", "when", "then", "else",
+    "end", "cast", "asc", "desc", "insert", "into", "values", "create",
+    "table", "view", "drop", "delete", "update", "set",
+}
+
+_MULTI_OPERATORS = ("<>", "<=", ">=", "!=", "||")
+_SINGLE_OPERATORS = "=<>+-*/%"
+_PUNCT = "(),.;"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token."""
+
+    kind: TokenKind
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *names: str) -> bool:
+        return self.kind == TokenKind.KEYWORD and self.value in names
+
+    def __str__(self) -> str:  # pragma: no cover - error messages
+        if self.kind == TokenKind.END:
+            return "end of input"
+        return repr(self.value)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize *text*; raises :class:`SQLSyntaxError` on bad input."""
+    tokens: list[Token] = []
+    line, column = 1, 1
+    position = 0
+    length = len(text)
+
+    def error(message: str) -> SQLSyntaxError:
+        return SQLSyntaxError(message, line, column)
+
+    while position < length:
+        char = text[position]
+        # whitespace
+        if char in " \t\r":
+            position += 1
+            column += 1
+            continue
+        if char == "\n":
+            position += 1
+            line += 1
+            column = 1
+            continue
+        # comments
+        if text.startswith("--", position):
+            end = text.find("\n", position)
+            position = length if end < 0 else end
+            continue
+        if text.startswith("/*", position):
+            end = text.find("*/", position)
+            if end < 0:
+                raise error("unterminated block comment")
+            skipped = text[position:end + 2]
+            line += skipped.count("\n")
+            position = end + 2
+            continue
+        start_line, start_column = line, column
+        # strings
+        if char == "'":
+            position += 1
+            column += 1
+            pieces = []
+            while True:
+                if position >= length:
+                    raise error("unterminated string literal")
+                if text[position] == "'":
+                    if position + 1 < length and text[position + 1] == "'":
+                        pieces.append("'")
+                        position += 2
+                        column += 2
+                        continue
+                    position += 1
+                    column += 1
+                    break
+                if text[position] == "\n":
+                    line += 1
+                    column = 0
+                pieces.append(text[position])
+                position += 1
+                column += 1
+            tokens.append(Token(TokenKind.STRING, "".join(pieces),
+                                start_line, start_column))
+            continue
+        # quoted identifiers
+        if char == '"':
+            end = text.find('"', position + 1)
+            if end < 0:
+                raise error("unterminated quoted identifier")
+            value = text[position + 1:end]
+            column += end - position + 1
+            position = end + 1
+            tokens.append(Token(TokenKind.IDENT, value,
+                                start_line, start_column))
+            continue
+        # numbers
+        if char.isdigit() or (char == "." and position + 1 < length
+                              and text[position + 1].isdigit()):
+            end = position
+            seen_dot = False
+            seen_exp = False
+            while end < length:
+                c = text[end]
+                if c.isdigit():
+                    end += 1
+                elif c == "." and not seen_dot and not seen_exp:
+                    seen_dot = True
+                    end += 1
+                elif c in "eE" and not seen_exp and end > position:
+                    nxt = text[end + 1:end + 2]
+                    if nxt.isdigit() or (nxt in "+-"
+                                         and text[end + 2:end + 3].isdigit()):
+                        seen_exp = True
+                        end += 2 if nxt in "+-" else 1
+                    else:
+                        break
+                else:
+                    break
+            value = text[position:end]
+            column += end - position
+            position = end
+            tokens.append(Token(TokenKind.NUMBER, value,
+                                start_line, start_column))
+            continue
+        # identifiers / keywords
+        if char.isalpha() or char == "_":
+            end = position
+            while end < length and (text[end].isalnum() or text[end] == "_"):
+                end += 1
+            word = text[position:end].lower()
+            column += end - position
+            position = end
+            kind = TokenKind.KEYWORD if word in KEYWORDS else TokenKind.IDENT
+            tokens.append(Token(kind, word, start_line, start_column))
+            continue
+        # multi-char operators
+        matched = False
+        for op in _MULTI_OPERATORS:
+            if text.startswith(op, position):
+                value = "<>" if op == "!=" else op
+                tokens.append(Token(TokenKind.OPERATOR, value,
+                                    start_line, start_column))
+                position += len(op)
+                column += len(op)
+                matched = True
+                break
+        if matched:
+            continue
+        if char in _SINGLE_OPERATORS:
+            tokens.append(Token(TokenKind.OPERATOR, char,
+                                start_line, start_column))
+            position += 1
+            column += 1
+            continue
+        if char in _PUNCT:
+            tokens.append(Token(TokenKind.PUNCT, char,
+                                start_line, start_column))
+            position += 1
+            column += 1
+            continue
+        raise error(f"unexpected character {char!r}")
+
+    tokens.append(Token(TokenKind.END, "", line, column))
+    return tokens

@@ -1,0 +1,533 @@
+"""Recursive-descent SQL parser.
+
+Grammar (simplified)::
+
+    statement    := select | create_table | create_view | insert | drop
+                    | delete
+    select       := core (UNION [ALL] | INTERSECT | EXCEPT core)*
+                    [ORDER BY order_items] [LIMIT n [OFFSET m]]
+    core         := SELECT [PROVENANCE [(name)]] [DISTINCT] items
+                    [FROM from_list] [WHERE expr]
+                    [GROUP BY exprs] [HAVING expr]
+    from_list    := from_item ("," from_item)*           -- comma = cross
+    from_item    := primary_from (join_clause)*
+    primary_from := name [[AS] alias] | "(" select ")" [AS] alias
+    join_clause  := CROSS JOIN primary_from
+                    | [INNER] JOIN primary_from ON expr
+                    | LEFT [OUTER] JOIN primary_from ON expr
+
+Expression precedence (loosest first): OR, AND, NOT, predicates
+(comparison / IN / LIKE / BETWEEN / IS NULL, with ANY/ALL/EXISTS
+sublinks), additive (``+ - ||``), multiplicative (``* / %``), unary minus,
+primary.
+"""
+
+from __future__ import annotations
+
+from ..errors import SQLSyntaxError
+from ..expressions.ast import (
+    AggCall, Arith, BoolOp, Case, Cast, Col, Comparison, Const, Expr,
+    FuncCall, IsNull, Like, Neg, Not, Sublink, SublinkKind, and_all, or_all,
+)
+from .ast import (
+    CreateTableStmt, CreateViewStmt, DeleteStmt, DropStmt, InsertStmt,
+    JoinExpr, OrderItem, SelectItem, SelectStmt, Star, Statement,
+    SubqueryRef, TableRef,
+)
+from .lexer import Token, TokenKind, tokenize
+
+_AGGREGATE_NAMES = {"count", "sum", "avg", "min", "max"}
+_COMPARISON_OPS = {"=", "<>", "<", "<=", ">", ">="}
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.position = 0
+
+    # -- token plumbing -----------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.position]
+
+    def error(self, message: str) -> SQLSyntaxError:
+        token = self.current
+        return SQLSyntaxError(
+            f"{message}, found {token}", token.line, token.column)
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != TokenKind.END:
+            self.position += 1
+        return token
+
+    def accept_keyword(self, *names: str) -> bool:
+        if self.current.is_keyword(*names):
+            self.advance()
+            return True
+        return False
+
+    def expect_keyword(self, *names: str) -> Token:
+        if not self.current.is_keyword(*names):
+            raise self.error(f"expected {' or '.join(names).upper()}")
+        return self.advance()
+
+    def accept_punct(self, value: str) -> bool:
+        token = self.current
+        if token.kind == TokenKind.PUNCT and token.value == value:
+            self.advance()
+            return True
+        return False
+
+    def expect_punct(self, value: str) -> None:
+        if not self.accept_punct(value):
+            raise self.error(f"expected {value!r}")
+
+    def expect_ident(self) -> str:
+        token = self.current
+        if token.kind == TokenKind.IDENT:
+            self.advance()
+            return token.value
+        raise self.error("expected identifier")
+
+    def at_select(self) -> bool:
+        return self.current.is_keyword("select")
+
+    # -- statements ----------------------------------------------------------
+
+    def parse_statement(self) -> Statement:
+        if self.at_select() or (self.current.kind == TokenKind.PUNCT
+                                and self.current.value == "("):
+            return self.parse_select()
+        if self.current.is_keyword("create"):
+            return self._parse_create()
+        if self.current.is_keyword("insert"):
+            return self._parse_insert()
+        if self.current.is_keyword("drop"):
+            return self._parse_drop()
+        if self.current.is_keyword("delete"):
+            return self._parse_delete()
+        raise self.error("expected a statement")
+
+    def _parse_create(self) -> Statement:
+        self.expect_keyword("create")
+        if self.accept_keyword("table"):
+            name = self.expect_ident()
+            self.expect_punct("(")
+            columns: list[tuple[str, str]] = []
+            while True:
+                column = self.expect_ident()
+                type_parts: list[str] = []
+                while not (self.current.kind == TokenKind.PUNCT
+                           and self.current.value in ",)"):
+                    if self.current.kind == TokenKind.PUNCT and \
+                            self.current.value == "(":
+                        # swallow "(n)" or "(n, m)" length arguments
+                        depth = 0
+                        while True:
+                            token = self.advance()
+                            if token.value == "(":
+                                depth += 1
+                            elif token.value == ")":
+                                depth -= 1
+                                if depth == 0:
+                                    break
+                        continue
+                    if self.current.kind == TokenKind.END:
+                        raise self.error("unterminated CREATE TABLE")
+                    type_parts.append(self.advance().value)
+                columns.append((column, " ".join(type_parts) or "any"))
+                if not self.accept_punct(","):
+                    break
+            self.expect_punct(")")
+            return CreateTableStmt(name, columns)
+        self.expect_keyword("view")
+        name = self.expect_ident()
+        self.expect_keyword("as")
+        return CreateViewStmt(name, self.parse_select())
+
+    def _parse_insert(self) -> InsertStmt:
+        self.expect_keyword("insert")
+        self.expect_keyword("into")
+        table = self.expect_ident()
+        self.expect_keyword("values")
+        rows: list[list[Expr]] = []
+        while True:
+            self.expect_punct("(")
+            row = [self.parse_expr()]
+            while self.accept_punct(","):
+                row.append(self.parse_expr())
+            self.expect_punct(")")
+            rows.append(row)
+            if not self.accept_punct(","):
+                break
+        return InsertStmt(table, rows)
+
+    def _parse_drop(self) -> DropStmt:
+        self.expect_keyword("drop")
+        kind = self.expect_keyword("table", "view").value
+        return DropStmt(kind, self.expect_ident())
+
+    def _parse_delete(self) -> DeleteStmt:
+        self.expect_keyword("delete")
+        self.expect_keyword("from")
+        table = self.expect_ident()
+        where = self.parse_expr() if self.accept_keyword("where") else None
+        return DeleteStmt(table, where)
+
+    # -- SELECT ---------------------------------------------------------------
+
+    def parse_select(self) -> SelectStmt:
+        stmt = self._parse_select_core()
+        while self.current.is_keyword("union", "intersect", "except"):
+            op = self.advance().value
+            all_flag = self.accept_keyword("all")
+            self.accept_keyword("distinct")
+            stmt.set_ops.append((op, all_flag, self._parse_select_core()))
+        if self.accept_keyword("order"):
+            self.expect_keyword("by")
+            stmt.order_by.append(self._parse_order_item())
+            while self.accept_punct(","):
+                stmt.order_by.append(self._parse_order_item())
+        if self.accept_keyword("limit"):
+            stmt.limit = int(self._expect_number())
+        if self.accept_keyword("offset"):
+            stmt.offset = int(self._expect_number())
+        return stmt
+
+    def _expect_number(self) -> str:
+        token = self.current
+        if token.kind != TokenKind.NUMBER:
+            raise self.error("expected a number")
+        self.advance()
+        return token.value
+
+    def _parse_order_item(self) -> OrderItem:
+        expr = self.parse_expr()
+        ascending = True
+        if self.accept_keyword("desc"):
+            ascending = False
+        else:
+            self.accept_keyword("asc")
+        return OrderItem(expr, ascending)
+
+    def _parse_select_core(self) -> SelectStmt:
+        if self.accept_punct("("):
+            stmt = self._parse_select_core()
+            self.expect_punct(")")
+            return stmt
+        self.expect_keyword("select")
+        stmt = SelectStmt()
+        if self.accept_keyword("provenance"):
+            stmt.provenance = "auto"
+            if self.accept_punct("("):
+                token = self.current
+                if token.kind not in (TokenKind.IDENT, TokenKind.STRING,
+                                      TokenKind.KEYWORD):
+                    raise self.error("expected a strategy name")
+                stmt.provenance = token.value
+                self.advance()
+                self.expect_punct(")")
+        if self.accept_keyword("distinct"):
+            stmt.distinct = True
+        self.accept_keyword("all")
+        stmt.items.append(self._parse_select_item())
+        while self.accept_punct(","):
+            stmt.items.append(self._parse_select_item())
+        if self.accept_keyword("from"):
+            stmt.from_items.append(self._parse_from_item())
+            while self.accept_punct(","):
+                stmt.from_items.append(self._parse_from_item())
+        if self.accept_keyword("where"):
+            stmt.where = self.parse_expr()
+        if self.accept_keyword("group"):
+            self.expect_keyword("by")
+            stmt.group_by.append(self.parse_expr())
+            while self.accept_punct(","):
+                stmt.group_by.append(self.parse_expr())
+        if self.accept_keyword("having"):
+            stmt.having = self.parse_expr()
+        return stmt
+
+    def _parse_select_item(self) -> SelectItem:
+        if self.current.kind == TokenKind.OPERATOR and \
+                self.current.value == "*":
+            self.advance()
+            return SelectItem(Star())
+        # alias.* requires two tokens of lookahead
+        if (self.current.kind == TokenKind.IDENT
+                and self.tokens[self.position + 1].value == "."
+                and self.tokens[self.position + 2].value == "*"):
+            qualifier = self.expect_ident()
+            self.advance()  # "."
+            self.advance()  # "*"
+            return SelectItem(Star(qualifier))
+        expr = self.parse_expr()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_ident()
+        elif self.current.kind == TokenKind.IDENT:
+            alias = self.expect_ident()
+        return SelectItem(expr, alias)
+
+    # -- FROM -------------------------------------------------------------------
+
+    def _parse_from_item(self):
+        item = self._parse_primary_from()
+        while True:
+            if self.accept_keyword("cross"):
+                self.expect_keyword("join")
+                right = self._parse_primary_from()
+                item = JoinExpr("cross", item, right)
+                continue
+            if self.current.is_keyword("join", "inner", "left"):
+                kind = "inner"
+                if self.accept_keyword("left"):
+                    kind = "left"
+                    self.accept_keyword("outer")
+                else:
+                    self.accept_keyword("inner")
+                self.expect_keyword("join")
+                right = self._parse_primary_from()
+                self.expect_keyword("on")
+                condition = self.parse_expr()
+                item = JoinExpr(kind, item, right, condition)
+                continue
+            return item
+
+    def _parse_primary_from(self):
+        if self.accept_punct("("):
+            if self.at_select():
+                query = self.parse_select()
+                self.expect_punct(")")
+                self.accept_keyword("as")
+                alias = self.expect_ident()
+                return SubqueryRef(query, alias)
+            item = self._parse_from_item()
+            self.expect_punct(")")
+            return item
+        name = self.expect_ident()
+        alias = None
+        if self.accept_keyword("as"):
+            alias = self.expect_ident()
+        elif self.current.kind == TokenKind.IDENT:
+            alias = self.expect_ident()
+        return TableRef(name, alias)
+
+    # -- expressions ---------------------------------------------------------------
+
+    def parse_expr(self) -> Expr:
+        return self._parse_or()
+
+    def _parse_or(self) -> Expr:
+        items = [self._parse_and()]
+        while self.accept_keyword("or"):
+            items.append(self._parse_and())
+        return items[0] if len(items) == 1 else or_all(items)
+
+    def _parse_and(self) -> Expr:
+        items = [self._parse_not()]
+        while self.accept_keyword("and"):
+            items.append(self._parse_not())
+        return items[0] if len(items) == 1 else and_all(items)
+
+    def _parse_not(self) -> Expr:
+        if self.accept_keyword("not"):
+            return Not(self._parse_not())
+        return self._parse_predicate()
+
+    def _parse_predicate(self) -> Expr:
+        left = self._parse_additive()
+        token = self.current
+        if token.kind == TokenKind.OPERATOR and \
+                token.value in _COMPARISON_OPS:
+            op = self.advance().value
+            if self.current.is_keyword("any", "some", "all"):
+                kind = SublinkKind.ALL if self.advance().value == "all" \
+                    else SublinkKind.ANY
+                self.expect_punct("(")
+                query = self.parse_select()
+                self.expect_punct(")")
+                return Sublink(kind, query, op, left)
+            return Comparison(op, left, self._parse_additive())
+        if token.is_keyword("is"):
+            self.advance()
+            negated = self.accept_keyword("not")
+            self.expect_keyword("null")
+            check = IsNull(left)
+            return Not(check) if negated else check
+        negated = self.accept_keyword("not")
+        if self.accept_keyword("between"):
+            low = self._parse_additive()
+            self.expect_keyword("and")
+            high = self._parse_additive()
+            check = and_all([Comparison(">=", left, low),
+                             Comparison("<=", left, high)])
+            return Not(check) if negated else check
+        if self.accept_keyword("like"):
+            check = Like(left, self._parse_additive())
+            return Not(check) if negated else check
+        if self.accept_keyword("in"):
+            self.expect_punct("(")
+            if self.at_select():
+                query = self.parse_select()
+                self.expect_punct(")")
+                check = Sublink(SublinkKind.ANY, query, "=", left)
+            else:
+                values = [self.parse_expr()]
+                while self.accept_punct(","):
+                    values.append(self.parse_expr())
+                self.expect_punct(")")
+                check = or_all(
+                    Comparison("=", left, value) for value in values)
+            return Not(check) if negated else check
+        if negated:
+            raise self.error("expected BETWEEN, LIKE or IN after NOT")
+        return left
+
+    def _parse_additive(self) -> Expr:
+        left = self._parse_multiplicative()
+        while self.current.kind == TokenKind.OPERATOR and \
+                self.current.value in ("+", "-", "||"):
+            op = self.advance().value
+            left = Arith(op, left, self._parse_multiplicative())
+        return left
+
+    def _parse_multiplicative(self) -> Expr:
+        left = self._parse_unary()
+        while self.current.kind == TokenKind.OPERATOR and \
+                self.current.value in ("*", "/", "%"):
+            op = self.advance().value
+            left = Arith(op, left, self._parse_unary())
+        return left
+
+    def _parse_unary(self) -> Expr:
+        if self.current.kind == TokenKind.OPERATOR and \
+                self.current.value == "-":
+            self.advance()
+            return Neg(self._parse_unary())
+        if self.current.kind == TokenKind.OPERATOR and \
+                self.current.value == "+":
+            self.advance()
+            return self._parse_unary()
+        return self._parse_primary()
+
+    def _parse_primary(self) -> Expr:
+        token = self.current
+        if token.kind == TokenKind.NUMBER:
+            self.advance()
+            text = token.value
+            if "." in text or "e" in text or "E" in text:
+                return Const(float(text))
+            return Const(int(text))
+        if token.kind == TokenKind.STRING:
+            self.advance()
+            return Const(token.value)
+        if token.is_keyword("null"):
+            self.advance()
+            return Const(None)
+        if token.is_keyword("true"):
+            self.advance()
+            return Const(True)
+        if token.is_keyword("false"):
+            self.advance()
+            return Const(False)
+        if token.is_keyword("case"):
+            return self._parse_case()
+        if token.is_keyword("cast"):
+            self.advance()
+            self.expect_punct("(")
+            operand = self.parse_expr()
+            self.expect_keyword("as")
+            type_parts = [self.advance().value]
+            while self.current.kind == TokenKind.IDENT:
+                type_parts.append(self.advance().value)
+            self.expect_punct(")")
+            return Cast(operand, " ".join(type_parts))
+        if token.is_keyword("exists"):
+            self.advance()
+            self.expect_punct("(")
+            query = self.parse_select()
+            self.expect_punct(")")
+            return Sublink(SublinkKind.EXISTS, query)
+        if token.kind == TokenKind.PUNCT and token.value == "(":
+            self.advance()
+            if self.at_select():
+                query = self.parse_select()
+                self.expect_punct(")")
+                return Sublink(SublinkKind.SCALAR, query)
+            expr = self.parse_expr()
+            self.expect_punct(")")
+            return expr
+        if token.kind == TokenKind.IDENT or token.is_keyword("left", "right"):
+            return self._parse_identifier_expr()
+        raise self.error("expected an expression")
+
+    def _parse_case(self) -> Expr:
+        self.expect_keyword("case")
+        whens: list[tuple[Expr, Expr]] = []
+        while self.accept_keyword("when"):
+            condition = self.parse_expr()
+            self.expect_keyword("then")
+            whens.append((condition, self.parse_expr()))
+        default: Expr = Const(None)
+        if self.accept_keyword("else"):
+            default = self.parse_expr()
+        self.expect_keyword("end")
+        if not whens:
+            raise self.error("CASE requires at least one WHEN branch")
+        return Case(tuple(whens), default)
+
+    def _parse_identifier_expr(self) -> Expr:
+        name = self.advance().value
+        # function call?
+        if self.current.kind == TokenKind.PUNCT and \
+                self.current.value == "(":
+            self.advance()
+            if name in _AGGREGATE_NAMES:
+                return self._parse_aggregate_call(name)
+            args: list[Expr] = []
+            if not self.accept_punct(")"):
+                args.append(self.parse_expr())
+                while self.accept_punct(","):
+                    args.append(self.parse_expr())
+                self.expect_punct(")")
+            return FuncCall(name, tuple(args))
+        # qualified column?
+        if self.accept_punct("."):
+            column = self.expect_ident()
+            return Col(f"{name}.{column}")
+        return Col(name)
+
+    def _parse_aggregate_call(self, name: str) -> Expr:
+        if self.current.kind == TokenKind.OPERATOR and \
+                self.current.value == "*":
+            self.advance()
+            self.expect_punct(")")
+            return AggCall(name, None, False)
+        distinct = self.accept_keyword("distinct")
+        arg = self.parse_expr()
+        self.expect_punct(")")
+        return AggCall(name, arg, distinct)
+
+
+def parse_statement(text: str) -> Statement:
+    """Parse a single SQL statement (a trailing ``;`` is allowed)."""
+    parser = _Parser(tokenize(text))
+    statement = parser.parse_statement()
+    parser.accept_punct(";")
+    if parser.current.kind != TokenKind.END:
+        raise parser.error("unexpected trailing input")
+    return statement
+
+
+def parse_statements(text: str) -> list[Statement]:
+    """Parse a ``;``-separated script."""
+    parser = _Parser(tokenize(text))
+    statements: list[Statement] = []
+    while parser.current.kind != TokenKind.END:
+        statements.append(parser.parse_statement())
+        while parser.accept_punct(";"):
+            pass
+    return statements

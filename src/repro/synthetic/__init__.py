@@ -1,0 +1,10 @@
+"""Synthetic workload of Section 4.2.2: Gaussian two-column tables and the
+parameterized sublink queries q1 (equality ANY) and q2 (inequality ALL)."""
+
+from .generator import SyntheticConfig, load_synthetic, synthetic_rows
+from .queries import q1_sql, q2_sql, random_range
+
+__all__ = [
+    "SyntheticConfig", "load_synthetic", "synthetic_rows",
+    "q1_sql", "q2_sql", "random_range",
+]

@@ -1,0 +1,65 @@
+"""The two parameterized synthetic queries of Section 4.2.2.
+
+::
+
+    q1 = σ_range ∧ a = ANY(σ_range2(R2)) (R1)      -- equality ANY
+    q2 = σ_range ∧ a < ALL(σ_range2(R2)) (R1)      -- inequality ALL
+
+``range``/``range2`` select a random fixed-width window of attribute ``b``
+from each table.  q1 is Unn-eligible (rule U2); q2 is not (inequality,
+universal quantification), matching the paper's strategy applicability.
+"""
+
+from __future__ import annotations
+
+import random
+
+from .generator import B_STDDEV_PER_ROW
+
+#: Window width; with b ~ N(0, 100·size) this selects a roughly constant
+#: number of tuples (~40) at every table size.
+DEFAULT_WINDOW = 10_000
+
+
+def random_range(size: int, rng: random.Random,
+                 window: int = DEFAULT_WINDOW) -> tuple[int, int]:
+    """A random fixed-width window over the bulk of ``b``'s distribution.
+
+    The window width scales with the table's standard deviation the same
+    way the distribution does, so the *number* of selected tuples stays
+    comparable across sizes (the paper's "random range with a fixed size").
+    """
+    sigma = B_STDDEV_PER_ROW * max(size, 1)
+    low = round(rng.uniform(-1.5, 1.5 - window / sigma) * sigma)
+    return low, low + window
+
+
+def _range_predicate(column: str, bounds: tuple[int, int]) -> str:
+    low, high = bounds
+    return f"{column} BETWEEN {low} AND {high}"
+
+
+def q1_sql(input_size: int, sublink_size: int, seed: int = 0,
+           window: int = DEFAULT_WINDOW) -> str:
+    """q1: selection with an equality-ANY sublink."""
+    rng = random.Random(f"q1-{seed}-{input_size}-{sublink_size}")
+    range1 = random_range(input_size, rng, window)
+    range2 = random_range(sublink_size, rng, window)
+    return (
+        f"SELECT a, b FROM r1 "
+        f"WHERE {_range_predicate('b', range1)} "
+        f"AND a = ANY (SELECT a FROM r2 "
+        f"WHERE {_range_predicate('b', range2)})")
+
+
+def q2_sql(input_size: int, sublink_size: int, seed: int = 0,
+           window: int = DEFAULT_WINDOW) -> str:
+    """q2: selection with an inequality-ALL sublink."""
+    rng = random.Random(f"q2-{seed}-{input_size}-{sublink_size}")
+    range1 = random_range(input_size, rng, window)
+    range2 = random_range(sublink_size, rng, window)
+    return (
+        f"SELECT a, b FROM r1 "
+        f"WHERE {_range_predicate('b', range1)} "
+        f"AND a < ALL (SELECT a FROM r2 "
+        f"WHERE {_range_predicate('b', range2)})")

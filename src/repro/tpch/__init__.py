@@ -1,0 +1,22 @@
+"""TPC-H substrate: schema, deterministic data generator, and the sublink
+query templates used by the paper's Figure 6 experiments."""
+
+from .schema import TPCH_SCHEMAS, create_tpch_tables
+from .datagen import TPCHGenerator, load_tpch, scale_rows
+from .extra_queries import BASELINE_QUERIES, baseline_sql
+from .queries import (
+    ALL_QUERIES,
+    PAPER_SUBLINK_QUERIES,
+    UNCORRELATED_QUERIES,
+    install_views,
+    query_sql,
+    query_strategies,
+)
+
+__all__ = [
+    "TPCH_SCHEMAS", "create_tpch_tables",
+    "TPCHGenerator", "load_tpch", "scale_rows",
+    "ALL_QUERIES", "PAPER_SUBLINK_QUERIES", "UNCORRELATED_QUERIES",
+    "BASELINE_QUERIES", "baseline_sql",
+    "install_views", "query_sql", "query_strategies",
+]

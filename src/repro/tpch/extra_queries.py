@@ -1,0 +1,127 @@
+"""Sublink-free TPC-H templates (Q1, Q3, Q5, Q6, Q10).
+
+The paper's experiments only need the nine sublink templates, but a
+provenance system that is "of limited use" without sublinks (the paper's
+motivation) still has to handle the rest of the workload; these templates
+exercise provenance through plain selection-projection-join-aggregation
+plans at TPC-H scale and serve as the no-sublink baseline in examples and
+tests.
+"""
+
+from __future__ import annotations
+
+import random
+from datetime import date, timedelta
+
+_SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+             "HOUSEHOLD"]
+_REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+
+def _iso(day: date) -> str:
+    return day.isoformat()
+
+
+def _q1(rng: random.Random) -> str:
+    delta = rng.randint(60, 120)
+    cutoff = date(1998, 12, 1) - timedelta(days=delta)
+    return f"""
+    SELECT l_returnflag, l_linestatus,
+           sum(l_quantity) AS sum_qty,
+           sum(l_extendedprice) AS sum_base_price,
+           sum(l_extendedprice * (1 - l_discount)) AS sum_disc_price,
+           sum(l_extendedprice * (1 - l_discount) * (1 + l_tax))
+               AS sum_charge,
+           avg(l_quantity) AS avg_qty,
+           avg(l_extendedprice) AS avg_price,
+           avg(l_discount) AS avg_disc,
+           count(*) AS count_order
+    FROM lineitem
+    WHERE l_shipdate <= '{_iso(cutoff)}'
+    GROUP BY l_returnflag, l_linestatus
+    ORDER BY l_returnflag, l_linestatus"""
+
+
+def _q3(rng: random.Random) -> str:
+    segment = rng.choice(_SEGMENTS)
+    pivot = date(1995, 3, rng.randint(1, 28))
+    return f"""
+    SELECT l_orderkey,
+           sum(l_extendedprice * (1 - l_discount)) AS revenue,
+           o_orderdate, o_shippriority
+    FROM customer, orders, lineitem
+    WHERE c_mktsegment = '{segment}'
+      AND c_custkey = o_custkey
+      AND l_orderkey = o_orderkey
+      AND o_orderdate < '{_iso(pivot)}'
+      AND l_shipdate > '{_iso(pivot)}'
+    GROUP BY l_orderkey, o_orderdate, o_shippriority
+    ORDER BY revenue DESC, o_orderdate"""
+
+
+def _q5(rng: random.Random) -> str:
+    region = rng.choice(_REGIONS)
+    start = date(rng.randint(1993, 1997), 1, 1)
+    end = date(start.year + 1, 1, 1)
+    return f"""
+    SELECT n_name, sum(l_extendedprice * (1 - l_discount)) AS revenue
+    FROM customer, orders, lineitem, supplier, nation, region
+    WHERE c_custkey = o_custkey
+      AND l_orderkey = o_orderkey
+      AND l_suppkey = s_suppkey
+      AND c_nationkey = s_nationkey
+      AND s_nationkey = n_nationkey
+      AND n_regionkey = r_regionkey
+      AND r_name = '{region}'
+      AND o_orderdate >= '{_iso(start)}'
+      AND o_orderdate < '{_iso(end)}'
+    GROUP BY n_name
+    ORDER BY revenue DESC"""
+
+
+def _q6(rng: random.Random) -> str:
+    start = date(rng.randint(1993, 1997), 1, 1)
+    end = date(start.year + 1, 1, 1)
+    discount = rng.choice([0.02, 0.04, 0.06, 0.08])
+    quantity = rng.choice([24, 25])
+    return f"""
+    SELECT sum(l_extendedprice * l_discount) AS revenue
+    FROM lineitem
+    WHERE l_shipdate >= '{_iso(start)}'
+      AND l_shipdate < '{_iso(end)}'
+      AND l_discount BETWEEN {discount - 0.01} AND {discount + 0.01}
+      AND l_quantity < {quantity}"""
+
+
+def _q10(rng: random.Random) -> str:
+    start = date(rng.randint(1993, 1995), rng.choice([1, 4, 7, 10]), 1)
+    end = start + timedelta(days=90)
+    return f"""
+    SELECT c_custkey, c_name,
+           sum(l_extendedprice * (1 - l_discount)) AS revenue,
+           c_acctbal, n_name, c_address, c_phone, c_comment
+    FROM customer, orders, lineitem, nation
+    WHERE c_custkey = o_custkey
+      AND l_orderkey = o_orderkey
+      AND o_orderdate >= '{_iso(start)}'
+      AND o_orderdate < '{_iso(end)}'
+      AND l_returnflag = 'R'
+      AND c_nationkey = n_nationkey
+    GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name, c_address,
+             c_comment
+    ORDER BY revenue DESC"""
+
+
+_EXTRA_TEMPLATES = {1: _q1, 3: _q3, 5: _q5, 6: _q6, 10: _q10}
+
+BASELINE_QUERIES = tuple(sorted(_EXTRA_TEMPLATES))
+
+
+def baseline_sql(number: int, seed: int = 0) -> str:
+    """The SQL text of sublink-free template *number* (seeded params)."""
+    if number not in _EXTRA_TEMPLATES:
+        raise KeyError(
+            f"no baseline template for Q{number}; available: "
+            f"{BASELINE_QUERIES}")
+    return _EXTRA_TEMPLATES[number](
+        random.Random(f"base-q{number}-{seed}")).strip()

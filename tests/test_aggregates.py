@@ -1,0 +1,72 @@
+"""Aggregate accumulators (SQL NULL-skipping and empty-input semantics)."""
+
+import pytest
+
+from repro.errors import ExpressionError
+from repro.expressions.aggregates import make_accumulator
+
+
+def feed(name, values, star=False, distinct=False):
+    accumulator = make_accumulator(name, star=star, distinct=distinct)
+    for value in values:
+        accumulator.add(value)
+    return accumulator.result()
+
+
+class TestCount:
+    def test_count_skips_nulls(self):
+        assert feed("count", [1, None, 2]) == 2
+
+    def test_count_star_counts_everything(self):
+        assert feed("count", [1, None, 2], star=True) == 3
+
+    def test_count_empty_is_zero(self):
+        assert feed("count", []) == 0
+        assert feed("count", [], star=True) == 0
+
+    def test_count_distinct(self):
+        assert feed("count", [1, 1, 2, None, 2], distinct=True) == 2
+
+
+class TestSumAvg:
+    def test_sum(self):
+        assert feed("sum", [1, 2, 3]) == 6
+
+    def test_sum_skips_nulls(self):
+        assert feed("sum", [1, None, 2]) == 3
+
+    def test_sum_empty_is_null(self):
+        assert feed("sum", []) is None
+
+    def test_sum_all_null_is_null(self):
+        assert feed("sum", [None, None]) is None
+
+    def test_avg(self):
+        assert feed("avg", [1, 2, 3]) == 2.0
+
+    def test_avg_skips_nulls(self):
+        assert feed("avg", [2, None, 4]) == 3.0
+
+    def test_avg_empty_is_null(self):
+        assert feed("avg", []) is None
+
+    def test_sum_distinct(self):
+        assert feed("sum", [2, 2, 3], distinct=True) == 5
+
+
+class TestMinMax:
+    def test_min_max(self):
+        assert feed("min", [3, 1, 2]) == 1
+        assert feed("max", [3, 1, 2]) == 3
+
+    def test_min_max_skip_nulls(self):
+        assert feed("min", [None, 5, None]) == 5
+        assert feed("max", [None]) is None
+
+    def test_min_strings(self):
+        assert feed("min", ["b", "a"]) == "a"
+
+
+def test_unknown_aggregate_raises():
+    with pytest.raises(ExpressionError):
+        make_accumulator("median")

@@ -1,0 +1,190 @@
+"""Three-valued logic, SQL comparisons and arithmetic."""
+
+import pytest
+
+from repro.datatypes import (
+    NEGATED_COMPARISON, SQLType, arithmetic, compare, is_null, is_true,
+    negate, null_safe_equal, null_safe_row_equal, render_value, sql_literal,
+    tv_all, tv_and, tv_any, tv_not, tv_or,
+)
+from repro.errors import ExpressionError
+
+
+class TestThreeValuedLogic:
+    """Kleene truth tables (Figure 1's conditions use these)."""
+
+    @pytest.mark.parametrize("left,right,expected", [
+        (True, True, True), (True, False, False), (False, True, False),
+        (False, False, False), (True, None, None), (None, True, None),
+        (False, None, False), (None, False, False), (None, None, None),
+    ])
+    def test_and_table(self, left, right, expected):
+        assert tv_and(left, right) == expected
+
+    @pytest.mark.parametrize("left,right,expected", [
+        (True, True, True), (True, False, True), (False, True, True),
+        (False, False, False), (True, None, True), (None, True, True),
+        (False, None, None), (None, False, None), (None, None, None),
+    ])
+    def test_or_table(self, left, right, expected):
+        assert tv_or(left, right) == expected
+
+    def test_not_table(self):
+        assert tv_not(True) is False
+        assert tv_not(False) is True
+        assert tv_not(None) is None
+
+    def test_tv_all_empty_is_vacuously_true(self):
+        assert tv_all([]) is True
+
+    def test_tv_any_empty_is_false(self):
+        assert tv_any([]) is False
+
+    def test_tv_all_short_circuits_on_false(self):
+        def generator():
+            yield False
+            raise AssertionError("must short-circuit")
+        assert tv_all(generator()) is False
+
+    def test_tv_any_short_circuits_on_true(self):
+        def generator():
+            yield True
+            raise AssertionError("must short-circuit")
+        assert tv_any(generator()) is True
+
+    def test_tv_all_unknown_propagates(self):
+        assert tv_all([True, None, True]) is None
+
+    def test_tv_any_unknown_propagates(self):
+        assert tv_any([False, None]) is None
+
+    def test_is_true_only_on_definite_true(self):
+        assert is_true(True)
+        assert not is_true(None)
+        assert not is_true(False)
+
+
+class TestComparisons:
+    def test_null_operand_is_unknown(self):
+        assert compare("=", None, 1) is None
+        assert compare("<", 1, None) is None
+        assert compare("<>", None, None) is None
+
+    @pytest.mark.parametrize("op,left,right,expected", [
+        ("=", 1, 1, True), ("=", 1, 2, False),
+        ("<>", 1, 2, True), ("<>", 2, 2, False),
+        ("<", 1, 2, True), ("<=", 2, 2, True),
+        (">", 3, 2, True), (">=", 1, 2, False),
+    ])
+    def test_integer_comparisons(self, op, left, right, expected):
+        assert compare(op, left, right) is expected
+
+    def test_mixed_numeric_comparison(self):
+        assert compare("=", 1, 1.0) is True
+        assert compare("<", 1, 1.5) is True
+
+    def test_string_comparison_is_lexicographic(self):
+        assert compare("<", "1994-01-01", "1994-06-01") is True
+
+    def test_incompatible_types_raise(self):
+        with pytest.raises(ExpressionError):
+            compare("=", 1, "one")
+
+    def test_bool_only_compares_with_bool(self):
+        assert compare("=", True, True) is True
+        with pytest.raises(ExpressionError):
+            compare("=", True, 1)
+
+    def test_unknown_operator_raises(self):
+        with pytest.raises(ExpressionError):
+            compare("~", 1, 2)
+
+    def test_negated_comparison_map_is_involutive(self):
+        for op, negated in NEGATED_COMPARISON.items():
+            assert NEGATED_COMPARISON[negated] == op
+
+
+class TestNullSafeEquality:
+    """The paper's =n operator: used by rules R5, G1 and the set ops."""
+
+    def test_null_equals_null(self):
+        assert null_safe_equal(None, None) is True
+
+    def test_null_never_equals_value(self):
+        assert null_safe_equal(None, 0) is False
+        assert null_safe_equal("", None) is False
+
+    def test_plain_equality(self):
+        assert null_safe_equal(3, 3) is True
+        assert null_safe_equal(3, 4) is False
+
+    def test_row_equality(self):
+        assert null_safe_row_equal((1, None), (1, None))
+        assert not null_safe_row_equal((1, None), (1, 2))
+
+
+class TestArithmetic:
+    def test_null_propagates(self):
+        assert arithmetic("+", None, 1) is None
+        assert arithmetic("*", 2, None) is None
+
+    def test_basic_operations(self):
+        assert arithmetic("+", 2, 3) == 5
+        assert arithmetic("-", 2, 3) == -1
+        assert arithmetic("*", 2.5, 2) == 5.0
+        assert arithmetic("/", 7, 2) == 3.5
+        assert arithmetic("%", 7, 2) == 1
+
+    def test_concatenation(self):
+        assert arithmetic("||", "a", "b") == "ab"
+        assert arithmetic("||", "n", 1) == "n1"
+
+    def test_division_by_zero_raises(self):
+        with pytest.raises(ExpressionError):
+            arithmetic("/", 1, 0)
+        with pytest.raises(ExpressionError):
+            arithmetic("%", 1, 0)
+
+    def test_non_numeric_raises(self):
+        with pytest.raises(ExpressionError):
+            arithmetic("+", "a", 1)
+        with pytest.raises(ExpressionError):
+            arithmetic("+", True, 1)
+
+    def test_negate(self):
+        assert negate(3) == -3
+        assert negate(None) is None
+        with pytest.raises(ExpressionError):
+            negate("x")
+
+
+class TestRendering:
+    def test_render_null(self):
+        assert render_value(None) == "NULL"
+
+    def test_render_bool(self):
+        assert render_value(True) == "true"
+        assert render_value(False) == "false"
+
+    def test_sql_literal_escapes_quotes(self):
+        assert sql_literal("it's") == "'it''s'"
+
+    def test_sql_literal_null_and_bool(self):
+        assert sql_literal(None) == "NULL"
+        assert sql_literal(True) == "TRUE"
+
+
+class TestSQLType:
+    def test_parse_aliases(self):
+        assert SQLType.parse("int") == SQLType.INTEGER
+        assert SQLType.parse("VARCHAR(55)") == SQLType.TEXT
+        assert SQLType.parse("decimal(15, 2)") == SQLType.FLOAT
+        assert SQLType.parse("date") == SQLType.DATE
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ExpressionError):
+            SQLType.parse("blob")
+
+    def test_is_null(self):
+        assert is_null(None)
+        assert not is_null(0)

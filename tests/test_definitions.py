@@ -1,0 +1,192 @@
+"""Brute-force validation of Definitions 1 and 2 (Theorems 1-3) and the
+Section 2.5 multiple-sublink ambiguity example."""
+
+import pytest
+
+from repro.datatypes import compare, tv_all, tv_any, tv_not, tv_or
+from repro.provenance.oracle import (
+    SelectionWithSublinks, brute_force_provenance,
+)
+
+
+def identity_query(sub_input, t):
+    """Identity sublink query: Tsub = its input relation."""
+    return list(sub_input)
+
+
+def any_value(op):
+    """``t.a op ANY Tsub`` over single-column rows."""
+    return lambda t, rows: tv_any(compare(op, t[0], r[0]) for r in rows)
+
+
+def all_value(op):
+    """``t.a op ALL Tsub`` over single-column rows."""
+    return lambda t, rows: tv_all(compare(op, t[0], r[0]) for r in rows)
+
+
+def exists_value(t, rows):
+    return len(rows) > 0
+
+
+class TestSection25Ambiguity:
+    """σ_{(a = ANY R) ∨ (a > ALL S)}(U) with R = {1..10} (scaled down
+    from the paper's 1..100), S = {1, 5}, U = {5}: Definition 1 admits
+    several incomparable maximal solutions; Definition 2 exactly one."""
+
+    @pytest.fixture
+    def selection(self):
+        r_rows = [(i,) for i in range(1, 11)]
+        s_rows = [(1,), (5,)]
+        u_rows = [(5,)]
+        return SelectionWithSublinks(
+            u_rows, [r_rows, s_rows],
+            [identity_query, identity_query],
+            [any_value("="), all_value(">")],
+            lambda t, values: tv_or(values[0], values[1]))
+
+    def test_tuple_is_in_result(self, selection):
+        assert selection.evaluate() == [(5,)]
+
+    def test_definition1_is_ambiguous(self, selection):
+        maxima = brute_force_provenance(selection, (5,), definition=1)
+        assert len(maxima) > 1
+        normalized = {tuple(tuple(sorted(s)) for s in m) for m in maxima}
+        # the paper's two solutions are among the maxima
+        solution1 = (((5,),), ((1,), (5,)))
+        solution2 = (tuple((i,) for i in range(1, 11)), ((1,),))
+        assert tuple(tuple(sorted(s)) for s in solution1) in normalized
+        assert tuple(tuple(sorted(s)) for s in solution2) in normalized
+
+    def test_definition2_is_unique(self, selection):
+        maxima = brute_force_provenance(selection, (5,), definition=2)
+        assert len(maxima) == 1
+        r_star, s_star = maxima[0]
+        # C1 (a = ANY R) is true: each provenance tuple alone must keep it
+        # true -> R* = {5}.  C2 (a > ALL S) is false: each tuple alone
+        # must keep it false -> S* = {5} (5 > 1 alone would flip it).
+        assert sorted(r_star) == [(5,)]
+        assert sorted(s_star) == [(5,)]
+
+
+class TestTheorem1ANYSublinks:
+    """Single ANY-sublink: brute force matches Figure 2's closed forms."""
+
+    def build(self, input_rows, sub_rows):
+        return SelectionWithSublinks(
+            input_rows, [sub_rows], [identity_query], [any_value("=")],
+            lambda t, values: values[0])
+
+    def test_reqtrue_gives_tsub_true(self):
+        selection = self.build([(2,)], [(1,), (2,), (3,)])
+        maxima = brute_force_provenance(selection, (2,), definition=2)
+        assert maxima == [(((2,),),)]
+
+    def test_definition1_reqtrue_matches(self):
+        selection = self.build([(2,)], [(1,), (2,), (3,)])
+        maxima = brute_force_provenance(selection, (2,), definition=1)
+        assert maxima == [(((2,),),)]
+
+    def test_multiple_matches_all_kept(self):
+        selection = self.build([(2,)], [(2,), (2,), (3,)])
+        maxima = brute_force_provenance(selection, (2,), definition=2)
+        (subsets,) = maxima
+        assert sorted(subsets[0]) == [(2,), (2,)]
+
+
+class TestTheorem1ALLSublinks:
+    def build(self, input_rows, sub_rows, negate=False):
+        condition = (lambda t, values: tv_not(values[0])) if negate \
+            else (lambda t, values: values[0])
+        return SelectionWithSublinks(
+            input_rows, [sub_rows], [identity_query], [all_value("<")],
+            condition)
+
+    def test_reqtrue_gives_whole_tsub(self):
+        # 1 < ALL {2,3}: true; provenance = Tsub
+        selection = self.build([(1,)], [(2,), (3,)])
+        maxima = brute_force_provenance(selection, (1,), definition=2)
+        (subsets,) = maxima
+        assert sorted(subsets[0]) == [(2,), (3,)]
+
+    def test_reqfalse_gives_tsub_false(self):
+        # NOT(3 < ALL {2,5}): sublink false; provenance = failing tuples
+        selection = self.build([(3,)], [(2,), (5,)], negate=True)
+        maxima = brute_force_provenance(selection, (3,), definition=2)
+        (subsets,) = maxima
+        assert sorted(subsets[0]) == [(2,)]
+
+    def test_definition1_ind_differs_from_definition2(self):
+        """Section 2.5's false-positive discussion: with an `ind` sublink
+        (condition true regardless), Definition 1 keeps all of Tsub while
+        Definition 2 restricts to the value-preserving tuples."""
+        selection = SelectionWithSublinks(
+            [(3,)], [[(2,), (5,)]], [identity_query], [all_value("<")],
+            lambda t, values: tv_or(compare("=", t[0], 3), values[0]))
+        def1 = brute_force_provenance(selection, (3,), definition=1)
+        assert sorted(def1[0][0]) == [(2,), (5,)]  # whole Tsub (ind role)
+        def2 = brute_force_provenance(selection, (3,), definition=2)
+        # sublink is false (3 < 2 fails): only (2,) preserves falseness
+        assert sorted(def2[0][0]) == [(2,)]
+
+
+class TestExistsSublinks:
+    def test_exists_provenance_is_whole_tsub(self):
+        selection = SelectionWithSublinks(
+            [(1,)], [[(7,), (8,)]], [identity_query], [exists_value],
+            lambda t, values: values[0])
+        for definition in (1, 2):
+            maxima = brute_force_provenance(
+                selection, (1,), definition=definition)
+            (subsets,) = maxima
+            assert sorted(subsets[0]) == [(7,), (8,)]
+
+    def test_not_exists_requires_empty_tsub(self):
+        selection = SelectionWithSublinks(
+            [(1,)], [[]], [identity_query], [exists_value],
+            lambda t, values: tv_not(values[0]))
+        maxima = brute_force_provenance(selection, (1,), definition=2)
+        assert maxima == [((),)]
+
+
+class TestCorrelatedBruteForce:
+    def test_correlated_sublink_query(self):
+        # Tsub = σ_{c = t.b}(S): parameterized by the input tuple
+        def corr_query(sub_input, t):
+            return [row for row in sub_input if row[0] == t[1]]
+
+        selection = SelectionWithSublinks(
+            [(1, 1)], [[(1,), (2,)]], [corr_query], [any_value("=")],
+            lambda t, values: values[0])
+        maxima = brute_force_provenance(selection, (1, 1), definition=2)
+        (subsets,) = maxima
+        # (2,) is filtered by the correlation, and alone it changes
+        # nothing; (1,) is the match.  Both definitions keep (2,) out of
+        # Tsub_true but condition 3 also demands Csub equality: Csub with
+        # {(2,)} alone is false != true -> excluded.
+        assert sorted(subsets[0]) == [(1,)]
+
+
+class TestRewriteAgreesWithBruteForce:
+    """End-to-end: the Gen rewrite's provenance equals the brute-force
+    Definition-2 maxima on a tiny instance."""
+
+    def test_any_sublink(self, figure3_db):
+        prov = figure3_db.provenance(
+            "SELECT * FROM r WHERE a = ANY (SELECT c FROM s)",
+            strategy="gen")
+        by_tuple = {}
+        for row in prov.rows:
+            by_tuple.setdefault((row[0], row[1]), set()).add(row[4:6])
+
+        def sub_query(sub_input, t):
+            return [(row[0],) for row in sub_input]
+
+        selection = SelectionWithSublinks(
+            [(1, 1), (2, 1), (3, 2)], [[(1, 3), (2, 4), (4, 5)]],
+            [sub_query], [any_value("=")],
+            lambda t, values: values[0])
+        for result_tuple, prov_set in by_tuple.items():
+            maxima = brute_force_provenance(
+                selection, result_tuple, definition=2)
+            (subsets,) = maxima
+            assert {tuple(r) for r in subsets[0]} == prov_set

@@ -1,0 +1,75 @@
+"""SQL tokenizer."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.sql.lexer import TokenKind, tokenize
+
+
+def kinds(text):
+    return [(t.kind, t.value) for t in tokenize(text)[:-1]]
+
+
+class TestBasics:
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("SELECT Select select")
+        assert all(t.is_keyword("select") for t in tokens[:-1])
+
+    def test_identifiers_lowercased(self):
+        assert kinds("MyTable") == [(TokenKind.IDENT, "mytable")]
+
+    def test_quoted_identifier_preserves_case(self):
+        assert kinds('"MyCol"') == [(TokenKind.IDENT, "MyCol")]
+
+    def test_numbers(self):
+        assert kinds("1 2.5 1e3 1.5E-2") == [
+            (TokenKind.NUMBER, "1"), (TokenKind.NUMBER, "2.5"),
+            (TokenKind.NUMBER, "1e3"), (TokenKind.NUMBER, "1.5E-2")]
+
+    def test_string_with_escaped_quote(self):
+        assert kinds("'it''s'") == [(TokenKind.STRING, "it's")]
+
+    def test_operators(self):
+        values = [v for _, v in kinds("= <> != <= >= < > || + - * / %")]
+        assert values == ["=", "<>", "<>", "<=", ">=", "<", ">", "||",
+                          "+", "-", "*", "/", "%"]
+
+    def test_end_token_always_present(self):
+        assert tokenize("")[-1].kind == TokenKind.END
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert kinds("1 -- comment\n2") == [
+            (TokenKind.NUMBER, "1"), (TokenKind.NUMBER, "2")]
+
+    def test_block_comment(self):
+        assert kinds("1 /* multi\nline */ 2") == [
+            (TokenKind.NUMBER, "1"), (TokenKind.NUMBER, "2")]
+
+    def test_unterminated_block_comment_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("/* oops")
+
+
+class TestErrorsAndPositions:
+    def test_unterminated_string_raises(self):
+        with pytest.raises(SQLSyntaxError):
+            tokenize("'oops")
+
+    def test_unexpected_character_raises(self):
+        with pytest.raises(SQLSyntaxError, match="unexpected character"):
+            tokenize("select #")
+
+    def test_line_column_tracking(self):
+        tokens = tokenize("select\n  from")
+        assert tokens[0].line == 1 and tokens[0].column == 1
+        assert tokens[1].line == 2 and tokens[1].column == 3
+
+    def test_error_carries_position(self):
+        try:
+            tokenize("a\n  $")
+        except SQLSyntaxError as exc:
+            assert exc.line == 2 and exc.column == 3
+        else:  # pragma: no cover
+            raise AssertionError("expected SQLSyntaxError")

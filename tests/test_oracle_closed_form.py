@@ -1,0 +1,133 @@
+"""The closed-form tracing oracle vs the rewrites (independent paths)."""
+
+import pytest
+
+from repro.expressions.ast import Col, Comparison, Const, Sublink, SublinkKind
+from repro.algebra.operators import BaseRelation, Project, Select
+from repro.provenance.oracle import closed_form_provenance
+from repro.provenance.influence import (
+    InfluenceRole, influence_role, sublink_provenance_filter,
+)
+from repro.schema import Schema
+
+
+def scan(name, *cols):
+    return Schema.of(*cols), BaseRelation(name, name, Schema.of(*cols))
+
+
+@pytest.fixture
+def catalog(figure3_catalog):
+    return figure3_catalog
+
+
+class TestClosedFormSelection:
+    def test_any_sublink_true(self, catalog):
+        _, r = scan("r", "a", "b")
+        _, s = scan("s", "c", "d")
+        sub = Project(s, [("c", Col("c"))])
+        query = Select(r, Sublink(SublinkKind.ANY, sub, "=", Col("a")))
+        results = closed_form_provenance(query, catalog)
+        by_row = {entry[0]: entry[1] for entry in results}
+        assert set(by_row) == {(1, 1), (2, 1)}
+        assert by_row[(1, 1)][0] == [(1,)]
+        assert by_row[(2, 1)][0] == [(2,)]
+
+    def test_all_sublink(self, catalog):
+        _, s = scan("s", "c", "d")
+        _, r = scan("r", "a", "b")
+        sub = Project(r, [("a", Col("a"))])
+        query = Select(s, Sublink(SublinkKind.ALL, sub, ">", Col("c")))
+        results = closed_form_provenance(query, catalog)
+        (row, prov), = results
+        assert row == (4, 5)
+        assert sorted(prov[0]) == [(1,), (2,), (3,)]
+
+    def test_matches_gen_rewrite(self, catalog, figure3_db):
+        _, r = scan("r", "a", "b")
+        _, s = scan("s", "c", "d")
+        sub = Project(s, [("c", Col("c"))])
+        query = Select(r, Sublink(SublinkKind.ANY, sub, "=", Col("a")))
+        oracle = {entry[0]: {tuple(t) for t in entry[1][0]}
+                  for entry in closed_form_provenance(query, catalog)}
+        prov = figure3_db.provenance(
+            "SELECT * FROM r WHERE a = ANY (SELECT c FROM s)",
+            strategy="gen")
+        rewrite = {}
+        for row in prov.rows:
+            rewrite.setdefault((row[0], row[1]), set()).add((row[4],))
+        assert oracle == rewrite
+
+
+class TestClosedFormProjection:
+    def test_scalar_sublink_projection(self, catalog):
+        _, r = scan("r", "a", "b")
+        _, s = scan("s", "c", "d")
+        from repro.expressions.ast import AggCall
+        from repro.algebra.operators import Aggregate
+        agg = Aggregate(Project(s, [("c", Col("c"))]), (),
+                        [("m", AggCall("max", Col("c")))])
+        query = Project(
+            r, [("a", Col("a")),
+                ("m", Sublink(SublinkKind.SCALAR, agg))])
+        results = closed_form_provenance(query, catalog)
+        assert len(results) == 3
+        for row, prov in results:
+            assert row[1] == 4
+            assert prov[0] == [(4,)]  # aggregate output row
+
+
+class TestInfluenceRoles:
+    """The classical Section 2.3 role analysis (oracle/pedagogy only)."""
+
+    def test_reqtrue(self):
+        role = influence_role(lambda v: v, actual=True)
+        assert role == InfluenceRole.REQTRUE
+
+    def test_reqfalse(self):
+        # condition = NOT Csub: it holds only when the sublink is false
+        role = influence_role(lambda v: not v, actual=False)
+        assert role == InfluenceRole.REQFALSE
+        role = influence_role(lambda v: not v, actual=True)
+        assert role == InfluenceRole.REQFALSE
+
+    def test_ind(self):
+        role = influence_role(lambda v: True, actual=True)
+        assert role == InfluenceRole.IND
+
+
+class TestProvenanceFilters:
+    """Figure 2 closed forms as direct predicates."""
+
+    def make(self, kind, op=None, test=None):
+        query = BaseRelation("s", "s", Schema.of("c"))
+        return Sublink(kind, query, op, test)
+
+    def test_any_true_keeps_matches(self):
+        sub = self.make(SublinkKind.ANY, "=", Col("a"))
+        keep = sublink_provenance_filter(sub, True, 2)
+        assert keep((2,)) and not keep((3,))
+
+    def test_any_false_keeps_all(self):
+        sub = self.make(SublinkKind.ANY, "=", Col("a"))
+        keep = sublink_provenance_filter(sub, False, 9)
+        assert keep((2,)) and keep((3,))
+
+    def test_all_true_keeps_all(self):
+        sub = self.make(SublinkKind.ALL, "<", Col("a"))
+        keep = sublink_provenance_filter(sub, True, 1)
+        assert keep((2,)) and keep((99,))
+
+    def test_all_false_keeps_failures(self):
+        sub = self.make(SublinkKind.ALL, "<", Col("a"))
+        keep = sublink_provenance_filter(sub, False, 5)
+        assert keep((3,)) and not keep((9,))
+
+    def test_exists_and_scalar_keep_everything(self):
+        for kind in (SublinkKind.EXISTS, SublinkKind.SCALAR):
+            keep = sublink_provenance_filter(self.make(kind), True, None)
+            assert keep((1,)) and keep((None,))
+
+    def test_null_comparison_excluded_from_true_branch(self):
+        sub = self.make(SublinkKind.ANY, "=", Col("a"))
+        keep = sublink_provenance_filter(sub, True, 2)
+        assert not keep((None,))  # unknown comparison is not 'true'

@@ -1,0 +1,239 @@
+"""SQL parser: statements, expressions, sublinks, precedence."""
+
+import pytest
+
+from repro.errors import SQLSyntaxError
+from repro.expressions.ast import (
+    AggCall, Arith, BoolOp, Case, Cast, Col, Comparison, Const, IsNull,
+    Like, Not, Sublink, SublinkKind,
+)
+from repro.sql.ast import (
+    CreateTableStmt, CreateViewStmt, DeleteStmt, DropStmt, InsertStmt,
+    JoinExpr, SelectStmt, Star, SubqueryRef, TableRef,
+)
+from repro.sql.parser import parse_statement, parse_statements
+
+
+def parse_select(text) -> SelectStmt:
+    stmt = parse_statement(text)
+    assert isinstance(stmt, SelectStmt)
+    return stmt
+
+
+def where_of(text):
+    return parse_select(f"SELECT * FROM t WHERE {text}").where
+
+
+class TestStatements:
+    def test_create_table(self):
+        stmt = parse_statement(
+            "CREATE TABLE t (a int, b varchar(10), c decimal(15, 2))")
+        assert isinstance(stmt, CreateTableStmt)
+        assert stmt.columns == [("a", "int"), ("b", "varchar"),
+                                ("c", "decimal")]
+
+    def test_create_view(self):
+        stmt = parse_statement("CREATE VIEW v AS SELECT 1 AS x")
+        assert isinstance(stmt, CreateViewStmt)
+        assert stmt.name == "v"
+
+    def test_insert_multiple_rows(self):
+        stmt = parse_statement("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(stmt, InsertStmt)
+        assert len(stmt.rows) == 2
+
+    def test_drop(self):
+        stmt = parse_statement("DROP TABLE t")
+        assert isinstance(stmt, DropStmt) and stmt.kind == "table"
+
+    def test_delete_with_where(self):
+        stmt = parse_statement("DELETE FROM t WHERE a = 1")
+        assert isinstance(stmt, DeleteStmt)
+        assert stmt.where is not None
+
+    def test_trailing_semicolon_ok(self):
+        parse_statement("SELECT 1;")
+
+    def test_trailing_garbage_raises(self):
+        with pytest.raises(SQLSyntaxError, match="trailing"):
+            parse_statement("SELECT 1 1")
+
+    def test_parse_statements_script(self):
+        stmts = parse_statements(
+            "CREATE TABLE t (a int); INSERT INTO t VALUES (1); SELECT 1;")
+        assert len(stmts) == 3
+
+
+class TestSelectClauses:
+    def test_provenance_flag(self):
+        assert parse_select("SELECT PROVENANCE 1").provenance == "auto"
+        assert parse_select("SELECT 1").provenance is None
+
+    def test_provenance_strategy(self):
+        assert parse_select(
+            "SELECT PROVENANCE (left) 1").provenance == "left"
+
+    def test_distinct(self):
+        assert parse_select("SELECT DISTINCT a FROM t").distinct
+
+    def test_star_and_qualified_star(self):
+        stmt = parse_select("SELECT *, t.*, a FROM t")
+        assert isinstance(stmt.items[0].expr, Star)
+        assert stmt.items[1].expr.qualifier == "t"
+        assert isinstance(stmt.items[2].expr, Col)
+
+    def test_aliases(self):
+        stmt = parse_select("SELECT a AS x, b y FROM t")
+        assert stmt.items[0].alias == "x"
+        assert stmt.items[1].alias == "y"
+
+    def test_from_comma_list(self):
+        stmt = parse_select("SELECT * FROM a, b c, (SELECT 1 AS x) AS d")
+        assert isinstance(stmt.from_items[0], TableRef)
+        assert stmt.from_items[1].alias == "c"
+        assert isinstance(stmt.from_items[2], SubqueryRef)
+
+    def test_join_syntax(self):
+        stmt = parse_select(
+            "SELECT * FROM a JOIN b ON a.x = b.x "
+            "LEFT OUTER JOIN c ON b.y = c.y")
+        join = stmt.from_items[0]
+        assert isinstance(join, JoinExpr) and join.kind == "left"
+        assert isinstance(join.left, JoinExpr)
+        assert join.left.kind == "inner"
+
+    def test_cross_join(self):
+        stmt = parse_select("SELECT * FROM a CROSS JOIN b")
+        assert stmt.from_items[0].kind == "cross"
+
+    def test_group_by_having(self):
+        stmt = parse_select(
+            "SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 1")
+        assert len(stmt.group_by) == 1
+        assert stmt.having is not None
+
+    def test_order_limit_offset(self):
+        stmt = parse_select(
+            "SELECT a FROM t ORDER BY a DESC, b LIMIT 10 OFFSET 5")
+        assert stmt.order_by[0].ascending is False
+        assert stmt.order_by[1].ascending is True
+        assert stmt.limit == 10 and stmt.offset == 5
+
+    def test_set_operations(self):
+        stmt = parse_select(
+            "SELECT a FROM t UNION ALL SELECT b FROM u "
+            "EXCEPT SELECT c FROM v")
+        assert [(op, all_) for op, all_, _ in stmt.set_ops] == [
+            ("union", True), ("except", False)]
+
+
+class TestExpressions:
+    def test_precedence_or_and(self):
+        expr = where_of("a = 1 OR b = 2 AND c = 3")
+        assert isinstance(expr, BoolOp) and expr.op == "or"
+        assert isinstance(expr.items[1], BoolOp)
+        assert expr.items[1].op == "and"
+
+    def test_precedence_arith(self):
+        expr = where_of("a + b * c = 7")
+        assert isinstance(expr, Comparison)
+        addition = expr.left
+        assert isinstance(addition, Arith) and addition.op == "+"
+        assert isinstance(addition.right, Arith)
+        assert addition.right.op == "*"
+
+    def test_not(self):
+        expr = where_of("NOT a = 1")
+        assert isinstance(expr, Not)
+
+    def test_between_desugars(self):
+        expr = where_of("a BETWEEN 1 AND 5")
+        assert isinstance(expr, BoolOp) and expr.op == "and"
+        assert expr.items[0].op == ">=" and expr.items[1].op == "<="
+
+    def test_not_between(self):
+        assert isinstance(where_of("a NOT BETWEEN 1 AND 5"), Not)
+
+    def test_in_list_desugars_to_or(self):
+        expr = where_of("a IN (1, 2, 3)")
+        assert isinstance(expr, BoolOp) and expr.op == "or"
+        assert len(expr.items) == 3
+
+    def test_in_select_is_any_sublink(self):
+        expr = where_of("a IN (SELECT b FROM u)")
+        assert isinstance(expr, Sublink)
+        assert expr.kind == SublinkKind.ANY and expr.op == "="
+
+    def test_not_in_select(self):
+        expr = where_of("a NOT IN (SELECT b FROM u)")
+        assert isinstance(expr, Not)
+        assert isinstance(expr.operand, Sublink)
+
+    def test_any_all_some(self):
+        any_expr = where_of("a = ANY (SELECT b FROM u)")
+        assert any_expr.kind == SublinkKind.ANY
+        some_expr = where_of("a < SOME (SELECT b FROM u)")
+        assert some_expr.kind == SublinkKind.ANY and some_expr.op == "<"
+        all_expr = where_of("a >= ALL (SELECT b FROM u)")
+        assert all_expr.kind == SublinkKind.ALL
+
+    def test_exists(self):
+        expr = where_of("EXISTS (SELECT * FROM u)")
+        assert isinstance(expr, Sublink)
+        assert expr.kind == SublinkKind.EXISTS and expr.test is None
+
+    def test_scalar_sublink(self):
+        expr = where_of("a > (SELECT max(b) FROM u)")
+        assert isinstance(expr.right, Sublink)
+        assert expr.right.kind == SublinkKind.SCALAR
+
+    def test_is_null_and_is_not_null(self):
+        assert isinstance(where_of("a IS NULL"), IsNull)
+        assert isinstance(where_of("a IS NOT NULL"), Not)
+
+    def test_like_and_not_like(self):
+        assert isinstance(where_of("a LIKE 'x%'"), Like)
+        assert isinstance(where_of("a NOT LIKE 'x%'"), Not)
+
+    def test_case(self):
+        expr = where_of(
+            "CASE WHEN a = 1 THEN 'one' ELSE 'other' END = 'one'")
+        assert isinstance(expr.left, Case)
+
+    def test_cast(self):
+        expr = where_of("CAST(a AS int) = 1")
+        assert isinstance(expr.left, Cast)
+        assert expr.left.type_name == "int"
+
+    def test_aggregates(self):
+        stmt = parse_select(
+            "SELECT count(*), count(DISTINCT a), sum(a + b) FROM t")
+        star, distinct, total = (item.expr for item in stmt.items)
+        assert isinstance(star, AggCall) and star.arg is None
+        assert distinct.distinct is True
+        assert isinstance(total.arg, Arith)
+
+    def test_string_concat(self):
+        expr = where_of("a || 'x' = 'bx'")
+        assert isinstance(expr.left, Arith) and expr.left.op == "||"
+
+    def test_unary_minus_and_plus(self):
+        stmt = parse_select("SELECT -a, +b FROM t")
+        from repro.expressions.ast import Neg
+        assert isinstance(stmt.items[0].expr, Neg)
+        assert isinstance(stmt.items[1].expr, Col)
+
+    def test_number_literals(self):
+        stmt = parse_select("SELECT 1, 2.5, 1e3")
+        values = [item.expr.value for item in stmt.items]
+        assert values == [1, 2.5, 1000.0]
+        assert isinstance(values[0], int)
+
+    def test_boolean_and_null_literals(self):
+        stmt = parse_select("SELECT TRUE, FALSE, NULL")
+        assert [item.expr.value for item in stmt.items] == [
+            True, False, None]
+
+    def test_error_messages_have_position(self):
+        with pytest.raises(SQLSyntaxError, match="line"):
+            parse_statement("SELECT FROM")

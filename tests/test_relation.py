@@ -1,0 +1,95 @@
+"""Bag-semantics relation operations (Figure 1's set/bag operators)."""
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.relation import Relation
+from repro.schema import Schema
+
+
+def rel(names, rows):
+    return Relation.from_columns(names, rows)
+
+
+class TestConstruction:
+    def test_arity_checked_on_init(self):
+        with pytest.raises(SchemaError):
+            rel(["a", "b"], [(1,)])
+
+    def test_arity_checked_on_insert(self):
+        relation = rel(["a"], [])
+        with pytest.raises(SchemaError):
+            relation.insert((1, 2))
+
+    def test_len_and_iter(self):
+        relation = rel(["a"], [(1,), (1,), (2,)])
+        assert len(relation) == 3
+        assert list(relation) == [(1,), (1,), (2,)]
+
+
+class TestBagOperations:
+    """Multiplicity identities from Figure 1."""
+
+    def test_bag_union_adds_multiplicities(self):
+        left = rel(["a"], [(1,), (1,)])
+        right = rel(["a"], [(1,), (2,)])
+        assert left.bag_union(right).multiset() == {(1,): 3, (2,): 1}
+
+    def test_bag_intersect_takes_min(self):
+        left = rel(["a"], [(1,), (1,), (1,), (2,)])
+        right = rel(["a"], [(1,), (1,), (3,)])
+        assert left.bag_intersect(right).multiset() == {(1,): 2}
+
+    def test_bag_difference_subtracts_floored(self):
+        left = rel(["a"], [(1,), (1,), (2,)])
+        right = rel(["a"], [(1,), (1,), (1,), (3,)])
+        assert left.bag_difference(right).multiset() == {(2,): 1}
+
+    def test_set_union_removes_duplicates(self):
+        left = rel(["a"], [(1,), (1,)])
+        right = rel(["a"], [(2,), (2,)])
+        assert left.set_union(right).multiset() == {(1,): 1, (2,): 1}
+
+    def test_set_intersect(self):
+        left = rel(["a"], [(1,), (1,), (2,)])
+        right = rel(["a"], [(1,), (1,)])
+        assert left.set_intersect(right).multiset() == {(1,): 1}
+
+    def test_set_difference(self):
+        left = rel(["a"], [(1,), (1,), (2,), (3,)])
+        right = rel(["a"], [(3,)])
+        assert left.set_difference(right).multiset() == {(1,): 1, (2,): 1}
+
+    def test_incompatible_arity_raises(self):
+        with pytest.raises(SchemaError):
+            rel(["a"], []).bag_union(rel(["a", "b"], []))
+
+    def test_distinct_preserves_first_occurrence_order(self):
+        relation = rel(["a"], [(2,), (1,), (2,), (1,)])
+        assert relation.distinct().rows == [(2,), (1,)]
+
+    def test_bag_equal(self):
+        left = rel(["a"], [(1,), (2,), (1,)])
+        right = rel(["a"], [(2,), (1,), (1,)])
+        assert left.bag_equal(right)
+        assert not left.bag_equal(rel(["a"], [(1,), (2,)]))
+
+
+class TestHelpers:
+    def test_project_names(self):
+        relation = rel(["a", "b"], [(1, 10), (2, 20)])
+        assert relation.project_names(["b"]).rows == [(10,), (20,)]
+
+    def test_sorted_nulls_first(self):
+        relation = rel(["a"], [(2,), (None,), (1,)])
+        assert relation.sorted().rows == [(None,), (1,), (2,)]
+
+    def test_pretty_contains_header_and_rows(self):
+        relation = rel(["a", "b"], [(1, None)])
+        text = relation.pretty()
+        assert "a" in text and "b" in text and "NULL" in text
+
+    def test_pretty_truncates(self):
+        relation = rel(["a"], [(i,) for i in range(100)])
+        text = relation.pretty(max_rows=5)
+        assert "95 more rows" in text

@@ -1,0 +1,102 @@
+"""Schemas and the catalog."""
+
+import pytest
+
+from repro.catalog import Catalog
+from repro.datatypes import SQLType
+from repro.errors import CatalogError, SchemaError
+from repro.relation import Relation
+from repro.schema import Attribute, Schema, disambiguate
+
+
+class TestSchema:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a", "a")
+
+    def test_position_and_lookup(self):
+        schema = Schema.of("a", "b", "c")
+        assert schema.position("b") == 1
+        assert schema["c"].name == "c"
+        assert schema[0].name == "a"
+
+    def test_unknown_position_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a").position("z")
+
+    def test_concat(self):
+        combined = Schema.of("a").concat(Schema.of("b"))
+        assert combined.names == ("a", "b")
+
+    def test_concat_duplicate_raises(self):
+        with pytest.raises(SchemaError):
+            Schema.of("a").concat(Schema.of("a"))
+
+    def test_project_preserves_order_given(self):
+        schema = Schema.of("a", "b", "c")
+        assert schema.project(["c", "a"]).names == ("c", "a")
+
+    def test_rename(self):
+        schema = Schema.from_pairs([("a", SQLType.INTEGER)])
+        renamed = schema.rename({"a": "x"})
+        assert renamed.names == ("x",)
+        assert renamed["x"].type == SQLType.INTEGER
+
+    def test_contains_and_eq_hash(self):
+        assert "a" in Schema.of("a")
+        assert Schema.of("a", "b") == Schema.of("a", "b")
+        assert hash(Schema.of("a")) == hash(Schema.of("a"))
+
+    def test_positions(self):
+        assert Schema.of("a", "b", "c").positions(["c", "b"]) == (2, 1)
+
+
+class TestDisambiguate:
+    def test_returns_name_when_free(self):
+        taken = set()
+        assert disambiguate("x", taken) == "x"
+        assert "x" in taken
+
+    def test_suffixes_on_collision(self):
+        taken = {"x"}
+        assert disambiguate("x", taken) == "x_1"
+        assert disambiguate("x", taken) == "x_2"
+
+
+class TestCatalog:
+    def test_create_get_drop(self):
+        catalog = Catalog()
+        catalog.create("t", Schema.of("a"), [(1,)])
+        assert "t" in catalog
+        assert catalog.get("T").rows == [(1,)]  # case-insensitive
+        catalog.drop("t")
+        assert "t" not in catalog
+
+    def test_create_duplicate_raises(self):
+        catalog = Catalog()
+        catalog.create("t", Schema.of("a"))
+        with pytest.raises(CatalogError):
+            catalog.create("T", Schema.of("a"))
+
+    def test_get_missing_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().get("nope")
+
+    def test_drop_missing_raises(self):
+        with pytest.raises(CatalogError):
+            Catalog().drop("nope")
+
+    def test_register_replace(self):
+        catalog = Catalog()
+        catalog.create("t", Schema.of("a"))
+        replacement = Relation(Schema.of("a"), [(9,)])
+        with pytest.raises(CatalogError):
+            catalog.register("t", replacement)
+        catalog.register("t", replacement, replace=True)
+        assert catalog.get("t").rows == [(9,)]
+
+    def test_names_in_creation_order(self):
+        catalog = Catalog()
+        catalog.create("b", Schema.of("x"))
+        catalog.create("a", Schema.of("x"))
+        assert catalog.names() == ["b", "a"]

@@ -1,0 +1,147 @@
+"""TPC-H substrate: generator properties and the nine sublink templates."""
+
+import pytest
+
+from repro.tpch import (
+    ALL_QUERIES, PAPER_SUBLINK_QUERIES, UNCORRELATED_QUERIES,
+    TPCHGenerator, install_views, load_tpch, query_sql, query_strategies,
+    scale_rows,
+)
+
+SCALE = 0.0002
+
+
+@pytest.fixture(scope="module")
+def db():
+    database = load_tpch(scale=SCALE, seed=7)
+    install_views(database)
+    return database
+
+
+class TestGenerator:
+    def test_deterministic(self):
+        first = load_tpch(scale=0.0001, seed=3)
+        second = load_tpch(scale=0.0001, seed=3)
+        for table in first.catalog.names():
+            assert first.catalog.get(table).rows == \
+                second.catalog.get(table).rows
+
+    def test_seed_changes_data(self):
+        first = load_tpch(scale=0.0001, seed=1)
+        second = load_tpch(scale=0.0001, seed=2)
+        assert first.catalog.get("supplier").rows != \
+            second.catalog.get("supplier").rows
+
+    def test_row_counts_scale_linearly(self):
+        small = scale_rows(0.001)
+        large = scale_rows(0.01)
+        assert large["orders"] == 10 * small["orders"]
+        assert small["supplier"] == 10
+        assert small["part"] == 200
+
+    def test_fixed_tables(self, db):
+        assert len(db.catalog.get("region").rows) == 5
+        assert len(db.catalog.get("nation").rows) == 25
+
+    def test_partsupp_four_per_part(self, db):
+        parts = len(db.catalog.get("part").rows)
+        assert len(db.catalog.get("partsupp").rows) == 4 * parts
+
+    def test_foreign_keys_valid(self, db):
+        suppliers = {r[0] for r in db.catalog.get("supplier").rows}
+        partsupp = db.catalog.get("partsupp").rows
+        assert all(row[1] in suppliers for row in partsupp)
+        orders = {r[0] for r in db.catalog.get("orders").rows}
+        lineitems = db.catalog.get("lineitem").rows
+        assert all(row[0] in orders for row in lineitems)
+
+    def test_date_ordering_invariant(self, db):
+        # receiptdate > shipdate for every line item (Q4/Q21 rely on this
+        # kind of arithmetic being coherent)
+        for row in db.catalog.get("lineitem").rows:
+            assert row[12] > row[10]  # receipt > ship
+
+    def test_value_domains(self, db):
+        for row in db.catalog.get("part").rows:
+            assert row[3].startswith("Brand#")
+            assert 1 <= row[5] <= 50
+        phones = [row[4] for row in db.catalog.get("customer").rows]
+        assert all(phone[2] == "-" for phone in phones)
+
+    def test_complaints_comments_exist_at_scale(self):
+        generator = TPCHGenerator(scale=0.01, seed=0)
+        comments = [s[6] for s in generator.suppliers()]
+        assert any("Customer" in c and "Complaints" in c
+                   for c in comments)
+
+
+class TestQueryTemplates:
+    def test_paper_query_set(self):
+        assert PAPER_SUBLINK_QUERIES == (2, 4, 11, 15, 16, 17, 20, 21, 22)
+        assert UNCORRELATED_QUERIES == (11, 15, 16)
+
+    def test_strategies_per_query(self):
+        assert query_strategies(11) == ("gen", "left", "move")
+        assert query_strategies(2) == ("gen",)
+
+    def test_templates_are_seeded(self):
+        assert query_sql(4, seed=1) == query_sql(4, seed=1)
+        assert query_sql(4, seed=1) != query_sql(4, seed=2)
+
+    def test_unknown_template_raises(self):
+        with pytest.raises(KeyError):
+            query_sql(99)
+
+    @pytest.mark.parametrize("number", ALL_QUERIES)
+    def test_all_templates_execute(self, db, number):
+        relation = db.sql(query_sql(number, seed=5))
+        assert relation is not None
+
+    @pytest.mark.parametrize("number", UNCORRELATED_QUERIES)
+    @pytest.mark.parametrize("strategy", ("gen", "left", "move"))
+    def test_uncorrelated_queries_all_strategies(self, db, number,
+                                                 strategy):
+        sql = query_sql(number, seed=5)
+        plain = {tuple(row) for row in db.sql(sql).rows}
+        prov = db.provenance(sql, strategy=strategy)
+        width = len(db.sql(sql).schema)
+        assert {row[:width] for row in prov.rows} == plain
+
+    @pytest.mark.parametrize("number", [4, 17, 22])
+    def test_correlated_queries_gen(self, db, number):
+        sql = query_sql(number, seed=5)
+        plain = {tuple(row) for row in db.sql(sql).rows}
+        prov = db.provenance(sql, strategy="gen")
+        width = len(db.sql(sql).schema)
+        assert {row[:width] for row in prov.rows} == plain
+
+    def test_q18_under_auto(self, db):
+        # Q18's ORDER BY runs under provenance once LIMIT is absent
+        sql = query_sql(18, seed=5)
+        plain = {tuple(row) for row in db.sql(sql).rows}
+        prov = db.provenance(sql, strategy="auto")
+        width = len(db.sql(sql).schema)
+        assert {row[:width] for row in prov.rows} == plain
+
+    def test_q15_view_provenance_reaches_lineitem(self, db):
+        sql = query_sql(15, seed=5)
+        prov = db.provenance(sql, strategy="left")
+        names = list(prov.schema.names)
+        assert any(name.startswith("prov_lineitem") for name in names)
+        assert any(name.startswith("prov_supplier") for name in names)
+
+    def test_left_strategy_rejected_for_correlated(self, db):
+        from repro import RewriteError
+        with pytest.raises(RewriteError):
+            db.provenance(query_sql(4, seed=5), strategy="left")
+
+
+class TestProvenanceVolume:
+    def test_provenance_row_counts_exceed_results(self, db):
+        """The paper notes Q11 at 1GB yields ~38M provenance tuples —
+        provenance output is much larger than the query output."""
+        sql = query_sql(11, seed=5)
+        plain = db.sql(sql)
+        prov = db.provenance(sql, strategy="left")
+        if plain.rows:
+            assert len(prov.rows) >= len(plain.rows)
