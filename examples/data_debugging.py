@@ -11,11 +11,11 @@ Run with::
     python examples/data_debugging.py
 """
 
-from repro import Database
+from repro import Connection, connect
 
 
-def build_warehouse() -> Database:
-    db = Database()
+def build_warehouse() -> Connection:
+    db = connect()
     db.execute_script("""
         CREATE TABLE sensors (sensor_id int, site text, unit text);
         INSERT INTO sensors VALUES
@@ -76,8 +76,9 @@ def main() -> None:
     bad = {(row[batch_pos]) for row in culprit_rows
            if row[value_pos] and row[value_pos] > 30}
     print(f"readings above 30°C all come from batch(es): {sorted(bad)}")
-    source = db.sql(
-        f"SELECT source FROM batches WHERE batch_id = {sorted(bad)[0]}")
+    source = db.execute(
+        "SELECT source FROM batches WHERE batch_id = ?",
+        (sorted(bad)[0],))
     print(f"=> corrupted ingest source: {source.rows[0][0]!r}")
 
 

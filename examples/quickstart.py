@@ -4,34 +4,36 @@ Run with::
 
     python examples/quickstart.py
 
-Creates the paper's Figure 3 relations, runs the plain query and its
-``SELECT PROVENANCE`` variant, and shows how each strategy rewrites it.
+Creates the paper's Figure 3 relations through the session API
+(:func:`repro.connect`), runs the plain query and its ``SELECT
+PROVENANCE`` variant, re-executes a prepared statement through the plan
+cache, and shows how each strategy rewrites the query.
 """
 
-from repro import Database
+from repro import connect
 
 
 def main() -> None:
-    db = Database()
-    db.execute_script("""
-        CREATE TABLE r (a int, b int);
-        INSERT INTO r VALUES (1, 1), (2, 1), (3, 2);
-        CREATE TABLE s (c int, d int);
-        INSERT INTO s VALUES (1, 3), (2, 4), (4, 5);
-    """)
+    conn = connect()
+    cur = conn.cursor()
+    cur.execute("CREATE TABLE r (a int, b int)")
+    cur.executemany("INSERT INTO r VALUES (?, ?)", [(1, 1), (2, 1), (3, 2)])
+    cur.execute("CREATE TABLE s (c int, d int)")
+    cur.executemany("INSERT INTO s VALUES (?, ?)", [(1, 3), (2, 4), (4, 5)])
 
     query = "SELECT * FROM r WHERE a = ANY (SELECT c FROM s)"
 
     print("== the query ==")
     print(query)
     print()
-    print(db.sql(query).pretty())
+    cur.execute(query)
+    print(cur.relation.pretty())
     print()
 
     print("== its provenance (paper, Figure 3, q1) ==")
     print("SELECT PROVENANCE * FROM r WHERE a = ANY (SELECT c FROM s)")
     print()
-    result = db.sql(f"SELECT PROVENANCE {query.removeprefix('SELECT ')}")
+    result = conn.sql(f"SELECT PROVENANCE {query.removeprefix('SELECT ')}")
     print(result.pretty())
     print()
     print("Each result tuple is extended with the contributing tuple of")
@@ -39,14 +41,24 @@ def main() -> None:
     print("(1,1) and s's (1,3) — exactly the paper's Figure 3 table.")
     print()
 
+    print("== prepared statements skip re-planning ==")
+    statement = conn.prepare(
+        "SELECT PROVENANCE * FROM r WHERE a = ANY "
+        "(SELECT c FROM s WHERE c < ?)")
+    for bound in (10, 2):
+        rows = sorted(statement.execute((bound,)).rows)
+        print(f"  c < {bound}  -> {rows}")
+    print(f"  plan cache: {conn.plan_cache.stats()}")
+    print()
+
     print("== the four rewrite strategies produce the same provenance ==")
     for strategy in ("gen", "left", "move", "unn"):
-        rows = sorted(db.provenance(query, strategy=strategy).rows)
+        rows = sorted(conn.provenance(query, strategy=strategy).rows)
         print(f"  {strategy:5s} -> {rows}")
     print()
 
     print("== what the Unn rewrite looks like (no sublinks left) ==")
-    print(db.explain(query, strategy="unn"))
+    print(conn.explain(query, strategy="unn"))
 
 
 if __name__ == "__main__":

@@ -6,7 +6,7 @@ from setuptools import find_packages, setup
 
 setup(
     name="repro",
-    version="1.0.0",
+    version="1.1.0",
     description=(
         "Reproduction of 'Provenance for Nested Subqueries' "
         "(Glavic & Alonso, EDBT 2009)"),

@@ -7,29 +7,46 @@ are rewritten — via the paper's Gen / Left / Move / Unn strategies — into
 plain relational algebra that computes each result tuple's Why-provenance
 (Definition 2, extended provenance contribution) alongside the result.
 
-Quickstart::
+Quickstart (the session API)::
 
-    from repro import Database
+    from repro import connect
 
-    db = Database()
-    db.execute("CREATE TABLE r (a int, b int)")
-    db.execute("INSERT INTO r VALUES (1, 1), (2, 1), (3, 2)")
-    db.execute("CREATE TABLE s (c int, d int)")
-    db.execute("INSERT INTO s VALUES (1, 3), (2, 4), (4, 5)")
-    result = db.sql(
-        "SELECT PROVENANCE * FROM r WHERE a = ANY (SELECT c FROM s)")
-    print(result.pretty())
+    with connect() as conn:
+        cur = conn.cursor()
+        cur.execute("CREATE TABLE r (a int, b int)")
+        cur.executemany("INSERT INTO r VALUES (?, ?)",
+                        [(1, 1), (2, 1), (3, 2)])
+        cur.execute("CREATE TABLE s (c int, d int)")
+        cur.executemany("INSERT INTO s VALUES (?, ?)",
+                        [(1, 3), (2, 4), (4, 5)])
+        ps = conn.prepare(
+            "SELECT PROVENANCE * FROM r WHERE a = ANY "
+            "(SELECT c FROM s WHERE c < ?)")
+        print(ps.execute((10,)).pretty())
+        ps.execute((3,))   # plan-cache hit: no re-parse / re-rewrite
+
+Prepared statements and cursors share a per-connection LRU plan cache
+keyed by ``(sql, strategy, catalog version)``; rewrite strategies —
+the built-in four included — resolve through the pluggable registry in
+:mod:`repro.provenance.strategies`.  The legacy :class:`Database` facade
+remains available and delegates to the same machinery.
 """
 
+from .api import (
+    CachedPlan, Connection, Cursor, PlanCache, PreparedStatement,
+    SessionConfig, connect,
+)
 from .catalog import Catalog
 from .datatypes import NULL, SQLType
 from .db import Database
 from .engine import ExecutionStats, Executor
 from .errors import (
     AnalyzerError,
+    BindError,
     CatalogError,
     ExecutionError,
     ExpressionError,
+    InterfaceError,
     ReproError,
     RewriteError,
     SchemaError,
@@ -40,14 +57,15 @@ from .provenance import ProvenanceRewriter, RewriteResult
 from .relation import Relation
 from .schema import Attribute, Schema
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
-    "Attribute", "Catalog", "Database", "ExecutionStats", "Executor",
-    "NULL", "ProvenanceRewriter", "Relation", "RewriteResult", "SQLType",
-    "Schema",
-    "AnalyzerError", "CatalogError", "ExecutionError", "ExpressionError",
-    "ReproError", "RewriteError", "SQLSyntaxError", "SchemaError",
-    "UnsupportedFeatureError",
+    "Attribute", "CachedPlan", "Catalog", "Connection", "Cursor",
+    "Database", "ExecutionStats", "Executor", "NULL", "PlanCache",
+    "PreparedStatement", "ProvenanceRewriter", "Relation", "RewriteResult",
+    "SQLType", "Schema", "SessionConfig", "connect",
+    "AnalyzerError", "BindError", "CatalogError", "ExecutionError",
+    "ExpressionError", "InterfaceError", "ReproError", "RewriteError",
+    "SQLSyntaxError", "SchemaError", "UnsupportedFeatureError",
     "__version__",
 ]

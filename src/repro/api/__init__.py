@@ -1,0 +1,32 @@
+"""The public session API: ``Connection`` / ``Cursor`` /
+``PreparedStatement``.
+
+A DB-API-2.0-flavored layer over the SQL frontend, provenance rewriter and
+executor.  Compared with the legacy :class:`repro.db.Database` facade
+(which re-parses, re-analyzes and re-rewrites every query on every call),
+this layer plans once and re-executes compiled plans through an LRU plan
+cache keyed by ``(sql, strategy, catalog version)``::
+
+    from repro import connect
+
+    with connect(default_strategy="auto") as conn:
+        cur = conn.cursor()
+        cur.execute("CREATE TABLE r (a int, b int)")
+        cur.executemany("INSERT INTO r VALUES (?, ?)",
+                        [(1, 1), (2, 1), (3, 2)])
+        ps = conn.prepare(
+            "SELECT PROVENANCE * FROM r WHERE a = ANY (SELECT c FROM s)")
+        ps.execute()        # planned once …
+        ps.execute()        # … cache hit: no parse/analyze/rewrite
+"""
+
+from .config import SessionConfig
+from .connection import Connection, connect
+from .cursor import Cursor
+from .plan_cache import CachedPlan, PlanCache
+from .prepared import PreparedStatement
+
+__all__ = [
+    "CachedPlan", "Connection", "Cursor", "PlanCache",
+    "PreparedStatement", "SessionConfig", "connect",
+]

@@ -1,0 +1,63 @@
+"""Session-wide configuration.
+
+One :class:`SessionConfig` object travels from the connection through the
+analyzer, the :class:`~repro.provenance.rewriter.ProvenanceRewriter` and
+the :class:`~repro.engine.executor.Executor`, replacing the ad-hoc keyword
+arguments each layer used to grow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Any
+
+from ..errors import InterfaceError
+from ..provenance import strategies
+
+
+@dataclass
+class SessionConfig:
+    """Knobs shared by every statement a session runs.
+
+    ``default_strategy``
+        Strategy substituted when SQL says plain ``SELECT PROVENANCE``
+        (which parses as ``"auto"``); explicit ``SELECT PROVENANCE (name)``
+        and per-call overrides win over it.  Resolved through the strategy
+        registry, so registered third-party strategies are valid values.
+    ``optimize``
+        Run the logical optimizer pass (selection pushdown / join
+        extraction) when planning.  The ablation benchmark disables it.
+    ``compile_expressions``
+        Compile expressions to closures instead of tree-walking them.
+    ``collect_stats``
+        Keep per-operator evaluation counters in
+        :class:`~repro.engine.ExecutionStats` (the cheap scalar counters
+        are always maintained).
+    ``plan_cache_size``
+        Capacity of the per-connection LRU plan cache; ``0`` disables
+        caching entirely.
+    """
+
+    default_strategy: str = "auto"
+    optimize: bool = True
+    compile_expressions: bool = True
+    collect_stats: bool = True
+    plan_cache_size: int = 128
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Check the configuration; raises :class:`InterfaceError`."""
+        if self.plan_cache_size < 0:
+            raise InterfaceError(
+                f"plan_cache_size must be >= 0, got {self.plan_cache_size}")
+        if self.default_strategy != strategies.AUTO and \
+                not strategies.is_registered(self.default_strategy):
+            raise InterfaceError(
+                f"unknown default_strategy {self.default_strategy!r}; "
+                f"expected one of {strategies.strategy_names()}")
+
+    def with_options(self, **changes: Any) -> "SessionConfig":
+        """A copy of this config with *changes* applied (and validated)."""
+        return replace(self, **changes)

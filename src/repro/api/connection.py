@@ -1,0 +1,389 @@
+"""The session object: catalog + config + plan cache.
+
+A :class:`Connection` is the new public entry point of the library::
+
+    from repro import connect
+
+    with connect() as conn:
+        cur = conn.cursor()
+        cur.execute("CREATE TABLE r (a int, b int)")
+        cur.execute("INSERT INTO r VALUES (?, ?)", (1, 1))
+        ps = conn.prepare("SELECT PROVENANCE * FROM r WHERE a = ?")
+        print(ps.execute((1,)).pretty())
+
+Three execution surfaces share one catalog and one plan cache:
+
+* :meth:`cursor` / :meth:`execute` — DB-API-flavored, plan-cached.
+* :meth:`prepare` — parse/plan once, re-execute with new bindings.
+* :meth:`sql` / :meth:`provenance` / :meth:`plan` / :meth:`explain` —
+  one-shot helpers that deliberately bypass the plan cache (they back the
+  legacy :class:`repro.db.Database` facade and the benchmarks, which must
+  measure un-cached planning).
+
+Plans are cached under ``(sql text, strategy override, default strategy,
+catalog version)``; the catalog's generation counter is bumped by every
+DDL statement, so CREATE/DROP of tables or views invalidates all cached
+plans for the old namespace.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+from ..catalog import Catalog
+from ..datatypes import SQLType
+from ..errors import AnalyzerError, InterfaceError, ReproError
+from ..engine import ExecutionStats, Executor
+from ..expressions.ast import Expr
+from ..expressions.evaluator import EvalContext, Frame, evaluate
+from ..algebra.operators import Operator
+from ..algebra.printer import explain as explain_plan
+from ..provenance import ProvenanceRewriter
+from ..provenance.strategies import AUTO
+from ..relation import Relation
+from ..schema import Attribute, Schema
+from ..sql.analyzer import Analyzer
+from ..sql.ast import (
+    CreateTableStmt, CreateViewStmt, DeleteStmt, DropStmt, InsertStmt,
+    SelectStmt, Statement,
+)
+from ..sql.parser import parse_statement, parse_statements
+from .config import SessionConfig
+from .cursor import Cursor
+from .plan_cache import CachedPlan, PlanCache
+from .prepared import PreparedStatement, check_arity
+
+
+class Connection:
+    """An in-process session over a catalog, with a per-session config
+    and an LRU cache of compiled plans."""
+
+    def __init__(self, config: SessionConfig | None = None,
+                 catalog: Catalog | None = None):
+        self.config = config or SessionConfig()
+        self.catalog = catalog if catalog is not None else Catalog()
+        self.plan_cache = PlanCache(self.config.plan_cache_size)
+        self.last_stats: ExecutionStats | None = None
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Close the session and drop its cached plans."""
+        self._closed = True
+        self.plan_cache.clear()
+
+    def commit(self) -> None:
+        """No-op (the engine is non-transactional); DB-API compatibility."""
+        self._check_open()
+
+    def rollback(self) -> None:
+        """No-op (the engine is non-transactional); DB-API compatibility."""
+        self._check_open()
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("connection is closed")
+
+    # -- statement surfaces ---------------------------------------------------
+
+    def cursor(self) -> Cursor:
+        """A new cursor sharing this session's catalog and plan cache."""
+        self._check_open()
+        return Cursor(self)
+
+    def prepare(self, sql: str,
+                strategy: str | None = None) -> PreparedStatement:
+        """Parse (and, for SELECTs, plan) *sql* once for repeated execution.
+
+        *strategy* overrides the strategy named in the SQL text; it is only
+        meaningful for provenance queries.
+        """
+        self._check_open()
+        return PreparedStatement(self, sql, strategy)
+
+    def execute(self, sql: str,
+                params: Sequence[Any] = ()) -> Relation | int | None:
+        """Execute one statement through the plan cache.
+
+        SELECTs return a :class:`~repro.relation.Relation`, INSERT/DELETE
+        the affected row count, DDL None.
+        """
+        self._check_open()
+        return self._execute_text(sql, params)
+
+    def execute_script(self, text: str) -> None:
+        """Execute a ``;``-separated script, discarding SELECT outputs."""
+        self._check_open()
+        for statement in parse_statements(text):
+            if isinstance(statement, SelectStmt):
+                self._run_select_uncached(statement)
+            else:
+                self._run_statement(statement, ())
+
+    # -- one-shot helpers (uncached; the legacy Database substrate) -----------
+
+    def sql(self, text: str, strategy: str | None = None,
+            params: Sequence[Any] = ()) -> Relation:
+        """Run a SELECT (optionally ``SELECT PROVENANCE``) without caching.
+
+        *strategy* overrides the strategy named in the SQL text.
+        """
+        self._check_open()
+        statement = parse_statement(text)
+        if not isinstance(statement, SelectStmt):
+            raise AnalyzerError("sql() expects a SELECT statement")
+        return self._run_select_uncached(statement, strategy, params)
+
+    def provenance(self, text: str, strategy: str = AUTO,
+                   params: Sequence[Any] = ()) -> Relation:
+        """Compute the provenance of a plain SELECT query."""
+        self._check_open()
+        statement = parse_statement(text)
+        if not isinstance(statement, SelectStmt):
+            raise AnalyzerError("provenance() expects a SELECT statement")
+        strategy = strategy or AUTO
+        if strategy == AUTO and self.config.default_strategy != AUTO:
+            strategy = self.config.default_strategy
+        plan = self._build_plan(statement, strategy)
+        return self._execute_uncached(plan, statement.param_count, params)
+
+    def plan(self, text: str, strategy: str | None = None) -> Operator:
+        """The algebra plan a query would execute (after any rewrite)."""
+        self._check_open()
+        statement = parse_statement(text)
+        if not isinstance(statement, SelectStmt):
+            raise AnalyzerError("plan() expects a SELECT statement")
+        return self._build_plan(
+            statement, self._effective_strategy(statement, strategy))
+
+    def explain(self, text: str, strategy: str | None = None) -> str:
+        """EXPLAIN-style rendering of the (possibly rewritten) plan."""
+        return explain_plan(self.plan(text, strategy))
+
+    def create_view(self, name: str, text: str) -> None:
+        """Register a view over a SELECT statement."""
+        self._check_open()
+        statement = parse_statement(text)
+        if not isinstance(statement, SelectStmt):
+            raise AnalyzerError("a view must be defined by a SELECT")
+        if statement.param_count:
+            raise AnalyzerError(
+                "a view definition cannot contain ? parameters")
+        self.catalog.create_view(name, statement)
+
+    def create_table(self, name: str,
+                     columns: Sequence[tuple[str, str]]) -> None:
+        """Create a table from ``(column, type-name)`` pairs."""
+        self._check_open()
+        schema = Schema(
+            Attribute(column, SQLType.parse(type_name))
+            for column, type_name in columns)
+        self.catalog.create(name, schema)
+
+    def insert(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
+        """Bulk-insert rows; returns the number of rows inserted."""
+        self._check_open()
+        stored = self.catalog.get(table)
+        count = 0
+        for row in rows:
+            stored.insert(row)
+            count += 1
+        return count
+
+    # -- planning internals ---------------------------------------------------
+
+    def _parse(self, sql: str) -> Statement:
+        return parse_statement(sql)
+
+    def _analyzer(self) -> Analyzer:
+        return Analyzer(self.catalog)
+
+    def _effective_strategy(self, statement: SelectStmt,
+                            override: str | None) -> str | None:
+        """The strategy a SELECT will be rewritten with (None = no rewrite).
+
+        Priority: explicit per-call override, then the strategy named in
+        the SQL text; a plain ``SELECT PROVENANCE`` (= ``"auto"``) defers
+        to the session's ``default_strategy``.
+        """
+        strategy = override if override is not None \
+            else statement.provenance
+        if strategy == AUTO and self.config.default_strategy != AUTO:
+            strategy = self.config.default_strategy
+        return strategy
+
+    def _build_plan(self, statement: SelectStmt,
+                    strategy: str | None) -> Operator:
+        """analyze → (rewrite): the un-optimized plan, statement untouched."""
+        plan = self._analyzer().analyze(statement)
+        if strategy:
+            rewriter = ProvenanceRewriter(self.catalog, strategy,
+                                          self.config)
+            plan = rewriter.rewrite_query(plan).plan
+        return plan
+
+    def _plan_key(self, sql: str, override: str | None) -> tuple:
+        return (sql, override, self.config.default_strategy,
+                self.catalog.version)
+
+    def _get_plan(self, sql: str, override: str | None = None,
+                  statement: SelectStmt | None = None) -> CachedPlan:
+        """The cached plan for *sql*, compiling (and storing) on a miss.
+
+        *statement* skips re-parsing when the caller already holds the
+        parsed form (prepared statements).  The catalog version in the key
+        means DDL-invalidated entries simply never match again.
+        """
+        key = self._plan_key(sql, override)
+        cached = self.plan_cache.lookup(key)
+        if cached is not None:
+            return cached
+        if statement is None:
+            parsed = self._parse(sql)
+            if not isinstance(parsed, SelectStmt):
+                raise AnalyzerError("expected a SELECT statement")
+            statement = parsed
+        plan = self._build_plan(
+            statement, self._effective_strategy(statement, override))
+        if self.config.optimize:
+            from ..engine.optimizer import optimize as optimize_tree
+            plan = optimize_tree(plan)
+        cached = CachedPlan(plan, statement.param_count,
+                            self._effective_strategy(statement, override),
+                            self.catalog.version)
+        self.plan_cache.store(key, cached)
+        return cached
+
+    # -- execution internals --------------------------------------------------
+
+    def _finish_stats(self, executor: Executor) -> ExecutionStats:
+        stats = executor.stats
+        stats.plan_cache_hits = self.plan_cache.hits
+        stats.plan_cache_misses = self.plan_cache.misses
+        self.last_stats = stats
+        return stats
+
+    def _execute_plan(self, cached: CachedPlan,
+                      params: tuple) -> Relation:
+        """Run an already-optimized cached plan (no per-call optimizer)."""
+        executor = Executor(self.catalog, optimize=False,
+                            config=self.config,
+                            compiled_cache=cached.compiled)
+        relation = executor.execute(cached.plan, params)
+        self._finish_stats(executor)
+        return relation
+
+    def _execute_uncached(self, plan: Operator, param_count: int,
+                          params: Sequence[Any]) -> Relation:
+        values = check_arity(param_count, params)
+        executor = Executor(self.catalog, config=self.config)
+        relation = executor.execute(plan, values)
+        self._finish_stats(executor)
+        return relation
+
+    def _run_select_uncached(self, statement: SelectStmt,
+                             strategy: str | None = None,
+                             params: Sequence[Any] = ()) -> Relation:
+        plan = self._build_plan(
+            statement, self._effective_strategy(statement, strategy))
+        return self._execute_uncached(plan, statement.param_count, params)
+
+    def _execute_text(self, sql: str,
+                      params: Sequence[Any]) -> Relation | int | None:
+        """The cursor path: plan-cache lookup before parsing.
+
+        The pre-parse probe is a counter-free :meth:`PlanCache.peek` so
+        that DDL/DML statements (which can never be cached) do not inflate
+        the miss counter; hit/miss accounting happens in
+        :meth:`_get_plan`, once per cacheable statement.
+        """
+        if self.plan_cache.peek(self._plan_key(sql, None)) is not None:
+            cached = self._get_plan(sql)   # counts the hit, bumps LRU
+            return self._execute_plan(
+                cached, check_arity(cached.param_count, params))
+        statement = self._parse(sql)
+        if isinstance(statement, SelectStmt):
+            cached = self._get_plan(sql, statement=statement)
+            return self._execute_plan(
+                cached, check_arity(cached.param_count, params))
+        return self._run_statement(statement, params)
+
+    def _run_statement(self, statement: Statement,
+                       params: Sequence[Any] = ()) -> Relation | int | None:
+        """Execute a parsed statement (the non-plan-cached dispatch)."""
+        values = check_arity(getattr(statement, "param_count", 0), params)
+        if isinstance(statement, SelectStmt):
+            return self._run_select_uncached(statement, params=values)
+        if isinstance(statement, CreateTableStmt):
+            self.create_table(statement.name, statement.columns)
+            return None
+        if isinstance(statement, CreateViewStmt):
+            self.catalog.create_view(statement.name, statement.query)
+            return None
+        if isinstance(statement, InsertStmt):
+            rows = [[_constant(expr, values) for expr in row]
+                    for row in statement.rows]
+            return self.insert(statement.table, rows)
+        if isinstance(statement, DropStmt):
+            if statement.kind == "view":
+                if not self.catalog.has_view(statement.name):
+                    raise AnalyzerError(
+                        f"view {statement.name!r} does not exist")
+                self.catalog.drop_view(statement.name)
+            else:
+                self.catalog.drop(statement.name)
+            return None
+        if isinstance(statement, DeleteStmt):
+            return self._delete(statement, values)
+        raise ReproError(f"unsupported statement {statement!r}")
+
+    def _delete(self, statement: DeleteStmt, params: tuple) -> int:
+        stored = self.catalog.get(statement.table)
+        if statement.where is None:
+            removed = len(stored.rows)
+            stored.rows.clear()
+            return removed
+        condition = self._analyzer().analyze_expression(
+            statement.where, stored.schema, qualifier=statement.table)
+        executor = Executor(self.catalog, config=self.config)
+        index = Frame.index_for(stored.schema.names)
+        kept = []
+        for row in stored.rows:
+            ctx = EvalContext((Frame(index, row),), executor, params)
+            if evaluate(condition, ctx) is not True:
+                kept.append(row)
+        removed = len(stored.rows) - len(kept)
+        stored.rows[:] = kept
+        return removed
+
+
+def connect(config: SessionConfig | None = None,
+            catalog: Catalog | None = None, **options: Any) -> Connection:
+    """Open a session.
+
+    Keyword *options* are :class:`SessionConfig` fields, as a shorthand::
+
+        conn = connect(default_strategy="left", plan_cache_size=64)
+    """
+    if options:
+        if config is not None:
+            config = config.with_options(**options)
+        else:
+            config = SessionConfig(**options)
+    return Connection(config, catalog)
+
+
+def _constant(expr: Expr, params: tuple = ()) -> Any:
+    """Evaluate a constant expression (INSERT VALUES; ? params allowed)."""
+    return evaluate(expr, EvalContext((), None, params))

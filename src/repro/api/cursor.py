@@ -1,0 +1,161 @@
+"""DB-API-2.0-flavored cursors.
+
+A :class:`Cursor` is the statement-execution surface of a
+:class:`~repro.api.Connection`::
+
+    with connect() as conn:
+        cur = conn.cursor()
+        cur.execute("CREATE TABLE r (a int, b int)")
+        cur.execute("INSERT INTO r VALUES (?, ?)", (1, 1))
+        cur.execute("SELECT PROVENANCE * FROM r WHERE a = ?", (1,))
+        print(cur.description)
+        for row in cur:
+            print(row)
+
+SELECT plans go through the connection's plan cache, so re-executing the
+same SQL text (even from a different cursor) skips planning entirely.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, Sequence, TYPE_CHECKING
+
+from ..errors import InterfaceError
+from ..relation import Relation
+from ..sql.ast import SelectStmt
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..engine import ExecutionStats
+    from .connection import Connection
+
+#: DB-API description entry: (name, type_code, display_size, internal_size,
+#: precision, scale, null_ok) — only the first two are meaningful here.
+Description = tuple[tuple[Any, ...], ...]
+
+
+class Cursor:
+    """Executes statements and holds the pending result set."""
+
+    arraysize = 1
+
+    def __init__(self, connection: "Connection"):
+        self._connection = connection
+        self._closed = False
+        self._relation: Relation | None = None
+        self._position = 0
+        self._rowcount = -1
+
+    # -- DB-API attributes ----------------------------------------------------
+
+    @property
+    def connection(self) -> "Connection":
+        return self._connection
+
+    @property
+    def description(self) -> Description | None:
+        """Column metadata of the pending result set (None otherwise)."""
+        if self._relation is None:
+            return None
+        return tuple(
+            (attr.name, attr.type, None, None, None, None, None)
+            for attr in self._relation.schema)
+
+    @property
+    def rowcount(self) -> int:
+        """Rows in the result set / affected by DML; -1 when unknown."""
+        return self._rowcount
+
+    @property
+    def last_stats(self) -> "ExecutionStats | None":
+        """Execution statistics of the most recent statement."""
+        return self._connection.last_stats
+
+    # -- execution ------------------------------------------------------------
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InterfaceError("cursor is closed")
+        self._connection._check_open()
+
+    def execute(self, sql: str, params: Sequence[Any] = ()) -> "Cursor":
+        """Execute one statement, binding *params* to ``?`` placeholders."""
+        self._check_open()
+        self._relation = None
+        self._position = 0
+        result = self._connection._execute_text(sql, params)
+        if isinstance(result, Relation):
+            self._relation = result
+            self._rowcount = len(result.rows)
+        elif isinstance(result, int):
+            self._rowcount = result
+        else:
+            self._rowcount = -1
+        return self
+
+    def executemany(self, sql: str,
+                    seq_of_params: Iterable[Sequence[Any]]) -> "Cursor":
+        """Execute *sql* once per parameter tuple (rowcounts accumulate)."""
+        self._check_open()
+        total = 0
+        saw_count = False
+        for params in seq_of_params:
+            self.execute(sql, params)
+            if self._rowcount >= 0:
+                saw_count = True
+                total += self._rowcount
+        self._rowcount = total if saw_count else -1
+        return self
+
+    # -- fetching -------------------------------------------------------------
+
+    def _pending(self) -> Relation:
+        if self._relation is None:
+            raise InterfaceError(
+                "no result set pending; execute a SELECT first")
+        return self._relation
+
+    @property
+    def relation(self) -> Relation:
+        """The pending result as a :class:`~repro.relation.Relation`
+        (schema included) — this engine's native result type."""
+        return self._pending()
+
+    def fetchone(self) -> tuple | None:
+        rows = self._pending().rows
+        if self._position >= len(rows):
+            return None
+        row = rows[self._position]
+        self._position += 1
+        return row
+
+    def fetchmany(self, size: int | None = None) -> list[tuple]:
+        size = self.arraysize if size is None else size
+        rows = self._pending().rows
+        chunk = rows[self._position:self._position + size]
+        self._position += len(chunk)
+        return list(chunk)
+
+    def fetchall(self) -> list[tuple]:
+        rows = self._pending().rows
+        chunk = rows[self._position:]
+        self._position = len(rows)
+        return list(chunk)
+
+    def __iter__(self) -> Iterator[tuple]:
+        while True:
+            row = self.fetchone()
+            if row is None:
+                return
+            yield row
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        self._closed = True
+        self._relation = None
+
+    def __enter__(self) -> "Cursor":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()

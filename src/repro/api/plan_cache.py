@@ -1,0 +1,85 @@
+"""The LRU plan cache.
+
+Compiled plans are cached per connection, keyed by ``(sql text, strategy,
+catalog version)`` — see :meth:`repro.api.Connection._plan_key`.  Because
+the catalog's generation counter is part of the key, any DDL (CREATE/DROP
+of tables or views) makes every previously cached plan unreachable; stale
+entries are evicted by LRU order as new plans come in.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Any, Hashable
+
+from ..algebra.operators import Operator
+
+
+@dataclass
+class CachedPlan:
+    """One compiled query: the (already optimized) algebra plan plus the
+    bits needed to execute and describe it without re-planning."""
+
+    plan: Operator
+    param_count: int
+    strategy: str | None            # effective strategy, None = no rewrite
+    catalog_version: int
+    #: compiled-expression closures, shared across executions of this plan
+    #: (keyed by expression node identity — valid only for ``plan``).
+    compiled: dict[int, Any] = field(default_factory=dict)
+
+    @property
+    def column_names(self) -> tuple[str, ...]:
+        return self.plan.schema.names
+
+
+class PlanCache:
+    """A tiny LRU mapping from plan keys to :class:`CachedPlan` objects."""
+
+    def __init__(self, capacity: int = 128):
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self._entries: "OrderedDict[Hashable, CachedPlan]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def peek(self, key: Hashable) -> CachedPlan | None:
+        """The cached plan for *key* without touching counters or LRU
+        order — for callers that do not yet know whether the statement is
+        cacheable (e.g. un-parsed text that may turn out to be DDL)."""
+        return self._entries.get(key)
+
+    def lookup(self, key: Hashable) -> CachedPlan | None:
+        """The cached plan for *key*, bumping it to most-recently-used."""
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def store(self, key: Hashable, plan: CachedPlan) -> None:
+        """Insert *plan*, evicting the least-recently-used entry if full."""
+        if self.capacity <= 0:
+            return
+        self._entries[key] = plan
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        self._entries.clear()
+
+    def stats(self) -> dict[str, int]:
+        """Counters for monitoring: hits, misses, current size, capacity."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "size": len(self._entries),
+            "capacity": self.capacity,
+        }

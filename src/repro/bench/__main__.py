@@ -5,6 +5,7 @@ Examples::
     python -m repro.bench fig7                 # synthetic, vary |R1|
     python -m repro.bench fig6 --timeout 30    # TPC-H ladder
     python -m repro.bench all --instances 1    # everything, quick pass
+    python -m repro.bench --smoke              # prepared-plan smoke check
 """
 
 from __future__ import annotations
@@ -37,8 +38,16 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.bench",
         description="Regenerate the paper's experimental figures.")
     parser.add_argument(
-        "figure", choices=[*_RUNNERS, "all"],
+        "figure", nargs="?", choices=[*_RUNNERS, "all"],
         help="which figure to regenerate")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="run the prepared-statement micro-benchmark instead of a "
+             "figure; exits non-zero if the cached-plan path is not at "
+             "least 2x faster than per-call Database.sql()")
+    parser.add_argument(
+        "--repeats", type=int, default=20, metavar="N",
+        help="repeated executions for --smoke (default 20)")
     parser.add_argument(
         "--instances", type=int, default=3,
         metavar="N", help="random query instances per point (default 3)")
@@ -50,6 +59,24 @@ def main(argv: list[str] | None = None) -> int:
                         help="print each point as it is measured")
     args = parser.parse_args(argv)
 
+    if args.smoke:
+        if args.repeats < 1:
+            parser.error("--repeats must be >= 1")
+        from .smoke import format_smoke, run_smoke
+        result = run_smoke(repeats=args.repeats)
+        print("== prepared-statement smoke benchmark ==")
+        print(format_smoke(result))
+        if result.cache_hits < args.repeats:
+            print("FAIL: prepared executions missed the plan cache")
+            return 1
+        if result.speedup < 2.0:
+            print("FAIL: cached-plan speedup below the 2x floor")
+            return 1
+        print("ok: plan cache delivers the expected speedup")
+        return 0
+
+    if args.figure is None:
+        parser.error("a figure (or --smoke) is required")
     figures = list(_RUNNERS) if args.figure == "all" else [args.figure]
     for figure in figures:
         print(f"== {figure} ==", flush=True)

@@ -3,6 +3,13 @@
 The paper excludes runs over six hours; at reproduction scale the
 equivalent is a per-case wall-clock budget enforced with ``SIGALRM``
 (the executor is pure Python, so the alarm interrupts it cleanly).
+
+The query-timing helpers accept either the legacy
+:class:`~repro.db.Database` facade or a :class:`~repro.api.Connection`;
+both run the *uncached* planning path (``provenance()`` / ``sql()``), so
+figure measurements are never contaminated by the plan cache.
+:func:`time_prepared_query` times the cached-plan path explicitly, for the
+prepared-statement micro-benchmark.
 """
 
 from __future__ import annotations
@@ -10,8 +17,12 @@ from __future__ import annotations
 import signal
 import time
 from dataclasses import dataclass
+from typing import Sequence, Union
 
+from ..api import Connection
 from ..db import Database
+
+Session = Union[Database, Connection]
 
 
 class Timeout(Exception):
@@ -57,14 +68,28 @@ def run_with_timeout(fn, timeout_s: float | None) -> BenchResult:
         signal.signal(signal.SIGALRM, previous)
 
 
-def time_provenance_query(db: Database, sql: str, strategy: str,
+def time_provenance_query(db: Session, sql: str, strategy: str,
                           timeout_s: float | None = None) -> BenchResult:
-    """Time one provenance query under *strategy*."""
+    """Time one provenance query under *strategy* (uncached planning)."""
     return run_with_timeout(
         lambda: db.provenance(sql, strategy=strategy), timeout_s)
 
 
-def time_plain_query(db: Database, sql: str,
+def time_plain_query(db: Session, sql: str,
                      timeout_s: float | None = None) -> BenchResult:
     """Time the original (non-provenance) query, as a baseline."""
     return run_with_timeout(lambda: db.sql(sql), timeout_s)
+
+
+def time_prepared_query(conn: Connection, sql: str,
+                        strategy: str | None = None,
+                        params: Sequence = (),
+                        timeout_s: float | None = None) -> BenchResult:
+    """Time one execution of *sql* through a prepared statement.
+
+    The statement is prepared (and its plan cached) outside the timed
+    section, so the measurement covers only bind + execute — the steady
+    state of a repeatedly executed prepared statement.
+    """
+    statement = conn.prepare(sql, strategy=strategy)
+    return run_with_timeout(lambda: statement.execute(params), timeout_s)

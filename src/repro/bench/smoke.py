@@ -1,0 +1,108 @@
+"""Prepared-statement micro-benchmark (``python -m repro.bench --smoke``).
+
+Times the same provenance query executed two ways over one catalog:
+
+* the legacy per-call path — ``Database.sql()`` re-parses, re-analyzes,
+  re-rewrites and re-optimizes on every call;
+* the session path — a :class:`~repro.api.PreparedStatement` planned once,
+  then re-executed through the plan cache.
+
+The interesting number is the speedup: it is what the plan cache buys on
+a repeated query, and CI runs this as a smoke check so regressions in the
+cached-plan path are visible.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from ..api import connect
+from ..db import Database
+
+#: Small Figure-3-shaped relations: the workload is deliberately
+#: planning-bound (parse + analyze + rewrite + optimize dominates), which
+#: is exactly the repeated-query profile plan caching exists for.
+_SETUP_ROWS = 6
+
+_QUERY = ("SELECT PROVENANCE r.a, r.b FROM r "
+          "WHERE a = ANY (SELECT c FROM s WHERE c < ?) "
+          "AND EXISTS (SELECT c FROM s WHERE s.d < 90)")
+_LEGACY_QUERY = _QUERY.replace("?", "40")
+
+
+@dataclass
+class SmokeResult:
+    """Outcome of the repeated-query micro-benchmark."""
+
+    repeats: int
+    legacy_seconds: float     # total, Database.sql() per call
+    prepared_seconds: float   # total, PreparedStatement.execute per call
+    cache_hits: int
+    rows: int
+
+    @property
+    def speedup(self) -> float:
+        if self.prepared_seconds == 0:
+            return float("inf")
+        return self.legacy_seconds / self.prepared_seconds
+
+
+def _populate(session) -> None:
+    session.execute_script("""
+        CREATE TABLE r (a int, b int);
+        CREATE TABLE s (c int, d int);
+    """)
+    session.insert(
+        "r", [(i % 50, i % 7) for i in range(_SETUP_ROWS)])
+    session.insert(
+        "s", [(i % 45, i) for i in range(_SETUP_ROWS)])
+
+
+def run_smoke(repeats: int = 20) -> SmokeResult:
+    """Run the micro-benchmark; see the module docstring."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    conn = connect()
+    _populate(conn)
+    db = Database(conn)   # same catalog, legacy uncached path
+
+    # Warm both paths once so first-call effects are excluded.
+    baseline = db.sql(_LEGACY_QUERY)
+    statement = conn.prepare(_QUERY)
+    prepared_rows = statement.execute((40,))
+    if sorted(prepared_rows.rows) != sorted(baseline.rows):
+        raise AssertionError(
+            "prepared path disagrees with the legacy path")
+
+    start = time.perf_counter()
+    for _ in range(repeats):
+        db.sql(_LEGACY_QUERY)
+    legacy_seconds = time.perf_counter() - start
+
+    hits_before = conn.plan_cache.hits
+    start = time.perf_counter()
+    for _ in range(repeats):
+        statement.execute((40,))
+    prepared_seconds = time.perf_counter() - start
+
+    return SmokeResult(
+        repeats=repeats,
+        legacy_seconds=legacy_seconds,
+        prepared_seconds=prepared_seconds,
+        cache_hits=conn.plan_cache.hits - hits_before,
+        rows=len(prepared_rows.rows),
+    )
+
+
+def format_smoke(result: SmokeResult) -> str:
+    per_legacy = result.legacy_seconds / result.repeats * 1000
+    per_prepared = result.prepared_seconds / result.repeats * 1000
+    return "\n".join([
+        f"repeats                  {result.repeats}",
+        f"result rows              {result.rows}",
+        f"plan-cache hits          {result.cache_hits}",
+        f"Database.sql() per call  {per_legacy:8.3f} ms",
+        f"prepared per call        {per_prepared:8.3f} ms",
+        f"speedup                  {result.speedup:8.1f}x",
+    ])

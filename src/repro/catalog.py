@@ -3,22 +3,48 @@
 The provenance rewriter needs to know, for every base-relation access, the
 relation's schema — :func:`Catalog.get` is the single lookup point used by
 the analyzer and by ``CrossBase`` construction.
+
+The catalog also owns **view definitions** (parsed ``SELECT`` statements,
+macro-expanded by the analyzer at reference time) and a **generation
+counter** (:attr:`Catalog.version`) that is bumped by every DDL change —
+table or view creation, replacement and removal.  Cached query plans are
+keyed by that counter, so any DDL invalidates them; row-level DML
+(INSERT/DELETE) deliberately does *not* bump it, because plans do not
+depend on the data.
 """
 
 from __future__ import annotations
 
-from typing import Any, Iterable, Iterator, Sequence
+from typing import Any, Iterable, Iterator, Sequence, TYPE_CHECKING
 
 from .errors import CatalogError
 from .relation import Relation
 from .schema import Schema
 
+if TYPE_CHECKING:  # pragma: no cover
+    from .sql.ast import SelectStmt
+
 
 class Catalog:
-    """A mapping from lower-cased table names to :class:`Relation` objects."""
+    """A mapping from lower-cased table names to :class:`Relation` objects,
+    plus named view definitions and a DDL generation counter."""
 
     def __init__(self) -> None:
         self._tables: dict[str, Relation] = {}
+        self._views: dict[str, "SelectStmt"] = {}
+        self._version = 0
+
+    # -- versioning -----------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Generation counter, bumped by every DDL change."""
+        return self._version
+
+    def _bump(self) -> None:
+        self._version += 1
+
+    # -- tables ---------------------------------------------------------------
 
     def __contains__(self, name: str) -> bool:
         return name.lower() in self._tables
@@ -38,6 +64,7 @@ class Catalog:
             raise CatalogError(f"table {name!r} already exists")
         table = Relation(schema, rows)
         self._tables[key] = table
+        self._bump()
         return table
 
     def register(self, name: str, relation: Relation,
@@ -47,6 +74,7 @@ class Catalog:
         if key in self._tables and not replace:
             raise CatalogError(f"table {name!r} already exists")
         self._tables[key] = relation
+        self._bump()
 
     def drop(self, name: str) -> None:
         """Remove a table; raises :class:`CatalogError` if absent."""
@@ -54,6 +82,7 @@ class Catalog:
         if key not in self._tables:
             raise CatalogError(f"table {name!r} does not exist")
         del self._tables[key]
+        self._bump()
 
     def get(self, name: str) -> Relation:
         """Look up a table; raises :class:`CatalogError` if absent."""
@@ -63,3 +92,48 @@ class Catalog:
             raise CatalogError(
                 f"table {name!r} does not exist; known tables: "
                 f"{self.names()}") from None
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def views(self) -> dict[str, "SelectStmt"]:
+        """The live view-name -> parsed-SELECT mapping (lower-cased keys).
+
+        The analyzer reads this mapping directly; mutate it only through
+        :meth:`create_view` / :meth:`drop_view` so the generation counter
+        stays in sync.
+        """
+        return self._views
+
+    def view_names(self) -> list[str]:
+        """All view names, in creation order."""
+        return list(self._views)
+
+    def has_view(self, name: str) -> bool:
+        return name.lower() in self._views
+
+    def create_view(self, name: str, query: "SelectStmt",
+                    replace: bool = True) -> None:
+        """Register (or replace) a view defined by a parsed SELECT."""
+        key = name.lower()
+        if key in self._views and not replace:
+            raise CatalogError(f"view {name!r} already exists")
+        self._views[key] = query
+        self._bump()
+
+    def drop_view(self, name: str) -> None:
+        """Remove a view; raises :class:`CatalogError` if absent."""
+        key = name.lower()
+        if key not in self._views:
+            raise CatalogError(f"view {name!r} does not exist")
+        del self._views[key]
+        self._bump()
+
+    def get_view(self, name: str) -> "SelectStmt":
+        """Look up a view definition; raises :class:`CatalogError` if absent."""
+        try:
+            return self._views[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"view {name!r} does not exist; known views: "
+                f"{self.view_names()}") from None

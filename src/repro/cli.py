@@ -1,6 +1,7 @@
 """Interactive SQL shell (``python -m repro``).
 
-A psql-flavoured REPL over an in-memory :class:`~repro.db.Database`:
+A psql-flavoured REPL over an in-memory session
+(:class:`~repro.api.Connection`):
 
 =====================  ===================================================
 command                effect
@@ -10,30 +11,50 @@ command                effect
 ``\\strategy [name]``   show / set the default provenance strategy
 ``\\explain <select>``  print the (rewritten) plan
 ``\\timing``            toggle per-query timing
+``\\cache``             show plan-cache statistics
 ``\\tpch [scale]``      load a TPC-H instance into the session
 ``\\i <file>``          run a SQL script
 ``\\q``                 quit
 =====================  ===================================================
 
-Everything else is executed as SQL (``SELECT PROVENANCE ...`` included).
+Everything else is executed as SQL (``SELECT PROVENANCE ...`` included)
+through the session's plan cache, so repeating a query skips planning.
+Start with ``python -m repro --strategy left`` to pick the default
+strategy up front; names resolve through the strategy registry.
 """
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
+from .api import Connection
 from .db import Database
 from .errors import ReproError
+from .provenance import strategies
 
 
 class Shell:
     """State and command dispatch for the REPL."""
 
-    def __init__(self, db: Database | None = None):
-        self.db = db or Database()
-        self.strategy = "auto"
+    def __init__(self, db: Database | Connection | None = None):
+        if isinstance(db, Connection):
+            self.db = Database(db)
+        else:
+            self.db = db or Database()
+        self.conn = self.db.connection
         self.timing = False
+
+    @property
+    def strategy(self) -> str:
+        return self.conn.config.default_strategy
+
+    @strategy.setter
+    def strategy(self, name: str) -> None:
+        # Deliberately unvalidated: an unknown name surfaces as a query
+        # error, matching the historic shell behaviour.
+        self.conn.config.default_strategy = name
 
     # -- meta commands --------------------------------------------------------
 
@@ -55,41 +76,50 @@ class Shell:
         elif command == "\\timing":
             self.timing = not self.timing
             print(f"timing: {'on' if self.timing else 'off'}", file=out)
+        elif command == "\\cache":
+            stats = self.conn.plan_cache.stats()
+            print(
+                "plan cache: "
+                f"{stats['size']}/{stats['capacity']} entries, "
+                f"{stats['hits']} hits, {stats['misses']} misses",
+                file=out)
         elif command == "\\explain":
             sql = line[len("\\explain"):].strip()
-            print(self.db.explain(sql), file=out)
+            print(self.conn.explain(sql), file=out)
         elif command == "\\tpch":
             from .tpch import install_views, load_tpch
             scale = float(args[0]) if args else 0.0001
             generated = load_tpch(scale=scale)
             for table in generated.catalog.names():
-                self.db.catalog.register(
+                self.conn.catalog.register(
                     table, generated.catalog.get(table), replace=True)
-            install_views(self.db)
+            install_views(self.conn)
             print(f"loaded TPC-H at scale {scale}", file=out)
         elif command == "\\i":
             if not args:
                 print("usage: \\i <file>", file=out)
             else:
                 with open(args[0]) as handle:
-                    self.db.execute_script(handle.read())
+                    self.conn.execute_script(handle.read())
                 print(f"ran {args[0]}", file=out)
         else:
             print(f"unknown command {command}; try \\d, \\strategy, "
-                  f"\\explain, \\timing, \\tpch, \\i, \\q", file=out)
+                  f"\\explain, \\timing, \\cache, \\tpch, \\i, \\q",
+                  file=out)
         return True
 
     def _list_tables(self, out) -> None:
-        for name in self.db.catalog.names():
-            rows = len(self.db.catalog.get(name).rows)
+        catalog = self.conn.catalog
+        for name in catalog.names():
+            rows = len(catalog.get(name).rows)
             print(f"  table {name} ({rows} rows)", file=out)
-        for name in self.db.views:
+        for name in catalog.view_names():
             print(f"  view  {name}", file=out)
-        if not self.db.catalog.names() and not self.db.views:
+        if not catalog.names() and not catalog.view_names():
             print("  (no tables)", file=out)
 
     def _describe(self, name: str, out) -> None:
-        stored = self.db.catalog.get(name)
+        stored = self.conn.catalog.get(name)
         for attribute in stored.schema:
             print(f"  {attribute.name:24s} {attribute.type.value}",
                   file=out)
@@ -99,18 +129,12 @@ class Shell:
     def run_sql(self, text: str, out) -> None:
         started = time.perf_counter()
         try:
-            from .sql.ast import SelectStmt
-            from .sql.parser import parse_statement
-            statement = parse_statement(text)
-            if isinstance(statement, SelectStmt):
-                if statement.provenance == "auto" and \
-                        self.strategy != "auto":
-                    statement.provenance = self.strategy
-                relation = self.db._run_select(statement)
-                print(relation.pretty(), file=out)
-                print(f"({len(relation.rows)} rows)", file=out)
+            from .relation import Relation
+            result = self.conn.execute(text)
+            if isinstance(result, Relation):
+                print(result.pretty(), file=out)
+                print(f"({len(result.rows)} rows)", file=out)
             else:
-                self.db._run(statement)
                 print("ok", file=out)
         except ReproError as exc:
             print(f"error: {exc}", file=out)
@@ -132,7 +156,22 @@ class Shell:
 
 def main(argv: list[str] | None = None) -> int:
     """REPL entry point."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Interactive SQL shell with provenance support.")
+    parser.add_argument(
+        "--strategy", default="auto",
+        help="default provenance strategy (resolved through the strategy "
+             f"registry; one of {', '.join(strategies.strategy_names())})")
+    args = parser.parse_args(argv)
+    if args.strategy != strategies.AUTO and \
+            not strategies.is_registered(args.strategy):
+        parser.error(
+            f"unknown strategy {args.strategy!r}; expected one of "
+            f"{', '.join(strategies.strategy_names())}")
+
     shell = Shell()
+    shell.strategy = args.strategy
     print("repro — Provenance for Nested Subqueries (EDBT 2009 repro)")
     print('type SQL, "\\tpch" to load data, or "\\q" to quit')
     buffer: list[str] = []

@@ -1,7 +1,7 @@
-"""The user-facing :class:`Database` facade.
+"""The legacy :class:`Database` facade — a thin shim over
+:class:`repro.api.Connection`.
 
-A thin, SQLite-like in-process API over the catalog, SQL frontend,
-provenance rewriter and executor::
+A SQLite-like in-process API kept for backwards compatibility::
 
     from repro import Database
 
@@ -14,69 +14,121 @@ provenance rewriter and executor::
 ``SELECT PROVENANCE`` (Perm's SQL extension) triggers the provenance
 rewrite; ``SELECT PROVENANCE (left)`` forces a strategy.  The same is
 available programmatically via :meth:`Database.provenance`.
+
+Every call here re-parses and re-plans — deliberately, so benchmarks of
+the un-cached path stay honest.  New code should use
+:func:`repro.connect`, whose cursors and prepared statements share an LRU
+plan cache and support ``?`` parameter binding; :attr:`Database.connection`
+exposes the underlying session, so both APIs can be mixed over one
+catalog.
 """
 
 from __future__ import annotations
 
+from collections.abc import Iterator, MutableMapping
 from typing import Any, Iterable, Sequence
 
+from .api import Connection, SessionConfig
 from .catalog import Catalog
-from .datatypes import SQLType
-from .errors import AnalyzerError, ReproError
-from .engine import ExecutionStats, Executor
-from .expressions.ast import Expr
-from .expressions.evaluator import EvalContext, evaluate
+from .engine import ExecutionStats
+from .errors import AnalyzerError
 from .algebra.operators import Operator
 from .algebra.printer import explain
-from .provenance import ProvenanceRewriter
 from .relation import Relation
-from .schema import Attribute, Schema
-from .sql.analyzer import Analyzer
-from .sql.ast import (
-    CreateTableStmt, CreateViewStmt, DeleteStmt, DropStmt, InsertStmt,
-    SelectStmt,
-)
-from .sql.parser import parse_statement, parse_statements
+from .sql.ast import SelectStmt
+from .sql.parser import parse_statement
+
+
+class _ViewsProxy(MutableMapping):
+    """Dict-flavoured view of the catalog's view registry.
+
+    The legacy ``Database`` exposed ``views`` as a plain dict that callers
+    mutated directly; routing mutations through the catalog keeps the DDL
+    generation counter (and with it, plan-cache invalidation) correct for
+    that old idiom too.
+    """
+
+    def __init__(self, catalog: Catalog):
+        self._catalog = catalog
+
+    def __getitem__(self, name: str) -> SelectStmt:
+        return self._catalog.views[name.lower()]
+
+    def __setitem__(self, name: str, query: SelectStmt) -> None:
+        self._catalog.create_view(name, query)
+
+    def __delitem__(self, name: str) -> None:
+        if not self._catalog.has_view(name):
+            raise KeyError(name)
+        self._catalog.drop_view(name)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._catalog.views)
+
+    def __len__(self) -> int:
+        return len(self._catalog.views)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return repr(self._catalog.views)
 
 
 class Database:
-    """An in-process relational database with provenance support."""
+    """An in-process relational database with provenance support.
 
-    def __init__(self) -> None:
-        self.catalog = Catalog()
-        self.views: dict[str, SelectStmt] = {}
-        self.last_stats: ExecutionStats | None = None
+    A compatibility veneer: state lives in the wrapped
+    :class:`~repro.api.Connection` (and its catalog).
+    """
+
+    def __init__(self, connection: Connection | None = None,
+                 config: SessionConfig | None = None):
+        self.connection = connection if connection is not None \
+            else Connection(config)
+
+    # -- shared state (delegated) ----------------------------------------------
+
+    @property
+    def catalog(self) -> Catalog:
+        return self.connection.catalog
+
+    @property
+    def views(self) -> "_ViewsProxy":
+        """View definitions (now owned by the catalog).
+
+        Mutations through this mapping bump the catalog's generation
+        counter, so plan-cache invalidation works even for legacy code
+        that assigns or deletes views directly.
+        """
+        return _ViewsProxy(self.connection.catalog)
+
+    @property
+    def last_stats(self) -> ExecutionStats | None:
+        return self.connection.last_stats
+
+    @last_stats.setter
+    def last_stats(self, stats: ExecutionStats | None) -> None:
+        self.connection.last_stats = stats
 
     # -- DDL / DML convenience (programmatic) ----------------------------------
 
     def create_table(self, name: str,
                      columns: Sequence[tuple[str, str]]) -> None:
         """Create a table from ``(column, type-name)`` pairs."""
-        schema = Schema(
-            Attribute(column, SQLType.parse(type_name))
-            for column, type_name in columns)
-        self.catalog.create(name, schema)
+        self.connection.create_table(name, columns)
 
     def insert(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
         """Bulk-insert rows; returns the number of rows inserted."""
-        stored = self.catalog.get(table)
-        count = 0
-        for row in rows:
-            stored.insert(row)
-            count += 1
-        return count
+        return self.connection.insert(table, rows)
 
     # -- SQL entry points ---------------------------------------------------------
 
     def execute(self, text: str) -> Relation | None:
         """Execute one SQL statement; SELECTs return a :class:`Relation`."""
-        statement = parse_statement(text)
-        return self._run(statement)
+        result = self.connection._run_statement(parse_statement(text))
+        return result if isinstance(result, Relation) else None
 
     def execute_script(self, text: str) -> None:
         """Execute a ``;``-separated script, discarding SELECT outputs."""
-        for statement in parse_statements(text):
-            self._run(statement)
+        self.connection.execute_script(text)
 
     def sql(self, text: str, strategy: str | None = None) -> Relation:
         """Run a SELECT (optionally ``SELECT PROVENANCE``).
@@ -84,29 +136,15 @@ class Database:
         *strategy* overrides the strategy named in the SQL text; it is only
         meaningful for provenance queries.
         """
-        statement = parse_statement(text)
-        if not isinstance(statement, SelectStmt):
-            raise AnalyzerError("sql() expects a SELECT statement")
-        if strategy is not None:
-            statement.provenance = strategy
-        return self._run_select(statement)
+        return self.connection.sql(text, strategy)
 
     def provenance(self, text: str, strategy: str = "auto") -> Relation:
         """Compute the provenance of a plain SELECT query."""
-        statement = parse_statement(text)
-        if not isinstance(statement, SelectStmt):
-            raise AnalyzerError("provenance() expects a SELECT statement")
-        statement.provenance = strategy
-        return self._run_select(statement)
+        return self.connection.provenance(text, strategy)
 
     def plan(self, text: str, strategy: str | None = None) -> Operator:
         """The algebra plan a query would execute (after any rewrite)."""
-        statement = parse_statement(text)
-        if not isinstance(statement, SelectStmt):
-            raise AnalyzerError("plan() expects a SELECT statement")
-        if strategy is not None:
-            statement.provenance = strategy
-        return self._plan_select(statement)
+        return self.connection.plan(text, strategy)
 
     def explain(self, text: str, strategy: str | None = None) -> str:
         """EXPLAIN-style rendering of the (possibly rewritten) plan."""
@@ -114,82 +152,21 @@ class Database:
 
     def create_view(self, name: str, text: str) -> None:
         """Register a view over a SELECT statement."""
-        statement = parse_statement(text)
-        if not isinstance(statement, SelectStmt):
-            raise AnalyzerError("a view must be defined by a SELECT")
-        self.views[name.lower()] = statement
+        self.connection.create_view(name, text)
 
-    # -- internals -------------------------------------------------------------------
+    # -- internals kept for backwards compatibility -----------------------------
 
-    def _analyzer(self) -> Analyzer:
-        return Analyzer(self.catalog, self.views)
-
-    def _plan_select(self, statement: SelectStmt) -> Operator:
-        strategy = statement.provenance
-        statement.provenance = None
-        plan = self._analyzer().analyze(statement)
-        if strategy:
-            rewriter = ProvenanceRewriter(self.catalog, strategy)
-            plan = rewriter.rewrite_query(plan).plan
-        return plan
-
-    def _run_select(self, statement: SelectStmt) -> Relation:
-        plan = self._plan_select(statement)
-        executor = Executor(self.catalog)
-        result = executor.execute(plan)
-        self.last_stats = executor.stats
-        return result
+    def _run_select(self, statement: SelectStmt,
+                    strategy: str | None = None) -> Relation:
+        return self.connection._run_select_uncached(statement, strategy)
 
     def _run(self, statement) -> Relation | None:
-        if isinstance(statement, SelectStmt):
-            return self._run_select(statement)
-        if isinstance(statement, CreateTableStmt):
-            self.create_table(statement.name, statement.columns)
-            return None
-        if isinstance(statement, CreateViewStmt):
-            self.views[statement.name.lower()] = statement.query
-            return None
-        if isinstance(statement, InsertStmt):
-            rows = [
-                [_constant(expr) for expr in row] for row in statement.rows]
-            self.insert(statement.table, rows)
-            return None
-        if isinstance(statement, DropStmt):
-            if statement.kind == "view":
-                if statement.name.lower() not in self.views:
-                    raise AnalyzerError(
-                        f"view {statement.name!r} does not exist")
-                del self.views[statement.name.lower()]
-            else:
-                self.catalog.drop(statement.name)
-            return None
-        if isinstance(statement, DeleteStmt):
-            self._delete(statement)
-            return None
-        raise ReproError(f"unsupported statement {statement!r}")
+        result = self.connection._run_statement(statement)
+        return result if isinstance(result, Relation) else None
 
-    def _delete(self, statement: DeleteStmt) -> None:
-        stored = self.catalog.get(statement.table)
-        if statement.where is None:
-            stored.rows.clear()
-            return
-        from .sql.analyzer import Scope
-        scope = Scope()
-        for attr in stored.schema:
-            scope.add(statement.table, attr.name, attr.name)
-        condition = self._analyzer()._analyze_expr(statement.where, scope)
-        executor = Executor(self.catalog)
-        from .expressions.evaluator import Frame
-        index = Frame.index_for(stored.schema.names)
-        kept = []
-        for row in stored.rows:
-            ctx = EvalContext((Frame(index, row),), executor)
-            if evaluate(condition, ctx) is not True:
-                kept.append(row)
-        stored.rows[:] = kept
-
-
-def _constant(expr: Expr) -> Any:
-    """Evaluate a constant expression (INSERT VALUES)."""
-    ctx = EvalContext((), None)
-    return evaluate(expr, ctx)
+    def _plan_select(self, statement: SelectStmt) -> Operator:
+        if not isinstance(statement, SelectStmt):
+            raise AnalyzerError("expected a SELECT statement")
+        return self.connection._build_plan(
+            statement,
+            self.connection._effective_strategy(statement, None))

@@ -40,13 +40,20 @@ Frames = tuple[Frame, ...]
 
 @dataclass
 class ExecutionStats:
-    """Counters exposed for benchmarking and the ablation study."""
+    """Counters exposed for benchmarking and the ablation study.
+
+    ``plan_cache_hits`` / ``plan_cache_misses`` are filled in by the
+    session layer (:class:`repro.api.Connection`), which owns the plan
+    cache; they report the cache's cumulative totals as of this execution.
+    """
 
     rows_produced: int = 0
     sublink_executions: int = 0
     sublink_cache_hits: int = 0
     hash_joins: int = 0
     nested_loop_joins: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
     operator_evals: dict[str, int] = field(default_factory=dict)
 
     def bump(self, op: Operator) -> None:
@@ -64,15 +71,30 @@ class Executor:
     every measurement.  Disable it for the ablation benchmark.
     """
 
-    def __init__(self, catalog: Catalog, optimize: bool = True,
-                 compile_expressions: bool = True):
+    def __init__(self, catalog: Catalog, optimize: bool | None = None,
+                 compile_expressions: bool | None = None, config=None,
+                 compiled_cache: dict[int, Any] | None = None):
+        """*config* is a :class:`repro.api.SessionConfig`; it supplies the
+        ``optimize`` / ``compile_expressions`` defaults when the explicit
+        arguments are None.  *compiled_cache* lets a cached plan share its
+        compiled-expression closures across executions (the cache is keyed
+        by expression node identity, so it is only valid for the plan tree
+        it was built against)."""
         self.catalog = catalog
-        self.optimize = optimize
-        self.compile_expressions = compile_expressions
+        self.config = config
+        self.optimize = optimize if optimize is not None else (
+            config.optimize if config is not None else True)
+        self.compile_expressions = compile_expressions \
+            if compile_expressions is not None else (
+                config.compile_expressions if config is not None else True)
+        self.collect_stats = \
+            config.collect_stats if config is not None else True
         self.stats = ExecutionStats()
+        self._params: tuple = ()
         self._subquery_cache: dict[int, list[tuple]] = {}
         self._correlated: dict[int, bool] = {}
-        self._compiled: dict[int, Any] = {}
+        self._compiled: dict[int, Any] = \
+            compiled_cache if compiled_cache is not None else {}
 
     def _evaluator(self, expr: Expr):
         """A callable ctx -> value for *expr*: compiled (cached by node
@@ -89,9 +111,15 @@ class Executor:
 
     # -- public API ----------------------------------------------------------
 
-    def execute(self, op: Operator) -> Relation:
-        """Run *op* and return its output relation."""
+    def execute(self, op: Operator, params: Iterable[Any] = ()) -> Relation:
+        """Run *op* and return its output relation.
+
+        *params* are the values bound to the plan's ``?`` placeholders
+        (:class:`~repro.expressions.ast.Param` nodes), visible to every
+        expression evaluated during this execution.
+        """
         schema = op.schema
+        self._params = tuple(params)
         if self.optimize:
             from .optimizer import optimize as optimize_tree
             op = optimize_tree(op)
@@ -122,7 +150,8 @@ class Executor:
     # -- evaluation ------------------------------------------------------------
 
     def _eval(self, op: Operator, frames: Frames) -> list[tuple]:
-        self.stats.bump(op)
+        if self.collect_stats:
+            self.stats.bump(op)
         if isinstance(op, BaseRelation):
             rows = self.catalog.get(op.table).rows
         elif isinstance(op, Values):
@@ -150,7 +179,7 @@ class Executor:
 
     def _context(self, frames: Frames, index: dict[str, int],
                  row: tuple) -> EvalContext:
-        return EvalContext((*frames, Frame(index, row)), self)
+        return EvalContext((*frames, Frame(index, row)), self, self._params)
 
     def _eval_project(self, op: Project, frames: Frames) -> list[tuple]:
         input_rows = self._eval(op.input, frames)

@@ -64,3 +64,20 @@ class RewriteError(ReproError):
 
 class UnsupportedFeatureError(ReproError):
     """The query uses a SQL feature outside the supported subset."""
+
+
+class BindError(ReproError):
+    """Parameter binding failed.
+
+    Raised by the session API when the values passed to a prepared
+    statement or cursor do not match the statement's ``?`` placeholders —
+    wrong arity, or bindings supplied for a statement without parameters.
+    """
+
+
+class InterfaceError(ReproError):
+    """The DB-API-flavored session API was misused.
+
+    Examples: operating on a closed connection or cursor, fetching from a
+    cursor with no pending result set.
+    """

@@ -73,6 +73,20 @@ class Col(Expr):
 
 
 @dataclass(eq=True, frozen=True, repr=False)
+class Param(Expr):
+    """A ``?`` parameter placeholder, bound at execution time.
+
+    ``index`` is the zero-based position of the placeholder in the SQL
+    text; :class:`~repro.expressions.evaluator.EvalContext` carries the
+    bound values.  Placeholders survive analysis and rewriting unchanged,
+    which is what lets a prepared plan be re-executed with new bindings
+    without re-planning.
+    """
+
+    index: int
+
+
+@dataclass(eq=True, frozen=True, repr=False)
 class Comparison(Expr):
     """``left op right`` with op in ``= <> < <= > >=`` (3VL result)."""
 

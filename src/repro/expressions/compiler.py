@@ -24,7 +24,7 @@ from ..datatypes import (
 from ..errors import ExpressionError
 from .ast import (
     AggCall, Arith, BoolOp, Case, Cast, Col, Comparison, Const, Expr,
-    FuncCall, IsNull, Like, Neg, Not, NullSafeEq, Sublink,
+    FuncCall, IsNull, Like, Neg, Not, NullSafeEq, Param, Sublink,
 )
 from .evaluator import EvalContext, _cast, _eval_sublink, _like_regex
 from .functions import SCALAR_FUNCTIONS
@@ -37,6 +37,10 @@ def compile_expr(expr: Expr) -> Compiled:
     if isinstance(expr, Const):
         value = expr.value
         return lambda ctx: value
+
+    if isinstance(expr, Param):
+        index = expr.index
+        return lambda ctx: ctx.param(index)
 
     if isinstance(expr, Col):
         name = expr.name

@@ -22,7 +22,8 @@ from ..errors import ExecutionError, ExpressionError
 from ..datatypes import SQLType
 from .ast import (
     AggCall, Arith, BoolOp, Case, Cast, Col, Comparison, Const, Expr,
-    FuncCall, IsNull, Like, Neg, Not, NullSafeEq, Sublink, SublinkKind,
+    FuncCall, IsNull, Like, Neg, Not, NullSafeEq, Param, Sublink,
+    SublinkKind,
 )
 from .functions import call_function
 
@@ -52,18 +53,30 @@ class SubqueryRunner(Protocol):
 
 
 class EvalContext:
-    """Evaluation state: visible frames plus the subquery runner."""
+    """Evaluation state: visible frames, subquery runner, and the values
+    bound to ``?`` placeholders of the statement being executed."""
 
-    __slots__ = ("frames", "runner")
+    __slots__ = ("frames", "runner", "params")
 
     def __init__(self, frames: tuple[Frame, ...],
-                 runner: SubqueryRunner | None = None):
+                 runner: SubqueryRunner | None = None,
+                 params: Sequence[Any] = ()):
         self.frames = frames
         self.runner = runner
+        self.params = params
 
     def push(self, frame: Frame) -> "EvalContext":
         """Context with one more (innermost) frame."""
-        return EvalContext((*self.frames, frame), self.runner)
+        return EvalContext((*self.frames, frame), self.runner, self.params)
+
+    def param(self, index: int) -> Any:
+        """Value bound to the *index*-th ``?`` placeholder."""
+        try:
+            return self.params[index]
+        except IndexError:
+            raise ExpressionError(
+                f"parameter ?{index + 1} has no bound value "
+                f"({len(self.params)} given)") from None
 
     def lookup(self, name: str, level: int) -> Any:
         """Value of column *name*, *level* frames out."""
@@ -148,6 +161,8 @@ def evaluate(expr: Expr, ctx: EvalContext) -> Any:
     """Evaluate *expr* in *ctx*; boolean results use 3VL (None = unknown)."""
     if isinstance(expr, Const):
         return expr.value
+    if isinstance(expr, Param):
+        return ctx.param(expr.index)
     if isinstance(expr, Col):
         return ctx.lookup(expr.name, expr.level)
     if isinstance(expr, Comparison):

@@ -5,7 +5,8 @@ from __future__ import annotations
 from ..datatypes import sql_literal
 from .ast import (
     AggCall, Arith, BoolOp, Case, Cast, Col, Comparison, Const, Expr,
-    FuncCall, IsNull, Like, Neg, Not, NullSafeEq, Sublink, SublinkKind,
+    FuncCall, IsNull, Like, Neg, Not, NullSafeEq, Param, Sublink,
+    SublinkKind,
 )
 
 
@@ -13,6 +14,8 @@ def format_expr(expr: Expr) -> str:
     """Render *expr* as readable text; sublink queries render as a tag."""
     if isinstance(expr, Const):
         return sql_literal(expr.value)
+    if isinstance(expr, Param):
+        return f"?{expr.index + 1}"
     if isinstance(expr, Col):
         if expr.level:
             return f"{expr.name}^{expr.level}"

@@ -10,61 +10,67 @@ available by explicit request and in the benchmarks.)  Explicitly requested
 strategies are *forced*: if they do not apply, the rewrite fails with
 :class:`~repro.errors.RewriteError` rather than silently degrading, so
 benchmark results always measure what they claim to measure.
+
+Strategy names — forced ones included — resolve through the pluggable
+:mod:`repro.provenance.strategies.registry`, so strategies registered by
+name are usable from SQL (``SELECT PROVENANCE (name)``), the CLI and the
+session config without touching this module.
 """
 
 from __future__ import annotations
 
-from ..errors import RewriteError
+from typing import TYPE_CHECKING
+
 from ..algebra.operators import Project, Select
 from ..algebra.properties import is_correlated
-from .strategies import (
-    GenStrategy, LeftStrategy, MoveStrategy, SublinkStrategy, UnnStrategy,
-)
+from . import strategies
+from .strategies import SublinkStrategy, UnnStrategy
 
+if TYPE_CHECKING:  # pragma: no cover
+    from ..api.config import SessionConfig
+
+#: Names of the built-in strategies plus the automatic mode (static view;
+#: use :func:`repro.provenance.strategies.strategy_names` for the live set).
 STRATEGY_NAMES = ("auto", "gen", "left", "move", "unn")
 
 
 class StrategyPlanner:
     """Maps sublink-bearing operators to rewrite strategies."""
 
-    def __init__(self, strategy: str = "auto"):
-        if strategy not in STRATEGY_NAMES:
-            raise RewriteError(
-                f"unknown strategy {strategy!r}; expected one of "
-                f"{STRATEGY_NAMES}")
+    def __init__(self, strategy: str = "auto",
+                 config: "SessionConfig | None" = None):
+        self.config = config
+        # A session's default_strategy stands in for "auto", so rewriters
+        # constructed directly (not through a Connection, which resolves
+        # the default before planning) honor the config too.
+        if strategy == strategies.AUTO and config is not None:
+            strategy = config.default_strategy
         self.strategy = strategy
-        self._gen = GenStrategy()
-        self._left = LeftStrategy()
-        self._move = MoveStrategy()
-        self._unn = UnnStrategy()
+        # Resolve a forced strategy eagerly so unknown names fail at plan
+        # time, not at the first sublink encountered.
+        self._forced = None if strategy == strategies.AUTO \
+            else strategies.resolve(strategy)
 
-    def _forced(self) -> SublinkStrategy | None:
-        return {
-            "gen": self._gen, "left": self._left,
-            "move": self._move, "unn": self._unn,
-        }.get(self.strategy)
+    def _auto(self, name: str) -> SublinkStrategy:
+        return strategies.resolve(name)
 
     def for_select(self, op: Select) -> SublinkStrategy:
         """Strategy for a selection whose condition holds sublinks."""
-        forced = self._forced()
-        if forced is not None:
-            return forced
-        if UnnStrategy.applicable_select(op):
-            return self._unn
+        if self._forced is not None:
+            return self._forced
+        unn = self._auto("unn")
+        if isinstance(unn, UnnStrategy) and unn.applicable_select(op):
+            return unn
         sublinks = SublinkStrategy.select_sublinks(op)
         if all(not is_correlated(s.query) for s in sublinks):
-            return self._left
-        return self._gen
+            return self._auto("left")
+        return self._auto("gen")
 
     def for_project(self, op: Project) -> SublinkStrategy:
         """Strategy for a projection whose items hold sublinks."""
-        forced = self._forced()
-        if forced is not None:
-            if forced is self._unn:
-                raise RewriteError(
-                    "the Unn strategy defines no projection rewrite")
-            return forced
+        if self._forced is not None:
+            return self._forced
         sublinks = SublinkStrategy.project_sublinks(op)
         if all(not is_correlated(s.query) for s in sublinks):
-            return self._left
-        return self._gen
+            return self._auto("left")
+        return self._auto("gen")

@@ -54,10 +54,12 @@ class ProvenanceRewriter:
     naming registry for that query).
     """
 
-    def __init__(self, catalog: Catalog, strategy: str = "auto"):
+    def __init__(self, catalog: Catalog, strategy: str = "auto",
+                 config=None):
         from .planner import StrategyPlanner
         self.catalog = catalog
-        self.planner = StrategyPlanner(strategy)
+        self.config = config  # SessionConfig | None
+        self.planner = StrategyPlanner(strategy, config)
         self.registry: NamingRegistry = NamingRegistry()
 
     # -- public API -----------------------------------------------------------

@@ -1,12 +1,28 @@
-"""Sublink rewrite strategies (Figure 5 of the paper)."""
+"""Sublink rewrite strategies (Figure 5 of the paper).
+
+The four built-in strategies are registered in the pluggable
+:mod:`~repro.provenance.strategies.registry` at import time; use
+:func:`register` to add new ones by name.
+"""
 
 from .base import SublinkStrategy
 from .gen import GenStrategy
 from .left import LeftStrategy
 from .move import MoveStrategy
 from .unn import UnnStrategy
+from .registry import (
+    AUTO, available, is_registered, register, resolve, strategy_names,
+    unregister,
+)
+
+register("gen", GenStrategy())
+register("left", LeftStrategy())
+register("move", MoveStrategy())
+register("unn", UnnStrategy())
 
 __all__ = [
     "SublinkStrategy", "GenStrategy", "LeftStrategy", "MoveStrategy",
     "UnnStrategy",
+    "AUTO", "available", "is_registered", "register", "resolve",
+    "strategy_names", "unregister",
 ]

@@ -1,0 +1,82 @@
+"""The pluggable sublink-strategy registry.
+
+The four strategies of the paper (Gen / Left / Move / Unn, Figure 5) are
+registered here at import time; new strategies plug in by name::
+
+    from repro.provenance import strategies
+
+    class MyStrategy(strategies.SublinkStrategy):
+        name = "mine"
+        def rewrite_select(self, op, rewriter): ...
+
+    strategies.register("mine", MyStrategy())
+
+Everything that names a strategy — the planner, the CLI ``--strategy``
+flag, ``SELECT PROVENANCE (name)`` syntax, :class:`repro.api.SessionConfig`
+— resolves through this registry, so a registered strategy is immediately
+usable everywhere.  ``"auto"`` is not a strategy but a planner mode and is
+reserved.
+"""
+
+from __future__ import annotations
+
+from ...errors import RewriteError
+from .base import SublinkStrategy
+
+AUTO = "auto"
+
+_registry: dict[str, SublinkStrategy] = {}
+
+
+def register(name: str, strategy: SublinkStrategy,
+             replace: bool = False) -> SublinkStrategy:
+    """Register *strategy* under *name* (lower-cased).
+
+    Raises :class:`~repro.errors.RewriteError` for the reserved name
+    ``"auto"`` and for duplicate registrations unless ``replace=True``.
+    Returns the strategy, so it can be used as a decorator-style one-liner.
+    """
+    key = name.lower()
+    if key == AUTO:
+        raise RewriteError(
+            f"{AUTO!r} is the planner's automatic mode, not a registrable "
+            f"strategy name")
+    if key in _registry and not replace:
+        raise RewriteError(
+            f"strategy {name!r} is already registered; pass replace=True "
+            f"to override it")
+    _registry[key] = strategy
+    return strategy
+
+
+def unregister(name: str) -> None:
+    """Remove a strategy registration (built-ins included — careful)."""
+    key = name.lower()
+    if key not in _registry:
+        raise RewriteError(f"strategy {name!r} is not registered")
+    del _registry[key]
+
+
+def resolve(name: str) -> SublinkStrategy:
+    """Look up a strategy by name; raises on unknown names."""
+    strategy = _registry.get(name.lower())
+    if strategy is None:
+        raise RewriteError(
+            f"unknown strategy {name!r}; expected one of "
+            f"{strategy_names()}")
+    return strategy
+
+
+def is_registered(name: str) -> bool:
+    """True iff *name* resolves to a registered strategy."""
+    return name.lower() in _registry
+
+
+def available() -> tuple[str, ...]:
+    """Registered strategy names, in registration order."""
+    return tuple(_registry)
+
+
+def strategy_names() -> tuple[str, ...]:
+    """``("auto", ...registered names...)`` — everything a query may name."""
+    return (AUTO, *_registry)

@@ -93,12 +93,18 @@ class Scope:
 
 
 class Analyzer:
-    """Analyzes parsed SELECT statements against a catalog (and views)."""
+    """Analyzes parsed SELECT statements against a catalog (and views).
+
+    Views default to the catalog's own registry
+    (:attr:`repro.catalog.Catalog.views`); pass an explicit mapping only to
+    override it (e.g. to analyze against a hypothetical namespace).
+    """
 
     def __init__(self, catalog: Catalog,
                  views: dict[str, SelectStmt] | None = None):
         self.catalog = catalog
-        self.views = views or {}
+        self.views = views if views is not None \
+            else getattr(catalog, "views", {})
         self._core_scope: Scope | None = None
 
     # -- entry point -----------------------------------------------------------
@@ -452,6 +458,21 @@ class Analyzer:
                         f"be used in an aggregate function")
 
     # -- expressions -----------------------------------------------------------------------
+
+    def analyze_expression(self, expr: Expr, schema: Schema,
+                           qualifier: str | None = None) -> Expr:
+        """Resolve a standalone expression against *schema*'s columns.
+
+        The public entry point for analyzing expressions outside a full
+        SELECT — e.g. a ``DELETE ... WHERE`` condition.  Columns resolve by
+        bare name, or as ``qualifier.name`` when *qualifier* is given.
+        Sublinks in *expr* are analyzed with the schema's columns visible
+        as the (only) outer scope.
+        """
+        scope = Scope()
+        for attr in schema:
+            scope.add(qualifier, attr.name, attr.name)
+        return self._analyze_expr(expr, scope)
 
     def _analyze_expr(self, expr: Expr, scope: Scope) -> Expr:
         def rule(node: Expr) -> Expr | None:

@@ -87,6 +87,7 @@ class SelectStmt:
     order_by: list[OrderItem] = field(default_factory=list)
     limit: int | None = None
     offset: int = 0
+    param_count: int = 0  # number of ? placeholders (set on the top level)
 
 
 @dataclass
@@ -111,6 +112,7 @@ class InsertStmt:
 
     table: str
     rows: list[list[Expr]]
+    param_count: int = 0
 
 
 @dataclass
@@ -127,6 +129,7 @@ class DeleteStmt:
 
     table: str
     where: Expr | None = None
+    param_count: int = 0
 
 
 Statement = (SelectStmt | CreateTableStmt | CreateViewStmt | InsertStmt

@@ -19,8 +19,8 @@ from ..datatypes import sql_literal
 from ..errors import UnsupportedFeatureError
 from ..expressions.ast import (
     AggCall, Arith, BoolOp, Case, Cast, Col, Comparison, Const, Expr,
-    FuncCall, IsNull, Like, Neg, Not, NullSafeEq, Sublink, SublinkKind,
-    TRUE,
+    FuncCall, IsNull, Like, Neg, Not, NullSafeEq, Param, Sublink,
+    SublinkKind, TRUE,
 )
 from ..algebra.operators import (
     Aggregate, BaseRelation, Join, JoinKind, Limit, Operator, Project,
@@ -39,6 +39,8 @@ def deparse_expr(expr: Expr) -> str:
     """Render an expression as SQL text."""
     if isinstance(expr, Const):
         return sql_literal(expr.value)
+    if isinstance(expr, Param):
+        return "?"
     if isinstance(expr, Col):
         return _quote(expr.name)
     if isinstance(expr, Comparison):

@@ -38,7 +38,7 @@ KEYWORDS = {
 
 _MULTI_OPERATORS = ("<>", "<=", ">=", "!=", "||")
 _SINGLE_OPERATORS = "=<>+-*/%"
-_PUNCT = "(),.;"
+_PUNCT = "(),.;?"
 
 
 @dataclass(frozen=True)

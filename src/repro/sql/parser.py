@@ -27,7 +27,8 @@ from __future__ import annotations
 from ..errors import SQLSyntaxError
 from ..expressions.ast import (
     AggCall, Arith, BoolOp, Case, Cast, Col, Comparison, Const, Expr,
-    FuncCall, IsNull, Like, Neg, Not, Sublink, SublinkKind, and_all, or_all,
+    FuncCall, IsNull, Like, Neg, Not, Param, Sublink, SublinkKind, and_all,
+    or_all,
 )
 from .ast import (
     CreateTableStmt, CreateViewStmt, DeleteStmt, DropStmt, InsertStmt,
@@ -44,6 +45,7 @@ class _Parser:
     def __init__(self, tokens: list[Token]):
         self.tokens = tokens
         self.position = 0
+        self.param_count = 0  # ? placeholders seen in the current statement
 
     # -- token plumbing -----------------------------------------------------
 
@@ -97,6 +99,19 @@ class _Parser:
     # -- statements ----------------------------------------------------------
 
     def parse_statement(self) -> Statement:
+        self.param_count = 0
+        statement = self._dispatch_statement()
+        if self.param_count:
+            if isinstance(statement,
+                          (SelectStmt, InsertStmt, DeleteStmt)):
+                statement.param_count = self.param_count
+            else:
+                raise self.error(
+                    "? parameters are only allowed in SELECT, INSERT and "
+                    "DELETE statements")
+        return statement
+
+    def _dispatch_statement(self) -> Statement:
         if self.at_select() or (self.current.kind == TokenKind.PUNCT
                                 and self.current.value == "("):
             return self.parse_select()
@@ -451,6 +466,11 @@ class _Parser:
             query = self.parse_select()
             self.expect_punct(")")
             return Sublink(SublinkKind.EXISTS, query)
+        if token.kind == TokenKind.PUNCT and token.value == "?":
+            self.advance()
+            param = Param(self.param_count)
+            self.param_count += 1
+            return param
         if token.kind == TokenKind.PUNCT and token.value == "(":
             self.advance()
             if self.at_select():

@@ -20,6 +20,7 @@ from __future__ import annotations
 import random
 from datetime import date, timedelta
 
+from ..api import Connection
 from ..db import Database
 
 PAPER_SUBLINK_QUERIES = (2, 4, 11, 15, 16, 17, 20, 21, 22)
@@ -42,8 +43,12 @@ def _iso(day: date) -> str:
     return day.isoformat()
 
 
-def install_views(db: Database, rng: random.Random | None = None) -> None:
-    """Create the ``revenue`` view required by Q15."""
+def install_views(db: "Database | Connection",
+                  rng: random.Random | None = None) -> None:
+    """Create the ``revenue`` view required by Q15.
+
+    Accepts either the legacy :class:`~repro.db.Database` facade or a
+    :class:`~repro.api.Connection` (both expose ``create_view``)."""
     rng = rng or random.Random(15)
     start = date(1993, 1, 1) + timedelta(days=30 * rng.randint(0, 60))
     end = start + timedelta(days=90)

@@ -1,0 +1,241 @@
+"""Plan cache behaviour (hits, DDL invalidation, LRU, keying) and the
+pluggable strategy registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Connection, RewriteError, connect
+from repro.api.plan_cache import CachedPlan, PlanCache
+from repro.provenance import strategies
+from repro.provenance.strategies import LeftStrategy
+
+
+@pytest.fixture
+def conn() -> Connection:
+    connection = connect()
+    cur = connection.cursor()
+    cur.execute("CREATE TABLE r (a int, b int)")
+    cur.executemany("INSERT INTO r VALUES (?, ?)",
+                    [(1, 1), (2, 1), (3, 2)])
+    cur.execute("CREATE TABLE s (c int, d int)")
+    cur.executemany("INSERT INTO s VALUES (?, ?)",
+                    [(1, 3), (2, 4), (4, 5)])
+    return connection
+
+
+PROV_SQL = ("SELECT PROVENANCE * FROM r WHERE a = ANY "
+            "(SELECT c FROM s WHERE c < ?)")
+
+
+class TestPlanCacheHits:
+    def test_prepared_reexecution_hits_cache(self, conn):
+        ps = conn.prepare(PROV_SQL)
+        ps.execute((10,))
+        hits = conn.last_stats.plan_cache_hits
+        ps.execute((10,))
+        assert conn.last_stats.plan_cache_hits == hits + 1
+        # no new planning happened
+        assert conn.last_stats.plan_cache_misses == \
+            conn.plan_cache.misses
+
+    def test_cursor_shares_cache_with_prepared(self, conn):
+        ps = conn.prepare(PROV_SQL)
+        ps.execute((10,))
+        size = len(conn.plan_cache)
+        cur = conn.cursor()
+        cur.execute(PROV_SQL, (10,))
+        assert len(conn.plan_cache) == size  # same entry reused
+        assert conn.last_stats.plan_cache_hits >= 2
+
+    def test_two_cursors_share_one_plan(self, conn):
+        a, b = conn.cursor(), conn.cursor()
+        a.execute("SELECT a FROM r WHERE a = ?", (1,))
+        misses = conn.plan_cache.misses
+        b.execute("SELECT a FROM r WHERE a = ?", (2,))
+        assert conn.plan_cache.misses == misses
+        assert b.fetchall() == [(2,)]
+
+    def test_cached_plan_results_match_uncached(self, conn):
+        ps = conn.prepare(PROV_SQL)
+        cached = sorted(ps.execute((10,)).rows)
+        cached_again = sorted(ps.execute((10,)).rows)
+        uncached = sorted(conn.sql(PROV_SQL.replace("?", "10")).rows)
+        assert cached == cached_again == uncached
+
+
+class TestInvalidation:
+    def test_ddl_bumps_catalog_version(self, conn):
+        version = conn.catalog.version
+        conn.execute("CREATE TABLE t (x int)")
+        assert conn.catalog.version == version + 1
+        conn.execute("DROP TABLE t")
+        assert conn.catalog.version == version + 2
+        conn.create_view("v", "SELECT a FROM r")
+        assert conn.catalog.version == version + 3
+        conn.execute("DROP VIEW v")
+        assert conn.catalog.version == version + 4
+
+    def test_dml_does_not_bump_version(self, conn):
+        version = conn.catalog.version
+        conn.execute("INSERT INTO r VALUES (9, 9)")
+        conn.execute("DELETE FROM r WHERE a = 9")
+        assert conn.catalog.version == version
+
+    def test_create_table_invalidates_cached_plan(self, conn):
+        ps = conn.prepare(PROV_SQL)
+        ps.execute((10,))
+        misses = conn.plan_cache.misses
+        conn.execute("CREATE TABLE unrelated (x int)")
+        ps.execute((10,))   # version changed -> key miss -> replanned
+        assert conn.plan_cache.misses > misses
+
+    def test_view_redefinition_changes_results(self, conn):
+        conn.create_view("v", "SELECT a FROM r WHERE a >= 2")
+        cur = conn.cursor()
+        cur.execute("SELECT a FROM v ORDER BY a")
+        assert cur.fetchall() == [(2,), (3,)]
+        conn.execute("DROP VIEW v")
+        conn.create_view("v", "SELECT a FROM r WHERE a = 1")
+        cur.execute("SELECT a FROM v ORDER BY a")
+        assert cur.fetchall() == [(1,)]
+
+
+class TestKeyingAndLRU:
+    def test_strategy_override_is_part_of_the_key(self, conn):
+        sql = "SELECT * FROM r WHERE a = ANY (SELECT c FROM s)"
+        conn.prepare(sql, strategy="gen").execute()
+        conn.prepare(sql, strategy="unn").execute()
+        assert len(conn.plan_cache) == 2
+
+    def test_default_strategy_is_part_of_the_key(self, conn):
+        ps = conn.prepare(
+            "SELECT PROVENANCE * FROM r WHERE a = ANY (SELECT c FROM s)")
+        ps.execute()
+        misses = conn.plan_cache.misses
+        conn.config.default_strategy = "gen"
+        ps.execute()   # same text, different effective strategy
+        assert conn.plan_cache.misses > misses
+
+    def test_lru_eviction(self):
+        cache = PlanCache(capacity=2)
+        plans = {
+            name: CachedPlan(plan=None, param_count=0, strategy=None,
+                             catalog_version=0)
+            for name in "abc"}
+        cache.store("a", plans["a"])
+        cache.store("b", plans["b"])
+        assert cache.lookup("a") is plans["a"]   # refresh a
+        cache.store("c", plans["c"])             # evicts b
+        assert cache.lookup("b") is None
+        assert cache.lookup("a") is plans["a"]
+        assert cache.lookup("c") is plans["c"]
+
+    def test_zero_capacity_disables_caching(self):
+        connection = connect(plan_cache_size=0)
+        cur = connection.cursor()
+        cur.execute("CREATE TABLE t (x int)")
+        cur.execute("INSERT INTO t VALUES (1)")
+        cur.execute("SELECT x FROM t")
+        cur.execute("SELECT x FROM t")
+        assert len(connection.plan_cache) == 0
+        assert connection.plan_cache.hits == 0
+
+    def test_stats_shape(self, conn):
+        stats = conn.plan_cache.stats()
+        assert set(stats) == {"hits", "misses", "size", "capacity"}
+
+    def test_ddl_and_dml_do_not_inflate_miss_counter(self):
+        connection = connect()
+        cur = connection.cursor()
+        cur.execute("CREATE TABLE t (x int)")
+        cur.executemany("INSERT INTO t VALUES (?)", [(1,), (2,), (3,)])
+        assert connection.plan_cache.misses == 0
+        cur.execute("SELECT x FROM t")      # first SELECT: exactly 1 miss
+        assert connection.plan_cache.misses == 1
+        assert connection.plan_cache.hits == 0
+        cur.execute("SELECT x FROM t")
+        assert connection.plan_cache.misses == 1
+        assert connection.plan_cache.hits == 1
+
+    def test_peek_does_not_count(self, conn):
+        conn.prepare("SELECT a FROM r").execute()
+        hits, misses = conn.plan_cache.hits, conn.plan_cache.misses
+        assert conn.plan_cache.peek(("nope",)) is None
+        assert (conn.plan_cache.hits, conn.plan_cache.misses) == \
+            (hits, misses)
+
+
+class TestStrategyRegistry:
+    def test_builtins_registered(self):
+        assert set(strategies.available()) >= {"gen", "left", "move", "unn"}
+        assert strategies.strategy_names()[0] == "auto"
+
+    def test_resolve_unknown_raises(self):
+        with pytest.raises(RewriteError, match="unknown strategy"):
+            strategies.resolve("turbo")
+
+    def test_duplicate_registration_raises(self):
+        with pytest.raises(RewriteError, match="already registered"):
+            strategies.register("left", LeftStrategy())
+
+    def test_auto_is_reserved(self):
+        with pytest.raises(RewriteError, match="automatic mode"):
+            strategies.register("auto", LeftStrategy())
+
+    def test_unregister_unknown_raises(self):
+        with pytest.raises(RewriteError, match="not registered"):
+            strategies.unregister("turbo")
+
+    def test_custom_strategy_pluggable_everywhere(self, conn):
+        class EchoLeft(LeftStrategy):
+            name = "echoleft"
+
+        strategies.register("echoleft", EchoLeft())
+        try:
+            sql = "SELECT * FROM r WHERE a = ANY (SELECT c FROM s)"
+            via_left = sorted(conn.provenance(sql, strategy="left").rows)
+            # programmatic API
+            assert sorted(
+                conn.provenance(sql, strategy="echoleft").rows) == via_left
+            # SELECT PROVENANCE (name) syntax
+            assert sorted(conn.sql(
+                "SELECT PROVENANCE (echoleft) * FROM r "
+                "WHERE a = ANY (SELECT c FROM s)").rows) == via_left
+            # session default strategy
+            session = connect(default_strategy="echoleft",
+                              catalog=conn.catalog)
+            assert sorted(session.sql(
+                "SELECT PROVENANCE * FROM r "
+                "WHERE a = ANY (SELECT c FROM s)").rows) == via_left
+        finally:
+            strategies.unregister("echoleft")
+
+    def test_replace_registration(self):
+        original = strategies.resolve("left")
+        replacement = LeftStrategy()
+        strategies.register("left", replacement, replace=True)
+        try:
+            assert strategies.resolve("left") is replacement
+        finally:
+            strategies.register("left", original, replace=True)
+
+    def test_unknown_strategy_in_sql_raises(self, conn):
+        with pytest.raises(RewriteError, match="unknown strategy"):
+            conn.sql("SELECT PROVENANCE (turbo) a FROM r")
+
+
+class TestSmokeBenchmark:
+    def test_zero_repeats_rejected(self):
+        from repro.bench.smoke import run_smoke
+        with pytest.raises(ValueError, match="repeats"):
+            run_smoke(repeats=0)
+
+    def test_prepared_path_beats_legacy_and_hits_cache(self):
+        from repro.bench.smoke import run_smoke
+        result = run_smoke(repeats=5)
+        assert result.cache_hits == 5
+        # CI enforces the full 2x floor via `python -m repro.bench
+        # --smoke`; here we only require a strict win to avoid timing
+        # flakiness under parallel test load.
+        assert result.speedup > 1.0
