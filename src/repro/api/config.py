@@ -36,6 +36,15 @@ class SessionConfig:
     ``plan_cache_size``
         Capacity of the per-connection LRU plan cache; ``0`` disables
         caching entirely.
+    ``engine``
+        Which execution engine runs statements: ``"pipelined"`` (the
+        vectorized batch pipeline over physical plans — the default) or
+        ``"materializing"`` (the original tree-walking interpreter, kept
+        as the benchmark baseline and parity reference).
+    ``batch_size``
+        Rows per batch in the pipelined engine.  Larger batches amortize
+        per-batch overhead; smaller ones bound memory between pipeline
+        breakers.  Ignored by the materializing engine.
     """
 
     default_strategy: str = "auto"
@@ -43,15 +52,25 @@ class SessionConfig:
     compile_expressions: bool = True
     collect_stats: bool = True
     plan_cache_size: int = 128
+    engine: str = "pipelined"
+    batch_size: int = 1024
 
     def __post_init__(self) -> None:
         self.validate()
 
     def validate(self) -> None:
         """Check the configuration; raises :class:`InterfaceError`."""
+        from ..engine import ENGINES
         if self.plan_cache_size < 0:
             raise InterfaceError(
                 f"plan_cache_size must be >= 0, got {self.plan_cache_size}")
+        if self.engine not in ENGINES:
+            raise InterfaceError(
+                f"unknown engine {self.engine!r}; expected one of "
+                f"{list(ENGINES)}")
+        if self.batch_size < 1:
+            raise InterfaceError(
+                f"batch_size must be >= 1, got {self.batch_size}")
         if self.default_strategy != strategies.AUTO and \
                 not strategies.is_registered(self.default_strategy):
             raise InterfaceError(

@@ -168,8 +168,50 @@ class Connection:
             statement, self._effective_strategy(statement, strategy))
 
     def explain(self, text: str, strategy: str | None = None) -> str:
-        """EXPLAIN-style rendering of the (possibly rewritten) plan."""
+        """EXPLAIN-style rendering of the logical (rewritten) plan."""
         return explain_plan(self.plan(text, strategy))
+
+    def explain_physical(self, text: str,
+                         strategy: str | None = None) -> str:
+        """EXPLAIN-style rendering of the *physical* plan: the lowered
+        operator tree the pipelined engine executes, with join algorithms
+        and InitPlan/SubPlan sublink classification visible."""
+        from ..engine.lowering import lower_plan
+        from ..engine.physical import explain_physical as render
+        plan = self.plan(text, strategy)
+        if self.config.optimize:
+            from ..engine.optimizer import optimize as optimize_tree
+            plan = optimize_tree(plan)
+        return render(lower_plan(plan))
+
+    def explain_analyze(self, text: str, params: Sequence[Any] = (),
+                        strategy: str | None = None) -> str:
+        """Execute the query and render its physical plan annotated with
+        per-node actual rows / batches / loops / inclusive time.
+
+        Runs through the plan cache (so the analyzed plan is the one a
+        normal execution would use) on the pipelined engine with stats
+        collection forced on.
+        """
+        self._check_open()
+        from ..engine.physical import explain_physical as render
+        cached = self._get_plan(text, strategy)
+        if cached.physical is None:  # materializing session / legacy entry
+            from ..engine.lowering import lower_plan
+            cached.physical = lower_plan(cached.plan)
+        executor = Executor(
+            self.catalog, optimize=False,
+            config=self.config.with_options(
+                engine="pipelined", collect_stats=True))
+        relation = executor.execute_physical(
+            cached.physical, check_arity(cached.param_count, params))
+        stats = self._finish_stats(executor)
+        root = stats.node_stats.get(id(cached.physical.root))
+        lines = [render(cached.physical, stats=stats)]
+        lines.append(f"Result: {len(relation.rows)} row(s), "
+                     f"{root.batches if root else 0} batch(es), "
+                     f"batch size {self.config.batch_size}")
+        return "\n".join(lines)
 
     def create_view(self, name: str, text: str) -> None:
         """Register a view over a SELECT statement."""
@@ -259,9 +301,16 @@ class Connection:
         if self.config.optimize:
             from ..engine.optimizer import optimize as optimize_tree
             plan = optimize_tree(plan)
+        physical = None
+        if self.config.engine != "materializing":
+            # The baseline engine never executes the physical tree, so
+            # only the pipelined configuration pays for lowering.
+            from ..engine.lowering import lower_plan
+            physical = lower_plan(plan)
         cached = CachedPlan(plan, statement.param_count,
                             self._effective_strategy(statement, override),
-                            self.catalog.version)
+                            self.catalog.version,
+                            physical=physical)
         self.plan_cache.store(key, cached)
         return cached
 
@@ -276,11 +325,15 @@ class Connection:
 
     def _execute_plan(self, cached: CachedPlan,
                       params: tuple) -> Relation:
-        """Run an already-optimized cached plan (no per-call optimizer)."""
+        """Run an already-planned cached statement (no per-call optimizer
+        or lowering — the physical plan executes directly)."""
         executor = Executor(self.catalog, optimize=False,
                             config=self.config,
                             compiled_cache=cached.compiled)
-        relation = executor.execute(cached.plan, params)
+        if cached.physical is not None:
+            relation = executor.execute_physical(cached.physical, params)
+        else:
+            relation = executor.execute(cached.plan, params)
         self._finish_stats(executor)
         return relation
 

@@ -14,19 +14,26 @@ from dataclasses import dataclass, field
 from typing import Any, Hashable
 
 from ..algebra.operators import Operator
+from ..engine.physical import PhysicalPlan
 
 
 @dataclass
 class CachedPlan:
-    """One compiled query: the (already optimized) algebra plan plus the
-    bits needed to execute and describe it without re-planning."""
+    """One compiled query: the (already optimized) logical plan, its
+    physical lowering, and the bits needed to execute and describe it
+    without re-planning."""
 
     plan: Operator
     param_count: int
     strategy: str | None            # effective strategy, None = no rewrite
     catalog_version: int
-    #: compiled-expression closures, shared across executions of this plan
-    #: (keyed by expression node identity — valid only for ``plan``).
+    #: the physical plan the pipelined engine executes; its nodes also
+    #: carry the batch-compiled expression closures, so a cache hit skips
+    #: lowering *and* expression compilation.
+    physical: PhysicalPlan | None = None
+    #: compiled-expression closures for the materializing engine, shared
+    #: across executions of this plan (keyed by expression node identity
+    #: — valid only for ``plan``).
     compiled: dict[int, Any] = field(default_factory=dict)
 
     @property

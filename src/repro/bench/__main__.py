@@ -42,12 +42,19 @@ def main(argv: list[str] | None = None) -> int:
         help="which figure to regenerate")
     parser.add_argument(
         "--smoke", action="store_true",
-        help="run the prepared-statement micro-benchmark instead of a "
-             "figure; exits non-zero if the cached-plan path is not at "
-             "least 2x faster than per-call Database.sql()")
+        help="run the smoke micro-benchmarks instead of a figure; exits "
+             "non-zero if the cached-plan path is not at least 2x faster "
+             "than per-call Database.sql(), if the pipelined engine is "
+             "not at least 1.5x faster than the materializing baseline "
+             "on the synthetic provenance workload, or if the Unn plan "
+             "stops hash-joining")
     parser.add_argument(
         "--repeats", type=int, default=20, metavar="N",
         help="repeated executions for --smoke (default 20)")
+    parser.add_argument(
+        "--json", metavar="PATH", default=None,
+        help="with --smoke, also write the results as JSON to PATH "
+             "(uploaded as a CI artifact)")
     parser.add_argument(
         "--instances", type=int, default=3,
         metavar="N", help="random query instances per point (default 3)")
@@ -64,15 +71,27 @@ def main(argv: list[str] | None = None) -> int:
             parser.error("--repeats must be >= 1")
         from .smoke import format_smoke, run_smoke
         result = run_smoke(repeats=args.repeats)
-        print("== prepared-statement smoke benchmark ==")
+        print("== smoke benchmarks ==")
         print(format_smoke(result))
+        if args.json:
+            import json
+            with open(args.json, "w") as handle:
+                json.dump(result.to_dict(), handle, indent=2)
+            print(f"wrote {args.json}")
         if result.cache_hits < args.repeats:
             print("FAIL: prepared executions missed the plan cache")
             return 1
         if result.speedup < 2.0:
             print("FAIL: cached-plan speedup below the 2x floor")
             return 1
-        print("ok: plan cache delivers the expected speedup")
+        if result.engine_hash_joins < 1:
+            print("FAIL: Unn-strategy equi-join no longer hash-joins")
+            return 1
+        if result.engine_speedup < 1.5:
+            print("FAIL: pipelined-engine speedup below the 1.5x floor")
+            return 1
+        print("ok: plan cache and pipelined engine deliver the "
+              "expected speedups")
         return 0
 
     if args.figure is None:

@@ -1,28 +1,38 @@
-"""Prepared-statement micro-benchmark (``python -m repro.bench --smoke``).
+"""Smoke micro-benchmarks (``python -m repro.bench --smoke``).
 
-Times the same provenance query executed two ways over one catalog:
+Two checks, both run by CI as regression gates:
 
-* the legacy per-call path — ``Database.sql()`` re-parses, re-analyzes,
-  re-rewrites and re-optimizes on every call;
-* the session path — a :class:`~repro.api.PreparedStatement` planned once,
-  then re-executed through the plan cache.
+* **Plan cache** — the same provenance query executed two ways over one
+  catalog: the legacy per-call path (``Database.sql()`` re-parses,
+  re-analyzes, re-rewrites, re-optimizes and re-lowers on every call)
+  versus a :class:`~repro.api.PreparedStatement` planned once and
+  re-executed through the plan cache.  The speedup is what the plan
+  cache buys on a repeated query.
 
-The interesting number is the speedup: it is what the plan cache buys on
-a repeated query, and CI runs this as a smoke check so regressions in the
-cached-plan path are visible.
+* **Engine** — the pipelined, vectorized engine versus the original
+  materializing interpreter on the *synthetic provenance workload* (the
+  paper's Section 4.2.2 q1 under the Unn strategy, which plans to the
+  hash equi-join of Figures 7-9).  Both run the same cached physical
+  plan shape, so the ratio isolates execution: batched pulls and
+  batch-compiled expressions against per-row tree interpretation.  The
+  check also asserts the Unn plan still picks a hash join — the paper's
+  Figures 7-9 behaviour.
 """
 
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from collections import Counter
+from dataclasses import asdict, dataclass
 
 from ..api import connect
 from ..db import Database
+from ..synthetic import SyntheticConfig, load_synthetic, q1_sql
 
-#: Small Figure-3-shaped relations: the workload is deliberately
-#: planning-bound (parse + analyze + rewrite + optimize dominates), which
-#: is exactly the repeated-query profile plan caching exists for.
+#: Small Figure-3-shaped relations: the plan-cache workload is
+#: deliberately planning-bound (parse + analyze + rewrite + optimize
+#: dominates), which is exactly the repeated-query profile plan caching
+#: exists for.
 _SETUP_ROWS = 6
 
 _QUERY = ("SELECT PROVENANCE r.a, r.b FROM r "
@@ -30,22 +40,47 @@ _QUERY = ("SELECT PROVENANCE r.a, r.b FROM r "
           "AND EXISTS (SELECT c FROM s WHERE s.d < 90)")
 _LEGACY_QUERY = _QUERY.replace("?", "40")
 
+#: The engine workload is execution-bound: |R1| = |R2| = 2000 synthetic
+#: rows, q1 (equality ANY -> Unn-eligible) with provenance under Unn.
+_ENGINE_SIZE = 2000
+
 
 @dataclass
 class SmokeResult:
-    """Outcome of the repeated-query micro-benchmark."""
+    """Outcome of the two smoke micro-benchmarks."""
 
     repeats: int
-    legacy_seconds: float     # total, Database.sql() per call
-    prepared_seconds: float   # total, PreparedStatement.execute per call
+    legacy_seconds: float        # total, Database.sql() per call
+    prepared_seconds: float      # total, PreparedStatement.execute per call
     cache_hits: int
     rows: int
+    engine_repeats: int
+    materializing_seconds: float  # total, materializing engine per call
+    pipelined_seconds: float      # total, pipelined engine per call
+    engine_rows: int
+    engine_hash_joins: int        # hash joins in the pipelined Unn run
 
     @property
     def speedup(self) -> float:
+        """Plan-cache speedup: legacy per-call path vs prepared."""
         if self.prepared_seconds == 0:
             return float("inf")
         return self.legacy_seconds / self.prepared_seconds
+
+    @property
+    def engine_speedup(self) -> float:
+        """Pipelined engine vs the materializing baseline."""
+        if self.pipelined_seconds == 0:
+            return float("inf")
+        return self.materializing_seconds / self.pipelined_seconds
+
+    def to_dict(self) -> dict:
+        """JSON-friendly form (uploaded as a CI artifact so BENCH_*
+        trajectories are comparable across PRs)."""
+        data = asdict(self)
+        data["speedup"] = self.speedup
+        data["engine_speedup"] = self.engine_speedup
+        return data
 
 
 def _populate(session) -> None:
@@ -59,10 +94,7 @@ def _populate(session) -> None:
         "s", [(i % 45, i) for i in range(_SETUP_ROWS)])
 
 
-def run_smoke(repeats: int = 20) -> SmokeResult:
-    """Run the micro-benchmark; see the module docstring."""
-    if repeats < 1:
-        raise ValueError(f"repeats must be >= 1, got {repeats}")
+def _run_plan_cache(repeats: int) -> tuple[float, float, int, int]:
     conn = connect()
     _populate(conn)
     db = Database(conn)   # same catalog, legacy uncached path
@@ -86,23 +118,84 @@ def run_smoke(repeats: int = 20) -> SmokeResult:
         statement.execute((40,))
     prepared_seconds = time.perf_counter() - start
 
+    return (legacy_seconds, prepared_seconds,
+            conn.plan_cache.hits - hits_before, len(prepared_rows.rows))
+
+
+def _run_engines(repeats: int,
+                 size: int = _ENGINE_SIZE) -> tuple[float, float, int, int]:
+    db = load_synthetic(SyntheticConfig(size, size, seed=0))
+    sql = "SELECT PROVENANCE " + q1_sql(size, size, seed=0)[len("SELECT "):]
+
+    timings: dict[str, float] = {}
+    results: dict[str, Counter] = {}
+    hash_joins = 0
+    for engine in ("materializing", "pipelined"):
+        conn = connect(engine=engine, catalog=db.catalog)
+        statement = conn.prepare(sql, strategy="unn")
+        relation = statement.execute(())    # warm: plan cached, table hot
+        results[engine] = Counter(relation.rows)
+        rounds = []
+        for _ in range(3):                  # best-of-3 rounds: noise-robust
+            start = time.perf_counter()
+            for _ in range(repeats):
+                statement.execute(())
+            rounds.append(time.perf_counter() - start)
+        timings[engine] = min(rounds)
+        if engine == "pipelined":
+            hash_joins = conn.last_stats.hash_joins
+        conn.close()
+    if results["pipelined"] != results["materializing"]:
+        raise AssertionError(
+            "pipelined engine disagrees with the materializing engine")
+    return (timings["materializing"], timings["pipelined"],
+            sum(results["pipelined"].values()), hash_joins)
+
+
+def run_smoke(repeats: int = 20, engine_repeats: int = 5) -> SmokeResult:
+    """Run both micro-benchmarks; see the module docstring."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    if engine_repeats < 1:
+        raise ValueError(
+            f"engine_repeats must be >= 1, got {engine_repeats}")
+    legacy_seconds, prepared_seconds, cache_hits, rows = \
+        _run_plan_cache(repeats)
+    materializing_seconds, pipelined_seconds, engine_rows, hash_joins = \
+        _run_engines(engine_repeats)
     return SmokeResult(
         repeats=repeats,
         legacy_seconds=legacy_seconds,
         prepared_seconds=prepared_seconds,
-        cache_hits=conn.plan_cache.hits - hits_before,
-        rows=len(prepared_rows.rows),
+        cache_hits=cache_hits,
+        rows=rows,
+        engine_repeats=engine_repeats,
+        materializing_seconds=materializing_seconds,
+        pipelined_seconds=pipelined_seconds,
+        engine_rows=engine_rows,
+        engine_hash_joins=hash_joins,
     )
 
 
 def format_smoke(result: SmokeResult) -> str:
     per_legacy = result.legacy_seconds / result.repeats * 1000
     per_prepared = result.prepared_seconds / result.repeats * 1000
+    per_materializing = \
+        result.materializing_seconds / result.engine_repeats * 1000
+    per_pipelined = result.pipelined_seconds / result.engine_repeats * 1000
     return "\n".join([
+        "-- plan cache (repeated provenance query) --",
         f"repeats                  {result.repeats}",
         f"result rows              {result.rows}",
         f"plan-cache hits          {result.cache_hits}",
         f"Database.sql() per call  {per_legacy:8.3f} ms",
         f"prepared per call        {per_prepared:8.3f} ms",
         f"speedup                  {result.speedup:8.1f}x",
+        "-- engine (synthetic q1 provenance, Unn) --",
+        f"repeats                  {result.engine_repeats}",
+        f"result rows              {result.engine_rows}",
+        f"hash joins (Unn plan)    {result.engine_hash_joins}",
+        f"materializing per call   {per_materializing:8.3f} ms",
+        f"pipelined per call       {per_pipelined:8.3f} ms",
+        f"engine speedup           {result.engine_speedup:8.1f}x",
     ])

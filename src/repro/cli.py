@@ -9,13 +9,18 @@ command                effect
 ``\\d``                 list tables and views
 ``\\d <table>``         describe a table
 ``\\strategy [name]``   show / set the default provenance strategy
-``\\explain <select>``  print the (rewritten) plan
+``\\explain <select>``  print the physical plan (after rewrite + lowering)
 ``\\timing``            toggle per-query timing
 ``\\cache``             show plan-cache statistics
 ``\\tpch [scale]``      load a TPC-H instance into the session
 ``\\i <file>``          run a SQL script
 ``\\q``                 quit
 =====================  ===================================================
+
+SQL-level plan inspection mirrors PostgreSQL: ``EXPLAIN <select>``
+prints the physical plan without running it, ``EXPLAIN ANALYZE
+<select>`` executes the query and prints the plan annotated with actual
+rows / batches / loops / wall-clock time per operator.
 
 Everything else is executed as SQL (``SELECT PROVENANCE ...`` included)
 through the session's plan cache, so repeating a query skips planning.
@@ -85,7 +90,7 @@ class Shell:
                 file=out)
         elif command == "\\explain":
             sql = line[len("\\explain"):].strip()
-            print(self.conn.explain(sql), file=out)
+            print(self.conn.explain_physical(sql), file=out)
         elif command == "\\tpch":
             from .tpch import install_views, load_tpch
             scale = float(args[0]) if args else 0.0001
@@ -130,6 +135,15 @@ class Shell:
         started = time.perf_counter()
         try:
             from .relation import Relation
+            words = text.split(None, 2)
+            if words and words[0].upper() == "EXPLAIN":
+                if len(words) > 1 and words[1].upper() == "ANALYZE":
+                    print(self.conn.explain_analyze(
+                        words[2] if len(words) > 2 else ""), file=out)
+                else:
+                    sql = text.split(None, 1)[1] if len(words) > 1 else ""
+                    print(self.conn.explain_physical(sql), file=out)
+                return
             result = self.conn.execute(text)
             if isinstance(result, Relation):
                 print(result.pretty(), file=out)

@@ -1,5 +1,13 @@
-"""Execution engine: evaluates algebra trees over a catalog."""
+"""Execution engine: evaluates algebra trees over a catalog.
 
-from .executor import ExecutionStats, Executor
+Planning is two-phase — the logical rewrite (:mod:`.optimizer`) followed
+by physical lowering (:mod:`.lowering`) into the batched operator tree of
+:mod:`.physical` — and execution is pipelined and vectorized
+(:mod:`.pipeline`), with the original materializing interpreter
+(:mod:`.materialize`) kept as a selectable baseline.
+"""
 
-__all__ = ["ExecutionStats", "Executor"]
+from .executor import ENGINES, Executor
+from .stats import ExecutionStats, NodeStats
+
+__all__ = ["ENGINES", "ExecutionStats", "Executor", "NodeStats"]

@@ -1,0 +1,179 @@
+"""Physical lowering — the optimizer's second phase.
+
+The planner is now two-phase:
+
+1. **logical rewrite** (:mod:`repro.engine.optimizer`): selection
+   pushdown and join-condition extraction over the logical algebra;
+2. **physical lowering** (this module): the logical tree is translated
+   into an executable :class:`~repro.engine.physical.PhysicalPlan` —
+   join algorithms picked (:class:`HashJoin` for equi-join conjuncts,
+   :class:`NestedLoopJoin` otherwise), sublinks classified into
+   InitPlans (uncorrelated, execute-once) vs SubPlans (correlated,
+   per-outer-row) and lowered recursively, limits made streaming.
+
+Lowering is pure plan construction: no catalog access, no execution
+state.  The produced plan is what the session's plan cache stores, so a
+cached statement skips both phases on re-execution.
+"""
+
+from __future__ import annotations
+
+from ..errors import ExecutionError
+from ..expressions.ast import (
+    BoolOp, Col, Comparison, Expr, Sublink, TRUE, and_all,
+)
+from ..expressions.evaluator import Frame
+from ..algebra.operators import (
+    Aggregate, BaseRelation, Join, Limit, Operator, Project, Select,
+    SetOp, Sort, Values,
+)
+from ..algebra.properties import is_correlated
+from .physical import (
+    Filter, HashAggregate, HashJoin, InitPlanSublink, NestedLoopJoin,
+    PhysicalOperator, PhysicalPlan, Project as PhysicalProject, SeqScan,
+    SetOperation, SortNode, StreamingLimit, SublinkPlan, SubPlanSublink,
+    ValuesScan,
+)
+
+SubplanRegistry = dict[int, SublinkPlan]
+
+
+def split_equi_keys(op: Join) -> tuple[list[tuple[int, int]], list[Expr]]:
+    """Split the join condition into hashable equality column pairs
+    (left position, right position) and residual conjuncts."""
+    left_schema = op.left.schema
+    right_schema = op.right.schema
+    if isinstance(op.condition, BoolOp) and op.condition.op == "and":
+        conjuncts = op.condition.items
+    else:
+        conjuncts = (op.condition,)
+    keys: list[tuple[int, int]] = []
+    residual: list[Expr] = []
+    for part in conjuncts:
+        pair = None
+        if (isinstance(part, Comparison) and part.op == "="
+                and isinstance(part.left, Col) and part.left.level == 0
+                and isinstance(part.right, Col)
+                and part.right.level == 0):
+            a, b = part.left.name, part.right.name
+            if a in left_schema and b in right_schema:
+                pair = (left_schema.position(a), right_schema.position(b))
+            elif b in left_schema and a in right_schema:
+                pair = (left_schema.position(b), right_schema.position(a))
+        if pair is None:
+            residual.append(part)
+        else:
+            keys.append(pair)
+    return keys, residual
+
+
+def lower_plan(op: Operator) -> PhysicalPlan:
+    """Lower an (already logically optimized) operator tree."""
+    registry: SubplanRegistry = {}
+    root = _lower(op, registry)
+    return PhysicalPlan(root, op, op.schema, registry)
+
+
+def _lower(op: Operator, registry: SubplanRegistry) -> PhysicalOperator:
+    if isinstance(op, BaseRelation):
+        return SeqScan(op.table, op.alias, op.schema.names)
+
+    if isinstance(op, Values):
+        return ValuesScan(op.rows, op.schema.names)
+
+    if isinstance(op, Select):
+        node = Filter(_lower(op.input, registry), op.condition,
+                      Frame.index_for(op.input.schema.names))
+        node.sublinks = _collect_sublinks((op.condition,), registry)
+        return node
+
+    if isinstance(op, Project):
+        node = PhysicalProject(
+            _lower(op.input, registry), op.items, op.distinct,
+            Frame.index_for(op.input.schema.names))
+        node.sublinks = _collect_sublinks(
+            tuple(expr for _, expr in op.items), registry)
+        return node
+
+    if isinstance(op, Join):
+        return _lower_join(op, registry)
+
+    if isinstance(op, Aggregate):
+        node = HashAggregate(
+            _lower(op.input, registry), op.group,
+            tuple(op.input.schema.positions(op.group)), op.aggregates,
+            Frame.index_for(op.input.schema.names))
+        node.sublinks = _collect_sublinks(
+            tuple(call for _, call in op.aggregates), registry)
+        return node
+
+    if isinstance(op, SetOp):
+        return SetOperation(op.kind, op.all, _lower(op.left, registry),
+                            _lower(op.right, registry), op.left.schema)
+
+    if isinstance(op, Sort):
+        node = SortNode(_lower(op.input, registry), op.keys,
+                        Frame.index_for(op.input.schema.names))
+        node.sublinks = _collect_sublinks(
+            tuple(key.expr for key in op.keys), registry)
+        return node
+
+    if isinstance(op, Limit):
+        return StreamingLimit(_lower(op.input, registry), op.count,
+                              op.offset)
+
+    raise ExecutionError(f"cannot lower operator {op!r}")
+
+
+def _lower_join(op: Join, registry: SubplanRegistry) -> PhysicalOperator:
+    left = _lower(op.left, registry)
+    right = _lower(op.right, registry)
+    right_width = len(op.right.schema)
+    index = Frame.index_for(op.schema.names)
+
+    if op.condition == TRUE:
+        return NestedLoopJoin(left, right, None, op.kind, right_width,
+                              index)
+
+    keys, residual = split_equi_keys(op)
+    if keys:
+        residual_expr = and_all(residual) if residual else None
+        node = HashJoin(left, right, keys, residual_expr, op.kind,
+                        right_width, index)
+        node.sublinks = _collect_sublinks(tuple(residual), registry)
+        return node
+
+    node = NestedLoopJoin(left, right, op.condition, op.kind, right_width,
+                          index)
+    node.sublinks = _collect_sublinks((op.condition,), registry)
+    return node
+
+
+def _collect_sublinks(exprs: tuple[Expr, ...],
+                      registry: SubplanRegistry) -> tuple[SublinkPlan, ...]:
+    """Lower and classify every sublink referenced by *exprs*.
+
+    Each sublink's logical query tree is lowered recursively (nested
+    sublinks *inside* that query register themselves while it lowers) and
+    entered into *registry* keyed by the logical tree's identity — the
+    handle the expression evaluator passes to ``run_subquery``.
+    """
+    found: list[SublinkPlan] = []
+    for expr in exprs:
+        _walk_sublinks(expr, registry, found)
+    return tuple(found)
+
+
+def _walk_sublinks(expr: Expr, registry: SubplanRegistry,
+                   found: list[SublinkPlan]) -> None:
+    if isinstance(expr, Sublink):
+        existing = registry.get(id(expr.query))
+        if existing is None:
+            plan = _lower(expr.query, registry)
+            cls = SubPlanSublink if is_correlated(expr.query) \
+                else InitPlanSublink
+            existing = cls(expr, expr.query, plan)
+            registry[id(expr.query)] = existing
+        found.append(existing)
+    for child in expr.children():
+        _walk_sublinks(child, registry, found)

@@ -1,5 +1,7 @@
-"""A minimal logical optimizer: selection pushdown + join-condition
-extraction.
+"""The planner's first phase — a minimal *logical* optimizer: selection
+pushdown + join-condition extraction.  The second phase
+(:mod:`repro.engine.lowering`) lowers the rewritten logical tree into
+the physical plan the pipelined engine executes.
 
 Perm relies on PostgreSQL's planner to turn ``σ_C(A × B × C)`` — the shape
 both the SQL analyzer (comma FROM lists) and the provenance rewrite rules

@@ -1,0 +1,868 @@
+"""Physical plan nodes and the batched ``open()/next_batch()/close()``
+execution protocol.
+
+The optimizer's second phase (:mod:`repro.engine.lowering`) lowers a
+logical :mod:`repro.algebra.operators` tree into these nodes; the
+pipelined engine (:mod:`repro.engine.pipeline`) then drives the root with
+``open`` / ``next_batch`` / ``close`` over fixed-size row batches — the
+Volcano protocol, vectorized, with late materialization into a
+:class:`~repro.relation.Relation` only at the sink.
+
+The physical operator set makes the execution decisions the logical
+algebra leaves open — the decisions the paper's Figures 6-9 measure:
+
+* :class:`HashJoin` vs :class:`NestedLoopJoin` — equi-join conjuncts are
+  split out at lowering time, so the Unn strategy's equality joins hash
+  while Left/Move's disjunctive ``Jsub`` conditions nested-loop;
+* :class:`InitPlanSublink` vs :class:`SubPlanSublink` — uncorrelated
+  sublinks execute once per statement (PostgreSQL's InitPlan),
+  correlated ones once per outer row (parameterized SubPlan);
+* :class:`StreamingLimit` — stops pulling from its child once satisfied
+  instead of materializing the full input.
+
+Nodes carry their batch-compiled expression closures (built lazily on
+first use and cached *on the physical node*, so a plan-cached statement
+re-executes without recompiling).  A physical plan holds per-execution
+state only between ``open`` and ``close``; single-threaded re-execution
+of a cached plan is safe because ``open`` resets everything.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from ..datatypes import is_true
+from ..expressions.ast import Expr, Sublink
+from ..expressions.compiler import (
+    compile_batch_predicate, compile_batch_projector, compile_batch_values,
+    compile_row,
+)
+from ..expressions.evaluator import EvalContext, Frame, evaluate
+from ..expressions.aggregates import make_accumulator
+from ..expressions.printer import format_expr
+from ..algebra.operators import JoinKind, SetOpKind, SortKey
+from ..relation import Relation
+from ..schema import Schema
+
+
+class SublinkPlan:
+    """A lowered sublink query attached to the physical node whose
+    expressions reference it, keyed by the identity of the *logical*
+    query tree (which is what the expression evaluator hands back to the
+    engine's ``run_subquery`` hook)."""
+
+    __slots__ = ("sublink", "query", "plan")
+
+    correlated = False
+
+    def __init__(self, sublink: Sublink, query: Any,
+                 plan: "PhysicalOperator"):
+        self.sublink = sublink
+        self.query = query        # logical operator tree (identity key)
+        self.plan = plan
+
+    @property
+    def label(self) -> str:
+        return (f"{type(self).__name__} "
+                f"({self.sublink.kind.value})")
+
+
+class InitPlanSublink(SublinkPlan):
+    """An uncorrelated sublink: executed at most once per statement, the
+    result cached for every later evaluation (PostgreSQL's InitPlan)."""
+
+    correlated = False
+
+
+class SubPlanSublink(SublinkPlan):
+    """A correlated sublink: re-executed for every outer row with the
+    outer frames bound (PostgreSQL's parameterized SubPlan)."""
+
+    correlated = True
+
+
+class PhysicalOperator:
+    """Base class of physical plan nodes.
+
+    Subclasses implement ``_reset`` (per-execution state) and
+    ``next_batch``; ``open`` wires the engine and outer frames through the
+    tree and ``close`` releases per-execution state.
+    """
+
+    __slots__ = ("engine", "frames", "sublinks")
+
+    def __init__(self) -> None:
+        self.engine = None
+        self.frames: tuple = ()
+        self.sublinks: tuple[SublinkPlan, ...] = ()
+
+    def children(self) -> tuple["PhysicalOperator", ...]:
+        return ()
+
+    def open(self, engine, frames: tuple) -> None:
+        self.engine = engine
+        self.frames = frames
+        if engine.collect_stats:
+            engine.stats.bump(self)
+            engine.stats.node(self).loops += 1
+        self._reset()
+        for child in self.children():
+            child.open(engine, frames)
+
+    def _reset(self) -> None:
+        pass
+
+    def next_batch(self) -> list | None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        self.engine = None
+        self.frames = ()
+        self._release()
+        for child in self.children():
+            child.close()
+
+    def _release(self) -> None:
+        """Drop materialized per-execution state (hash tables, sorted
+        buffers, ...) so a plan-cached node does not pin the previous
+        execution's intermediates between statements.  ``_reset`` rebuilds
+        everything on the next ``open``."""
+
+    def label(self) -> str:
+        return type(self).__name__
+
+
+class PhysicalPlan:
+    """A lowered statement: the physical root plus the logical tree it
+    came from (kept alive — sublink registry keys are logical-node
+    identities) and the output schema for the sink relation."""
+
+    __slots__ = ("root", "logical", "schema", "subplans")
+
+    def __init__(self, root: PhysicalOperator, logical: Any,
+                 schema: Schema, subplans: dict[int, SublinkPlan]):
+        self.root = root
+        self.logical = logical
+        self.schema = schema
+        self.subplans = subplans
+
+    def nodes(self):
+        """All physical nodes of the plan, sublink plans included."""
+        stack: list[PhysicalOperator] = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children())
+            for sub in node.sublinks:
+                stack.append(sub.plan)
+
+
+# ---------------------------------------------------------------------------
+# Scans
+# ---------------------------------------------------------------------------
+
+class SeqScan(PhysicalOperator):
+    """Batched scan of a catalog table (rows fetched at ``open`` so DML
+    between executions of a cached plan is visible)."""
+
+    __slots__ = ("table", "alias", "names", "_rows", "_pos")
+
+    def __init__(self, table: str, alias: str, names: tuple[str, ...]):
+        super().__init__()
+        self.table = table
+        self.alias = alias
+        self.names = names
+        self._rows: list[tuple] = []
+        self._pos = 0
+
+    def _reset(self) -> None:
+        self._rows = self.engine.catalog.get(self.table).rows
+        self._pos = 0
+
+    def _release(self) -> None:
+        self._rows = []
+
+    def next_batch(self) -> list | None:
+        if self._pos >= len(self._rows):
+            return None
+        batch = self._rows[self._pos:self._pos + self.engine.batch_size]
+        self._pos += len(batch)
+        return batch
+
+    def label(self) -> str:
+        return f"SeqScan {self.table} as {self.alias} -> {list(self.names)}"
+
+
+class ValuesScan(PhysicalOperator):
+    """Batched scan of a literal relation."""
+
+    __slots__ = ("rows", "names", "_pos")
+
+    def __init__(self, rows: list[tuple], names: tuple[str, ...]):
+        super().__init__()
+        self.rows = rows
+        self.names = names
+        self._pos = 0
+
+    def _reset(self) -> None:
+        self._pos = 0
+
+    def next_batch(self) -> list | None:
+        if self._pos >= len(self.rows):
+            return None
+        batch = self.rows[self._pos:self._pos + self.engine.batch_size]
+        self._pos += len(batch)
+        return batch
+
+    def label(self) -> str:
+        return f"ValuesScan {len(self.rows)} row(s) -> {list(self.names)}"
+
+
+# ---------------------------------------------------------------------------
+# Row pipelines
+# ---------------------------------------------------------------------------
+
+class Filter(PhysicalOperator):
+    """Streaming selection: the predicate is batch-compiled once per node
+    and applied to each input batch in a single call."""
+
+    __slots__ = ("child", "condition", "index", "_fn", "_fn_compiled")
+
+    def __init__(self, child: PhysicalOperator, condition: Expr,
+                 index: dict[str, int]):
+        super().__init__()
+        self.child = child
+        self.condition = condition
+        self.index = index
+        self._fn = None
+        self._fn_compiled: bool | None = None
+
+    def children(self):
+        return (self.child,)
+
+    def _predicate(self):
+        flag = self.engine.compile_expressions
+        if self._fn is None or self._fn_compiled is not flag:
+            self._fn = compile_batch_predicate(
+                self.condition, self.index, use_compiler=flag)
+            self._fn_compiled = flag
+        return self._fn
+
+    def next_batch(self) -> list | None:
+        fn = self._predicate()
+        engine = self.engine
+        while True:
+            batch = engine.pull(self.child)
+            if batch is None:
+                return None
+            out = fn(batch, self.frames, engine, engine.params)
+            if out:
+                return out
+
+    def label(self) -> str:
+        return f"Filter {format_expr(self.condition)}"
+
+
+class Project(PhysicalOperator):
+    """Streaming projection; ``distinct`` keeps first occurrences across
+    the whole stream (bag -> set projection)."""
+
+    __slots__ = ("child", "items", "distinct", "index", "_fn",
+                 "_fn_compiled", "_seen")
+
+    def __init__(self, child: PhysicalOperator, items: tuple,
+                 distinct: bool, index: dict[str, int]):
+        super().__init__()
+        self.child = child
+        self.items = items
+        self.distinct = distinct
+        self.index = index
+        self._fn = None
+        self._fn_compiled: bool | None = None
+        self._seen: dict | None = None
+
+    def children(self):
+        return (self.child,)
+
+    def _reset(self) -> None:
+        self._seen = {} if self.distinct else None
+
+    def _projector(self):
+        flag = self.engine.compile_expressions
+        if self._fn is None or self._fn_compiled is not flag:
+            self._fn = compile_batch_projector(
+                tuple(expr for _, expr in self.items), self.index,
+                use_compiler=flag)
+            self._fn_compiled = flag
+        return self._fn
+
+    def next_batch(self) -> list | None:
+        fn = self._projector()
+        engine = self.engine
+        while True:
+            batch = engine.pull(self.child)
+            if batch is None:
+                return None
+            out = fn(batch, self.frames, engine, engine.params)
+            if self.distinct:
+                seen = self._seen
+                fresh = []
+                for row in out:
+                    if row not in seen:
+                        seen[row] = None
+                        fresh.append(row)
+                out = fresh
+            if out:
+                return out
+
+    def label(self) -> str:
+        kind = "Distinct" if self.distinct else "Project"
+        items = ", ".join(
+            f"{format_expr(expr)} AS {name}" for name, expr in self.items)
+        return f"{kind} [{items}]"
+
+
+# ---------------------------------------------------------------------------
+# Joins
+# ---------------------------------------------------------------------------
+
+class HashJoin(PhysicalOperator):
+    """Equi-join: builds a hash table over the right input on first pull,
+    then streams left batches through the probe.  NULL keys never join;
+    LEFT kind pads unmatched left rows."""
+
+    __slots__ = ("left", "right", "left_positions", "right_positions",
+                 "residual", "kind", "right_width", "index",
+                 "_table", "_residual_fn", "_fn_compiled")
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
+                 keys: list[tuple[int, int]], residual: Expr | None,
+                 kind: JoinKind, right_width: int, index: dict[str, int]):
+        super().__init__()
+        self.left = left
+        self.right = right
+        self.left_positions = tuple(l for l, _ in keys)
+        self.right_positions = tuple(r for _, r in keys)
+        self.residual = residual
+        self.kind = kind
+        self.right_width = right_width
+        self.index = index
+        self._table: dict | None = None
+        self._residual_fn = None
+        self._fn_compiled: bool | None = None
+
+    def children(self):
+        return (self.left, self.right)
+
+    def _reset(self) -> None:
+        self._table = None
+        self.engine.stats.hash_joins += 1
+
+    def _release(self) -> None:
+        self._table = None
+
+    def _build(self) -> dict:
+        table: dict[tuple, list[tuple]] = {}
+        positions = self.right_positions
+        engine = self.engine
+        while True:
+            batch = engine.pull(self.right)
+            if batch is None:
+                break
+            for right in batch:
+                key = tuple(right[p] for p in positions)
+                if any(v is None for v in key):
+                    continue  # NULL never equi-joins
+                table.setdefault(key, []).append(right)
+        return table
+
+    def _residual(self):
+        if self.residual is None:
+            return None
+        flag = self.engine.compile_expressions
+        if self._residual_fn is None or self._fn_compiled is not flag:
+            self._residual_fn = compile_batch_predicate(
+                self.residual, self.index, use_compiler=flag)
+            self._fn_compiled = flag
+        return self._residual_fn
+
+    def next_batch(self) -> list | None:
+        if self._table is None:
+            self._table = self._build()
+        table = self._table
+        residual = self._residual()
+        engine = self.engine
+        positions = self.left_positions
+        pad_left = self.kind == JoinKind.LEFT
+        null_pad = (None,) * self.right_width
+        while True:
+            batch = engine.pull(self.left)
+            if batch is None:
+                return None
+            out: list[tuple] = []
+            for left in batch:
+                key = tuple(left[p] for p in positions)
+                matched = False
+                if not any(v is None for v in key):
+                    bucket = table.get(key)
+                    if bucket:
+                        if residual is None:
+                            for right in bucket:
+                                out.append(left + right)
+                            matched = True
+                        else:
+                            kept = residual(
+                                [left + right for right in bucket],
+                                self.frames, engine, engine.params)
+                            if kept:
+                                out.extend(kept)
+                                matched = True
+                if pad_left and not matched:
+                    out.append(left + null_pad)
+            if out:
+                return out
+
+    def label(self) -> str:
+        keys = ", ".join(
+            f"left[{l}] = right[{r}]"
+            for l, r in zip(self.left_positions, self.right_positions))
+        text = f"HashJoin {self.kind.value} on [{keys}]"
+        if self.residual is not None:
+            text += f" residual {format_expr(self.residual)}"
+        return text
+
+
+class NestedLoopJoin(PhysicalOperator):
+    """General join: materializes the right input once, then streams the
+    left.  ``condition=None`` is the pure cross product (logical
+    condition TRUE)."""
+
+    __slots__ = ("left", "right", "condition", "kind", "right_width",
+                 "index", "_right_rows", "_pred", "_pred_needs_ctx",
+                 "_pred_compiled")
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
+                 condition: Expr | None, kind: JoinKind, right_width: int,
+                 index: dict[str, int]):
+        super().__init__()
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.kind = kind
+        self.right_width = right_width
+        self.index = index
+        self._right_rows: list[tuple] | None = None
+        self._pred = None
+        self._pred_needs_ctx = True
+        self._pred_compiled: bool | None = None
+
+    def children(self):
+        return (self.left, self.right)
+
+    def _reset(self) -> None:
+        self._right_rows = None
+        if self.condition is not None:
+            self.engine.stats.nested_loop_joins += 1
+
+    def _release(self) -> None:
+        self._right_rows = None
+
+    def _materialize_right(self) -> list[tuple]:
+        rows: list[tuple] = []
+        while True:
+            batch = self.engine.pull(self.right)
+            if batch is None:
+                return rows
+            rows.extend(batch)
+
+    def _predicate(self):
+        flag = self.engine.compile_expressions
+        if self._pred is None or self._pred_compiled is not flag:
+            if flag:
+                self._pred, self._pred_needs_ctx = compile_row(
+                    self.condition, self.index)
+            else:
+                condition = self.condition
+                self._pred = (
+                    lambda row, ctx: evaluate(condition, ctx))
+                self._pred_needs_ctx = True
+            self._pred_compiled = flag
+        return self._pred
+
+    def next_batch(self) -> list | None:
+        if self._right_rows is None:
+            self._right_rows = self._materialize_right()
+        right_rows = self._right_rows
+        engine = self.engine
+        pad_left = self.kind == JoinKind.LEFT
+        null_pad = (None,) * self.right_width
+
+        if self.condition is None:
+            while True:
+                batch = engine.pull(self.left)
+                if batch is None:
+                    return None
+                if not right_rows:
+                    if pad_left:
+                        return [left + null_pad for left in batch]
+                    continue
+                return [left + right
+                        for left in batch for right in right_rows]
+
+        pred = self._predicate()
+        frame = Frame(self.index, None)
+        ctx = EvalContext((*self.frames, frame), engine, engine.params)
+        while True:
+            batch = engine.pull(self.left)
+            if batch is None:
+                return None
+            out: list[tuple] = []
+            for left in batch:
+                matched = False
+                for right in right_rows:
+                    combined = left + right
+                    frame.row = combined
+                    if is_true(pred(combined, ctx)):
+                        out.append(combined)
+                        matched = True
+                if pad_left and not matched:
+                    out.append(left + null_pad)
+            if out:
+                return out
+
+    def label(self) -> str:
+        if self.condition is None:
+            return f"NestedLoopJoin {self.kind.value} (cross product)"
+        return (f"NestedLoopJoin {self.kind.value} "
+                f"on {format_expr(self.condition)}")
+
+
+# ---------------------------------------------------------------------------
+# Aggregation
+# ---------------------------------------------------------------------------
+
+class HashAggregate(PhysicalOperator):
+    """Blocking grouped aggregation: drains its input on first pull, then
+    emits one row per group in batches.  Aggregate arguments are
+    batch-compiled and evaluated column-wise per input batch."""
+
+    __slots__ = ("child", "group", "group_positions", "aggregates",
+                 "index", "_arg_fns", "_fn_compiled", "_result", "_pos")
+
+    def __init__(self, child: PhysicalOperator, group: tuple[str, ...],
+                 group_positions: tuple[int, ...], aggregates: tuple,
+                 index: dict[str, int]):
+        super().__init__()
+        self.child = child
+        self.group = group
+        self.group_positions = group_positions
+        self.aggregates = aggregates
+        self.index = index
+        self._arg_fns = None
+        self._fn_compiled: bool | None = None
+        self._result: list[tuple] | None = None
+        self._pos = 0
+
+    def children(self):
+        return (self.child,)
+
+    def _reset(self) -> None:
+        self._result = None
+        self._pos = 0
+
+    def _release(self) -> None:
+        self._result = None
+
+    def _fns(self):
+        flag = self.engine.compile_expressions
+        if self._arg_fns is None or self._fn_compiled is not flag:
+            self._arg_fns = [
+                None if call.arg is None else compile_batch_values(
+                    call.arg, self.index, use_compiler=flag)
+                for _, call in self.aggregates]
+            self._fn_compiled = flag
+        return self._arg_fns
+
+    def _make_accumulators(self) -> list:
+        return [make_accumulator(call.name, star=call.arg is None,
+                                 distinct=call.distinct)
+                for _, call in self.aggregates]
+
+    def _aggregate(self) -> list[tuple]:
+        engine = self.engine
+        arg_fns = self._fns()
+        positions = self.group_positions
+        groups: dict[tuple, list] = {}
+        while True:
+            batch = engine.pull(self.child)
+            if batch is None:
+                break
+            columns = [
+                None if fn is None
+                else fn(batch, self.frames, engine, engine.params)
+                for fn in arg_fns]
+            for i, row in enumerate(batch):
+                key = tuple(row[p] for p in positions)
+                accumulators = groups.get(key)
+                if accumulators is None:
+                    accumulators = self._make_accumulators()
+                    groups[key] = accumulators
+                for column, accumulator in zip(columns, accumulators):
+                    accumulator.add(1 if column is None else column[i])
+        if not groups and not self.group:
+            groups[()] = self._make_accumulators()
+        return [key + tuple(acc.result() for acc in accumulators)
+                for key, accumulators in groups.items()]
+
+    def next_batch(self) -> list | None:
+        if self._result is None:
+            self._result = self._aggregate()
+            self._pos = 0
+        if self._pos >= len(self._result):
+            return None
+        batch = self._result[
+            self._pos:self._pos + self.engine.batch_size]
+        self._pos += len(batch)
+        return batch
+
+    def label(self) -> str:
+        aggs = ", ".join(
+            f"{format_expr(call)} AS {name}"
+            for name, call in self.aggregates)
+        return f"HashAggregate group={list(self.group)} [{aggs}]"
+
+
+# ---------------------------------------------------------------------------
+# Set operations
+# ---------------------------------------------------------------------------
+
+class SetOperation(PhysicalOperator):
+    """Bag/set union, intersection and difference.
+
+    ``UNION ALL`` streams (left batches, then right batches — bag union is
+    concatenation); every other flavour drains both inputs and reuses the
+    multiplicity arithmetic of :class:`~repro.relation.Relation`.
+    """
+
+    __slots__ = ("kind", "all", "left", "right", "schema",
+                 "_result", "_pos", "_streaming_right")
+
+    def __init__(self, kind: SetOpKind, all_: bool,
+                 left: PhysicalOperator, right: PhysicalOperator,
+                 schema: Schema):
+        super().__init__()
+        self.kind = kind
+        self.all = all_
+        self.left = left
+        self.right = right
+        self.schema = schema
+        self._result: list[tuple] | None = None
+        self._pos = 0
+        self._streaming_right = False
+
+    def children(self):
+        return (self.left, self.right)
+
+    def _reset(self) -> None:
+        self._result = None
+        self._pos = 0
+        self._streaming_right = False
+
+    def _release(self) -> None:
+        self._result = None
+
+    @property
+    def _streams(self) -> bool:
+        return self.kind == SetOpKind.UNION and self.all
+
+    def _drain(self, child: PhysicalOperator) -> list[tuple]:
+        rows: list[tuple] = []
+        while True:
+            batch = self.engine.pull(child)
+            if batch is None:
+                return rows
+            rows.extend(batch)
+
+    def _compute(self) -> list[tuple]:
+        left = Relation.from_trusted_rows(self.schema, self._drain(self.left))
+        right = Relation.from_trusted_rows(
+            self.schema, self._drain(self.right))
+        if self.kind == SetOpKind.UNION:
+            result = left.set_union(right)
+        elif self.kind == SetOpKind.INTERSECT:
+            result = left.bag_intersect(right) if self.all else \
+                left.set_intersect(right)
+        else:
+            result = left.bag_difference(right) if self.all else \
+                left.set_difference(right)
+        return result.rows
+
+    def next_batch(self) -> list | None:
+        if self._streams:
+            if not self._streaming_right:
+                batch = self.engine.pull(self.left)
+                if batch is not None:
+                    return batch
+                self._streaming_right = True
+            return self.engine.pull(self.right)
+        if self._result is None:
+            self._result = self._compute()
+            self._pos = 0
+        if self._pos >= len(self._result):
+            return None
+        batch = self._result[self._pos:self._pos + self.engine.batch_size]
+        self._pos += len(batch)
+        return batch
+
+    def label(self) -> str:
+        flavor = "ALL" if self.all else "DISTINCT"
+        return f"SetOp {self.kind.value.upper()} {flavor}"
+
+
+# ---------------------------------------------------------------------------
+# Ordering and limits
+# ---------------------------------------------------------------------------
+
+class SortNode(PhysicalOperator):
+    """Blocking sort: drains the input, applies the shared multi-key SQL
+    NULL-ordering sort, emits in batches."""
+
+    __slots__ = ("child", "keys", "index", "_result", "_pos")
+
+    def __init__(self, child: PhysicalOperator, keys: tuple[SortKey, ...],
+                 index: dict[str, int]):
+        super().__init__()
+        self.child = child
+        self.keys = keys
+        self.index = index
+        self._result: list[tuple] | None = None
+        self._pos = 0
+
+    def children(self):
+        return (self.child,)
+
+    def _reset(self) -> None:
+        self._result = None
+        self._pos = 0
+
+    def _release(self) -> None:
+        self._result = None
+
+    def next_batch(self) -> list | None:
+        if self._result is None:
+            from .materialize import sort_rows
+            rows: list[tuple] = []
+            while True:
+                batch = self.engine.pull(self.child)
+                if batch is None:
+                    break
+                rows.extend(batch)
+            sort_rows(rows, self.keys, self.frames, self.index,
+                      self.engine, self.engine.params)
+            self._result = rows
+            self._pos = 0
+        if self._pos >= len(self._result):
+            return None
+        batch = self._result[self._pos:self._pos + self.engine.batch_size]
+        self._pos += len(batch)
+        return batch
+
+    def label(self) -> str:
+        keys = ", ".join(
+            f"{format_expr(k.expr)} {'ASC' if k.ascending else 'DESC'}"
+            for k in self.keys)
+        return f"Sort [{keys}]"
+
+
+class StreamingLimit(PhysicalOperator):
+    """LIMIT/OFFSET that stops pulling from its child once satisfied —
+    upstream operators never produce the rows a bounded query discards."""
+
+    __slots__ = ("child", "count", "offset", "_skipped", "_emitted",
+                 "_done")
+
+    def __init__(self, child: PhysicalOperator, count: int | None,
+                 offset: int):
+        super().__init__()
+        self.child = child
+        self.count = count
+        self.offset = offset
+        self._skipped = 0
+        self._emitted = 0
+        self._done = False
+
+    def children(self):
+        return (self.child,)
+
+    def _reset(self) -> None:
+        self._skipped = 0
+        self._emitted = 0
+        self._done = False
+
+    def next_batch(self) -> list | None:
+        if self._done:
+            return None
+        if self.count is not None and self._emitted >= self.count:
+            self._done = True
+            return None
+        while True:
+            batch = self.engine.pull(self.child)
+            if batch is None:
+                self._done = True
+                return None
+            if self._skipped < self.offset:
+                take = min(self.offset - self._skipped, len(batch))
+                self._skipped += take
+                batch = batch[take:]
+                if not batch:
+                    continue
+            if self.count is not None:
+                remaining = self.count - self._emitted
+                if len(batch) > remaining:
+                    batch = batch[:remaining]
+            self._emitted += len(batch)
+            if self.count is not None and self._emitted >= self.count:
+                self._done = True
+            if batch:
+                return batch
+
+    def label(self) -> str:
+        return f"StreamingLimit {self.count} OFFSET {self.offset}"
+
+
+# ---------------------------------------------------------------------------
+# EXPLAIN rendering
+# ---------------------------------------------------------------------------
+
+def explain_physical(plan: "PhysicalPlan | PhysicalOperator",
+                     stats=None) -> str:
+    """Multi-line, indented rendering of a physical plan.
+
+    With *stats* (an :class:`~repro.engine.stats.ExecutionStats` from a
+    completed execution) each node is annotated with its actual row,
+    batch, loop and inclusive wall-clock counters — the ``EXPLAIN
+    ANALYZE`` output.
+    """
+    root = plan.root if isinstance(plan, PhysicalPlan) else plan
+    lines: list[str] = []
+    _render(root, 0, lines, stats)
+    return "\n".join(lines)
+
+
+def _render(node: PhysicalOperator, indent: int, lines: list[str],
+            stats) -> None:
+    pad = "  " * indent
+    text = pad + node.label()
+    if stats is not None:
+        entry = stats.node_stats.get(id(node))
+        if entry is not None:
+            text += (f"  (rows={entry.rows} batches={entry.batches} "
+                     f"loops={entry.loops} time={entry.time_ms:.3f}ms)")
+        else:
+            text += "  (never executed)"
+    lines.append(text)
+    for sub in node.sublinks:
+        lines.append(pad + "  " + sub.label)
+        _render(sub.plan, indent + 2, lines, stats)
+    for child in node.children():
+        _render(child, indent + 1, lines, stats)

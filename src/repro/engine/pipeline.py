@@ -1,0 +1,150 @@
+"""The vectorized, pipelined execution engine.
+
+Drives a :class:`~repro.engine.physical.PhysicalPlan` by pulling
+fixed-size row batches through the operator tree and materializing into a
+:class:`~repro.relation.Relation` only at the sink.  One engine instance
+executes one statement (the session layer creates it per call), but —
+like the materializing engine it replaces — it keeps its InitPlan result
+cache for its whole lifetime, so components that hold an engine across
+queries (the direct-provenance evaluator) keep the InitPlan behaviour.
+
+The engine is also the evaluator's ``SubqueryRunner``: sublinks reach it
+through :class:`~repro.expressions.evaluator.EvalContext` with the
+*logical* query tree in hand; the lowering registry maps that tree's
+identity to its lowered InitPlan/SubPlan, so sublink evaluation never
+re-enters the interpreter.
+"""
+
+from __future__ import annotations
+
+from time import perf_counter_ns
+from typing import Any, Iterable
+
+from ..catalog import Catalog
+from ..algebra.operators import Operator
+from ..relation import Relation
+from .lowering import lower_plan
+from .physical import (
+    InitPlanSublink, PhysicalOperator, PhysicalPlan, SublinkPlan,
+    SubPlanSublink,
+)
+from .stats import ExecutionStats
+
+Frames = tuple
+
+
+class PipelineEngine:
+    """Executes physical plans over a catalog in row batches."""
+
+    def __init__(self, catalog: Catalog, compile_expressions: bool,
+                 collect_stats: bool, stats: ExecutionStats,
+                 batch_size: int = 1024):
+        self.catalog = catalog
+        self.compile_expressions = compile_expressions
+        self.collect_stats = collect_stats
+        self.stats = stats
+        self.batch_size = batch_size
+        self.params: tuple = ()
+        self._subplans: dict[int, SublinkPlan] = {}
+        self._initplan_cache: dict[int, list[tuple]] = {}
+        self._lowered: dict[int, PhysicalPlan] = {}
+
+    # -- public API ----------------------------------------------------------
+
+    def execute(self, op: Operator, params: Iterable[Any] = ()) -> Relation:
+        """Lower *op* (cached per tree identity) and run the pipeline."""
+        plan = self._lowered.get(id(op))
+        if plan is None:
+            plan = lower_plan(op)
+            self._lowered[id(op)] = plan
+        return self.execute_physical(plan, params)
+
+    def execute_physical(self, plan: PhysicalPlan,
+                         params: Iterable[Any] = ()) -> Relation:
+        """Run an already-lowered plan and materialize the sink."""
+        self.params = tuple(params)
+        self._subplans.update(plan.subplans)
+        rows = self._drain(plan.root, ())
+        if self.collect_stats:
+            self._finish_timings(plan)
+        return Relation.from_trusted_rows(plan.schema, rows)
+
+    # -- SubqueryRunner protocol (sublink evaluation hook) --------------------
+
+    def run_subquery(self, query: Operator, frames: Frames) -> list[tuple]:
+        """Execute a sublink query with *frames* visible as outer rows.
+
+        InitPlans run once and cache their result for the lifetime of the
+        engine; SubPlans re-run per call with the caller's frames bound.
+        """
+        sub = self._subplans.get(id(query))
+        if sub is None:
+            sub = self._lower_adhoc(query)
+        if not sub.correlated:
+            cached = self._initplan_cache.get(id(query))
+            if cached is not None:
+                self.stats.sublink_cache_hits += 1
+                return cached
+            self.stats.sublink_executions += 1
+            rows = self._drain(sub.plan, ())
+            self._initplan_cache[id(query)] = rows
+            return rows
+        self.stats.sublink_executions += 1
+        return self._drain(sub.plan, frames)
+
+    def _lower_adhoc(self, query: Operator) -> SublinkPlan:
+        """Lower a sublink query the plan registry does not know — the
+        path taken when the engine is used as a standalone subquery
+        runner (e.g. by the direct-provenance evaluator)."""
+        from ..algebra.properties import is_correlated
+        registry = self._subplans
+        plan = lower_plan(query)
+        registry.update(plan.subplans)
+        cls = SubPlanSublink if is_correlated(query) else InitPlanSublink
+        sub = cls(None, query, plan.root)
+        registry[id(query)] = sub
+        return sub
+
+    # -- pipeline driver -------------------------------------------------------
+
+    def _drain(self, root: PhysicalOperator, frames: Frames) -> list[tuple]:
+        root.open(self, frames)
+        rows: list[tuple] = []
+        try:
+            while True:
+                batch = self.pull(root)
+                if batch is None:
+                    break
+                rows.extend(batch)
+        finally:
+            root.close()
+        return rows
+
+    def pull(self, node: PhysicalOperator) -> list | None:
+        """One ``next_batch`` call on *node*, with row/batch accounting
+        and (under ``collect_stats``) inclusive wall-clock timing."""
+        stats = self.stats
+        if self.collect_stats:
+            started = perf_counter_ns()
+            batch = node.next_batch()
+            entry = stats.node(node)
+            entry.time_ns += perf_counter_ns() - started
+            if batch:
+                entry.rows += len(batch)
+                entry.batches += 1
+                stats.rows_produced += len(batch)
+                stats.batches_produced += 1
+            return batch
+        batch = node.next_batch()
+        if batch:
+            stats.rows_produced += len(batch)
+            stats.batches_produced += 1
+        return batch
+
+    def _finish_timings(self, plan: PhysicalPlan) -> None:
+        """Aggregate per-node inclusive times by operator class name."""
+        self.stats.operator_timings = {}
+        for node in plan.nodes():
+            entry = self.stats.node_stats.get(id(node))
+            if entry is not None:
+                self.stats.record_timing(type(node).__name__, entry)

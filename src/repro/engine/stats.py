@@ -1,0 +1,75 @@
+"""Execution counters shared by both engines.
+
+:class:`ExecutionStats` is the per-statement counter block surfaced
+through :attr:`repro.api.Connection.last_stats`; :class:`NodeStats` holds
+the per-physical-node row/batch/time counters the pipelined engine fills
+in for ``EXPLAIN ANALYZE``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class NodeStats:
+    """Per-physical-operator counters of one execution.
+
+    ``time_ns`` is *inclusive* wall-clock time (children included), as in
+    PostgreSQL's ``EXPLAIN ANALYZE``; a node that is re-opened per outer
+    row (a correlated SubPlan) accumulates across invocations.
+    """
+
+    rows: int = 0
+    batches: int = 0
+    time_ns: int = 0
+    loops: int = 0
+
+    @property
+    def time_ms(self) -> float:
+        return self.time_ns / 1e6
+
+
+@dataclass
+class ExecutionStats:
+    """Counters exposed for benchmarking and the ablation study.
+
+    ``plan_cache_hits`` / ``plan_cache_misses`` are filled in by the
+    session layer (:class:`repro.api.Connection`), which owns the plan
+    cache; they report the cache's cumulative totals as of this execution.
+
+    ``node_stats`` maps ``id(physical node)`` to :class:`NodeStats` and is
+    only populated by the pipelined engine when ``collect_stats`` is on;
+    ``operator_timings`` aggregates the same inclusive wall-clock times by
+    operator class name (milliseconds).
+    """
+
+    rows_produced: int = 0
+    batches_produced: int = 0
+    sublink_executions: int = 0
+    sublink_cache_hits: int = 0
+    hash_joins: int = 0
+    nested_loop_joins: int = 0
+    plan_cache_hits: int = 0
+    plan_cache_misses: int = 0
+    operator_evals: dict[str, int] = field(default_factory=dict)
+    operator_timings: dict[str, float] = field(default_factory=dict)
+    node_stats: dict[int, NodeStats] = field(default_factory=dict)
+
+    def bump(self, op) -> None:
+        name = type(op).__name__
+        self.operator_evals[name] = self.operator_evals.get(name, 0) + 1
+
+    def node(self, node) -> NodeStats:
+        """The :class:`NodeStats` entry for a physical *node*."""
+        key = id(node)
+        entry = self.node_stats.get(key)
+        if entry is None:
+            entry = NodeStats()
+            self.node_stats[key] = entry
+        return entry
+
+    def record_timing(self, name: str, entry: NodeStats) -> None:
+        """Fold one node's inclusive time into ``operator_timings``."""
+        self.operator_timings[name] = \
+            self.operator_timings.get(name, 0.0) + entry.time_ms

@@ -12,14 +12,29 @@ ablation benchmark (``benchmarks/bench_ablation.py``) measures its
 effect.  Semantics are identical to :func:`repro.expressions.evaluator.
 evaluate` — the property test in ``tests/test_compiler.py`` checks them
 against each other on random expressions.
+
+Two compilation surfaces:
+
+* :func:`compile_expr` — per-row closure over an :class:`EvalContext`
+  (the materializing engine's path).
+* the **batch compilers** (:func:`compile_batch_predicate`,
+  :func:`compile_batch_projector`, :func:`compile_batch_values`) — used by
+  the pipelined engine: one call evaluates a whole row batch.  When the
+  expression is *context-free* (level-0 columns, constants, parameters-
+  free scalar structure), column positions are resolved against the
+  operator's input schema once at compile time and no
+  :class:`EvalContext`/:class:`Frame` objects are allocated at all;
+  otherwise a single mutable frame is reused across the batch instead of
+  allocating one per row.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from typing import Any, Callable, Sequence
 
 from ..datatypes import (
-    arithmetic, compare, is_true, negate, null_safe_equal, tv_not,
+    _comparable, arithmetic, compare, is_true, negate, null_safe_equal,
+    tv_not,
 )
 from ..errors import ExpressionError
 from .ast import (
@@ -165,3 +180,301 @@ def compile_expr(expr: Expr) -> Compiled:
             "aggregate call compiled outside an Aggregate operator")
 
     raise ExpressionError(f"cannot compile expression node {expr!r}")
+
+
+# ---------------------------------------------------------------------------
+# Batch compilation (the pipelined engine's vectorized path)
+# ---------------------------------------------------------------------------
+
+#: A row-specialized evaluator: positions resolved at compile time where
+#: possible.  The second element reports whether the closure reads the
+#: EvalContext (outer frames, parameters, sublinks, name-indexed lookups).
+RowCompiled = Callable[[tuple, "EvalContext | None"], Any]
+
+#: Comparison dispatch hoisted to compile time (vs the string-op chain
+#: :func:`repro.datatypes.compare` walks per call).
+_COMPARE_OPS: dict[str, Callable[[Any, Any], bool]] = {
+    "=": lambda a, b: a == b,
+    "<>": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+#: Batch evaluators take (rows, outer frames, subquery runner, params).
+BatchFilter = Callable[..., list]
+BatchProjector = Callable[..., list]
+BatchValues = Callable[..., list]
+
+
+def compile_row(expr: Expr,
+                index: dict[str, int]) -> tuple[RowCompiled, bool]:
+    """Compile *expr* into a ``(row, ctx) -> value`` closure against the
+    name->position *index* of the operator's input schema.
+
+    Level-0 column references become direct positional reads, pure
+    constant subtrees (e.g. the ``Neg(Const)`` of a negative literal)
+    fold at compile time, and comparison dispatch is hoisted out of the
+    per-row path.  Subtrees that need evaluation state (outer references,
+    parameters, sublinks, unknown names) fall back to
+    :func:`compile_expr` over the mutable frame the batch wrappers
+    maintain — semantics stay identical.
+    """
+    fn, needs_ctx, _ = _compile_row(expr, index)
+    return fn, needs_ctx
+
+
+def _fold(fn: RowCompiled) -> RowCompiled:
+    """Evaluate a constant subtree once; on error keep the original
+    closure so the exception still surfaces at evaluation time."""
+    try:
+        value = fn(None, None)
+    except Exception:
+        return fn
+    return lambda row, ctx: value
+
+
+def _compile_row(expr: Expr, index: dict[str, int]
+                 ) -> tuple[RowCompiled, bool, bool]:
+    """Returns ``(fn, needs_ctx, is_const)``."""
+    if isinstance(expr, Const):
+        value = expr.value
+        return (lambda row, ctx: value), False, True
+
+    if isinstance(expr, Col) and expr.level == 0 and expr.name in index:
+        position = index[expr.name]
+        return (lambda row, ctx: row[position]), False, False
+
+    if isinstance(expr, Comparison):
+        apply = _COMPARE_OPS[expr.op]
+        op = expr.op
+        left, left_ctx, left_const = _compile_row(expr.left, index)
+        right, right_ctx, right_const = _compile_row(expr.right, index)
+
+        def comparison(row: tuple, ctx: Any) -> Any:
+            a = left(row, ctx)
+            b = right(row, ctx)
+            if a is None or b is None:
+                return None
+            if not _comparable(a, b):
+                raise ExpressionError(
+                    f"cannot compare {type(a).__name__} with "
+                    f"{type(b).__name__} ({a!r} {op} {b!r})")
+            return apply(a, b)
+        needs_ctx = left_ctx or right_ctx
+        is_const = left_const and right_const
+        if is_const:
+            return _fold(comparison), needs_ctx, True
+        return comparison, needs_ctx, False
+
+    if isinstance(expr, NullSafeEq):
+        left, left_ctx, left_const = _compile_row(expr.left, index)
+        right, right_ctx, right_const = _compile_row(expr.right, index)
+        fn = lambda row, ctx: null_safe_equal(  # noqa: E731
+            left(row, ctx), right(row, ctx))
+        if left_const and right_const:
+            return _fold(fn), left_ctx or right_ctx, True
+        return fn, left_ctx or right_ctx, False
+
+    if isinstance(expr, BoolOp):
+        compiled = [_compile_row(item, index) for item in expr.items]
+        items = [fn for fn, _, _ in compiled]
+        needs_ctx = any(flag for _, flag, _ in compiled)
+        is_const = all(flag for _, _, flag in compiled)
+        if expr.op == "and":
+            def conjunction(row: tuple, ctx: Any) -> Any:
+                result: Any = True
+                for item in items:
+                    value = item(row, ctx)
+                    if value is False:
+                        return False
+                    if value is None:
+                        result = None
+                return result
+            combined = conjunction
+        else:
+            def disjunction(row: tuple, ctx: Any) -> Any:
+                result: Any = False
+                for item in items:
+                    value = item(row, ctx)
+                    if value is True:
+                        return True
+                    if value is None:
+                        result = None
+                return result
+            combined = disjunction
+        if is_const:
+            return _fold(combined), needs_ctx, True
+        return combined, needs_ctx, False
+
+    if isinstance(expr, Not):
+        operand, needs_ctx, is_const = _compile_row(expr.operand, index)
+        fn = lambda row, ctx: tv_not(operand(row, ctx))  # noqa: E731
+        if is_const:
+            return _fold(fn), needs_ctx, True
+        return fn, needs_ctx, False
+
+    if isinstance(expr, IsNull):
+        operand, needs_ctx, is_const = _compile_row(expr.operand, index)
+        fn = lambda row, ctx: operand(row, ctx) is None  # noqa: E731
+        if is_const:
+            return _fold(fn), needs_ctx, True
+        return fn, needs_ctx, False
+
+    if isinstance(expr, Arith):
+        op = expr.op
+        left, left_ctx, left_const = _compile_row(expr.left, index)
+        right, right_ctx, right_const = _compile_row(expr.right, index)
+        fn = lambda row, ctx: arithmetic(  # noqa: E731
+            op, left(row, ctx), right(row, ctx))
+        if left_const and right_const:
+            return _fold(fn), left_ctx or right_ctx, True
+        return fn, left_ctx or right_ctx, False
+
+    if isinstance(expr, Neg):
+        operand, needs_ctx, is_const = _compile_row(expr.operand, index)
+        fn = lambda row, ctx: negate(operand(row, ctx))  # noqa: E731
+        if is_const:
+            return _fold(fn), needs_ctx, True
+        return fn, needs_ctx, False
+
+    # Everything stateful or rare (sublinks, outer/unknown columns,
+    # parameters, CASE, LIKE, casts, function calls) goes through the
+    # reference compiler against the mutable batch frame.
+    scalar = compile_expr(expr)
+    return (lambda row, ctx: scalar(ctx)), True, False
+
+
+def _batch_state(index: dict[str, int]):
+    """A reusable (frame, context-factory) pair for one batch call."""
+    from .evaluator import EvalContext, Frame
+
+    def make(frames, runner, params):
+        frame = Frame(index, None)
+        return frame, EvalContext((*frames, frame), runner, params)
+    return make
+
+
+def compile_batch_predicate(expr: Expr, index: dict[str, int],
+                            use_compiler: bool = True) -> BatchFilter:
+    """A ``(rows, frames, runner, params) -> surviving rows`` filter.
+
+    WHERE semantics: a row survives iff the predicate is definitely true.
+    With ``use_compiler=False`` the tree-walking evaluator runs per row
+    (the ablation configuration).
+    """
+    make_state = _batch_state(index)
+    if not use_compiler:
+        def interpret(rows, frames, runner, params):
+            from .evaluator import evaluate
+            frame, ctx = make_state(frames, runner, params)
+            out = []
+            for row in rows:
+                frame.row = row
+                if is_true(evaluate(expr, ctx)):
+                    out.append(row)
+            return out
+        return interpret
+
+    fn, needs_ctx = compile_row(expr, index)
+    if not needs_ctx:
+        def run_free(rows, frames, runner, params):
+            return [row for row in rows if is_true(fn(row, None))]
+        return run_free
+
+    def run(rows, frames, runner, params):
+        frame, ctx = make_state(frames, runner, params)
+        out = []
+        for row in rows:
+            frame.row = row
+            if is_true(fn(row, ctx)):
+                out.append(row)
+        return out
+    return run
+
+
+def compile_batch_projector(exprs: Sequence[Expr], index: dict[str, int],
+                            use_compiler: bool = True) -> BatchProjector:
+    """A ``(rows, frames, runner, params) -> list of output tuples``
+    projector evaluating all items of a projection in one pass.
+
+    All-column projections (the pure renames and column shuffles the
+    provenance rewrites emit in bulk) compile to a positional
+    ``itemgetter`` — and an identity projection passes batches through
+    untouched.
+    """
+    if use_compiler and exprs and all(
+            isinstance(e, Col) and e.level == 0 and e.name in index
+            for e in exprs):
+        positions = tuple(index[e.name] for e in exprs)
+        if positions == tuple(range(len(index))):
+            return lambda rows, frames, runner, params: rows
+        if len(positions) == 1:
+            position = positions[0]
+            return lambda rows, frames, runner, params: [
+                (row[position],) for row in rows]
+        from operator import itemgetter
+        getter = itemgetter(*positions)
+        return lambda rows, frames, runner, params: \
+            [getter(row) for row in rows]
+
+    make_state = _batch_state(index)
+    if not use_compiler:
+        def interpret(rows, frames, runner, params):
+            from .evaluator import evaluate
+            frame, ctx = make_state(frames, runner, params)
+            out = []
+            for row in rows:
+                frame.row = row
+                out.append(tuple(evaluate(e, ctx) for e in exprs))
+            return out
+        return interpret
+
+    compiled = [compile_row(expr, index) for expr in exprs]
+    fns = [fn for fn, _ in compiled]
+    if not any(flag for _, flag in compiled):
+        def run_free(rows, frames, runner, params):
+            return [tuple(fn(row, None) for fn in fns) for row in rows]
+        return run_free
+
+    def run(rows, frames, runner, params):
+        frame, ctx = make_state(frames, runner, params)
+        out = []
+        for row in rows:
+            frame.row = row
+            out.append(tuple(fn(row, ctx) for fn in fns))
+        return out
+    return run
+
+
+def compile_batch_values(expr: Expr, index: dict[str, int],
+                         use_compiler: bool = True) -> BatchValues:
+    """A ``(rows, frames, runner, params) -> list of values`` evaluator
+    (one value per input row) for aggregate arguments and similar."""
+    make_state = _batch_state(index)
+    if not use_compiler:
+        def interpret(rows, frames, runner, params):
+            from .evaluator import evaluate
+            frame, ctx = make_state(frames, runner, params)
+            out = []
+            for row in rows:
+                frame.row = row
+                out.append(evaluate(expr, ctx))
+            return out
+        return interpret
+
+    fn, needs_ctx = compile_row(expr, index)
+    if not needs_ctx:
+        def run_free(rows, frames, runner, params):
+            return [fn(row, None) for row in rows]
+        return run_free
+
+    def run(rows, frames, runner, params):
+        frame, ctx = make_state(frames, runner, params)
+        out = []
+        for row in rows:
+            frame.row = row
+            out.append(fn(row, ctx))
+        return out
+    return run

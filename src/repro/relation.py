@@ -47,6 +47,22 @@ class Relation:
         """Convenience constructor from column names + row data."""
         return cls(Schema(Attribute(n) for n in names), rows)
 
+    @classmethod
+    def from_trusted_rows(cls, schema: Schema,
+                          rows: list[Row]) -> "Relation":
+        """Adopt *rows* without copying or coercing.
+
+        The caller guarantees *rows* is a list of tuples matching the
+        schema's arity — the engine sink and the bag-algebra internals,
+        whose rows are tuples by construction, use this to skip the
+        per-row re-tupling of ``__init__``.  The list is adopted, not
+        copied: the caller must not mutate it afterwards.
+        """
+        relation = cls.__new__(cls)
+        relation.schema = schema
+        relation.rows = rows
+        return relation
+
     # -- container protocol -------------------------------------------------
 
     def __len__(self) -> int:
@@ -78,7 +94,7 @@ class Relation:
     def distinct(self) -> "Relation":
         """Duplicate-eliminated copy (set projection on all attributes)."""
         seen: dict[Row, None] = dict.fromkeys(self.rows)
-        return Relation(self.schema, seen.keys())
+        return Relation.from_trusted_rows(self.schema, list(seen))
 
     def _check_compatible(self, other: "Relation") -> None:
         if len(self.schema) != len(other.schema):
@@ -89,7 +105,8 @@ class Relation:
     def bag_union(self, other: "Relation") -> "Relation":
         """``T1 ∪_B T2`` — multiplicities add (SQL UNION ALL)."""
         self._check_compatible(other)
-        return Relation(self.schema, [*self.rows, *other.rows])
+        return Relation.from_trusted_rows(
+            self.schema, [*self.rows, *other.rows])
 
     def bag_intersect(self, other: "Relation") -> "Relation":
         """``T1 ∩_B T2`` — multiplicity is min(n, m)."""
@@ -101,7 +118,7 @@ class Relation:
             if taken[row] < counts.get(row, 0):
                 taken[row] += 1
                 result.append(row)
-        return Relation(self.schema, result)
+        return Relation.from_trusted_rows(self.schema, result)
 
     def bag_difference(self, other: "Relation") -> "Relation":
         """``T1 −_B T2`` — multiplicity is max(n − m, 0)."""
@@ -113,7 +130,7 @@ class Relation:
                 remaining[row] -= 1
             else:
                 result.append(row)
-        return Relation(self.schema, result)
+        return Relation.from_trusted_rows(self.schema, result)
 
     def set_union(self, other: "Relation") -> "Relation":
         """``T1 ∪_S T2`` — duplicate-free union."""
@@ -129,7 +146,7 @@ class Relation:
         exclude = set(other.rows)
         seen: dict[Row, None] = dict.fromkeys(
             row for row in self.rows if row not in exclude)
-        return Relation(self.schema, seen.keys())
+        return Relation.from_trusted_rows(self.schema, list(seen))
 
     # -- comparisons used by tests -------------------------------------------
 

@@ -74,6 +74,17 @@ class TestAgreementOnPaperExamples:
     def test_distinct(self, figure3_db):
         compare_paths(figure3_db, "SELECT DISTINCT b FROM r")
 
+    def test_order_by_propagates_provenance(self, figure3_db):
+        # Sort must keep (row, access) pairs aligned — both directions.
+        asc = direct_provenance(
+            figure3_db.catalog,
+            figure3_db.plan("SELECT a, b FROM r ORDER BY b, a"))
+        assert [row[:2] for row in asc.rows] == [(1, 1), (2, 1), (3, 2)]
+        desc = direct_provenance(
+            figure3_db.catalog,
+            figure3_db.plan("SELECT a, b FROM r ORDER BY a DESC"))
+        assert [row[:2] for row in desc.rows] == [(3, 2), (2, 1), (1, 1)]
+
     def test_nested_sublinks(self, figure3_db):
         compare_paths(
             figure3_db,

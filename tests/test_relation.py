@@ -26,6 +26,28 @@ class TestConstruction:
         assert len(relation) == 3
         assert list(relation) == [(1,), (1,), (2,)]
 
+    def test_from_trusted_rows_adopts_list(self):
+        # The engine-sink fast path: the list is adopted as-is, no
+        # per-row re-tupling.
+        rows = [(1, 2), (3, 4)]
+        relation = Relation.from_trusted_rows(Schema.of("a", "b"), rows)
+        assert relation.rows is rows
+        assert relation.rows[0] is rows[0]
+        assert list(relation.schema.names) == ["a", "b"]
+
+    def test_from_trusted_rows_skips_coercion(self):
+        # Trusted means trusted: unlike __init__, nothing is checked or
+        # converted — the caller (the engine) guarantees tuple rows.
+        rows = [[1, 2]]  # a list row would be rejected/coerced by init
+        relation = Relation.from_trusted_rows(Schema.of("a", "b"), rows)
+        assert relation.rows[0] is rows[0]
+
+    def test_trusted_relation_supports_bag_algebra(self):
+        left = Relation.from_trusted_rows(Schema.of("a"), [(1,), (1,)])
+        right = Relation.from_trusted_rows(Schema.of("a"), [(1,), (2,)])
+        assert left.bag_union(right).multiset() == {(1,): 3, (2,): 1}
+        assert left.bag_intersect(right).multiset() == {(1,): 1}
+
 
 class TestBagOperations:
     """Multiplicity identities from Figure 1."""
