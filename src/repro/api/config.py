@@ -45,6 +45,12 @@ class SessionConfig:
         Rows per batch in the pipelined engine.  Larger batches amortize
         per-batch overhead; smaller ones bound memory between pipeline
         breakers.  Ignored by the materializing engine.
+    ``use_indexes``
+        Let the cost-based lowering plan ``IndexScan`` /
+        ``IndexNestedLoopJoin`` over secondary indexes.  Disabling it
+        plans every statement as if no index existed — the knob the
+        benchmarks use to price index plans against their scan
+        equivalents on identical data.
     """
 
     default_strategy: str = "auto"
@@ -54,6 +60,7 @@ class SessionConfig:
     plan_cache_size: int = 128
     engine: str = "pipelined"
     batch_size: int = 1024
+    use_indexes: bool = True
 
     def __post_init__(self) -> None:
         self.validate()

@@ -21,9 +21,11 @@ Three execution surfaces share one catalog and one plan cache:
   measure un-cached planning).
 
 Plans are cached under ``(sql text, strategy override, default strategy,
-catalog version)``; the catalog's generation counter is bumped by every
-DDL statement, so CREATE/DROP of tables or views invalidates all cached
-plans for the old namespace.
+catalog version, statistics version)``; the catalog's generation counter
+is bumped by every DDL statement (CREATE/DROP of tables, views and
+indexes) and the statistics generation by every ``ANALYZE``, so any
+change the cost-based planner's decisions depend on invalidates all
+cached plans for the old state.
 """
 
 from __future__ import annotations
@@ -44,8 +46,8 @@ from ..relation import Relation
 from ..schema import Attribute, Schema
 from ..sql.analyzer import Analyzer
 from ..sql.ast import (
-    CreateTableStmt, CreateViewStmt, DeleteStmt, DropStmt, InsertStmt,
-    SelectStmt, Statement,
+    AnalyzeStmt, CreateIndexStmt, CreateTableStmt, CreateViewStmt,
+    DeleteStmt, DropStmt, InsertStmt, SelectStmt, Statement,
 )
 from ..sql.parser import parse_statement, parse_statements
 from .config import SessionConfig
@@ -176,13 +178,17 @@ class Connection:
         """EXPLAIN-style rendering of the *physical* plan: the lowered
         operator tree the pipelined engine executes, with join algorithms
         and InitPlan/SubPlan sublink classification visible."""
-        from ..engine.lowering import lower_plan
         from ..engine.physical import explain_physical as render
-        plan = self.plan(text, strategy)
-        if self.config.optimize:
-            from ..engine.optimizer import optimize as optimize_tree
-            plan = optimize_tree(plan)
-        return render(lower_plan(plan))
+        return render(self._lower(self._optimize_plan(
+            self.plan(text, strategy))))
+
+    def estimate_rows(self, text: str, strategy: str | None = None) -> float:
+        """The cost model's cardinality estimate for a SELECT — the row
+        count ``EXPLAIN`` would show on the plan root, without executing
+        anything."""
+        from ..engine.cost import CardinalityEstimator
+        plan = self._optimize_plan(self.plan(text, strategy))
+        return CardinalityEstimator(self.catalog).estimate(plan)
 
     def explain_analyze(self, text: str, params: Sequence[Any] = (),
                         strategy: str | None = None) -> str:
@@ -197,8 +203,7 @@ class Connection:
         from ..engine.physical import explain_physical as render
         cached = self._get_plan(text, strategy)
         if cached.physical is None:  # materializing session / legacy entry
-            from ..engine.lowering import lower_plan
-            cached.physical = lower_plan(cached.plan)
+            cached.physical = self._lower(cached.plan)
         executor = Executor(
             self.catalog, optimize=False,
             config=self.config.with_options(
@@ -234,12 +239,25 @@ class Connection:
         self.catalog.create(name, schema)
 
     def insert(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
-        """Bulk-insert rows; returns the number of rows inserted."""
+        """Bulk-insert rows; returns the number of rows inserted.
+
+        Secondary indexes on *table* are maintained in step; a unique
+        violation rolls the offending row back out of the table before
+        the error propagates.
+        """
         self._check_open()
         stored = self.catalog.get(table)
+        indexes = self.catalog.indexes_on(table)
         count = 0
         for row in rows:
             stored.insert(row)
+            if indexes:
+                try:
+                    self.catalog.note_insert(table, (stored.rows[-1],),
+                                             indexes)
+                except ReproError:
+                    stored.rows.pop()
+                    raise
             count += 1
         return count
 
@@ -265,6 +283,21 @@ class Connection:
             strategy = self.config.default_strategy
         return strategy
 
+    def _optimize_plan(self, plan: Operator) -> Operator:
+        """The session's logical-optimizer step (no-op when disabled)."""
+        if self.config.optimize:
+            from ..engine.optimizer import optimize as optimize_tree
+            plan = optimize_tree(plan, self.catalog)
+        return plan
+
+    def _lower(self, plan: Operator):
+        """Physical lowering with the session's catalog and index knob —
+        the one spelling shared by every planning surface, so EXPLAIN
+        output always describes the plan execution would run."""
+        from ..engine.lowering import lower_plan
+        return lower_plan(plan, self.catalog,
+                          use_indexes=self.config.use_indexes)
+
     def _build_plan(self, statement: SelectStmt,
                     strategy: str | None) -> Operator:
         """analyze → (rewrite): the un-optimized plan, statement untouched."""
@@ -276,8 +309,14 @@ class Connection:
         return plan
 
     def _plan_key(self, sql: str, override: str | None) -> tuple:
+        # The statistics generation is part of the key: ANALYZE changes
+        # the cost model's answers (and CREATE/DROP INDEX bumps the DDL
+        # counter), so no stale cost-based plan is ever served.  So is
+        # the use_indexes knob — toggling it mid-session must not keep
+        # serving plans lowered under the other setting.
         return (sql, override, self.config.default_strategy,
-                self.catalog.version)
+                self.config.use_indexes, self.catalog.version,
+                self.catalog.stats_version)
 
     def _get_plan(self, sql: str, override: str | None = None,
                   statement: SelectStmt | None = None) -> CachedPlan:
@@ -296,21 +335,18 @@ class Connection:
             if not isinstance(parsed, SelectStmt):
                 raise AnalyzerError("expected a SELECT statement")
             statement = parsed
-        plan = self._build_plan(
-            statement, self._effective_strategy(statement, override))
-        if self.config.optimize:
-            from ..engine.optimizer import optimize as optimize_tree
-            plan = optimize_tree(plan)
+        plan = self._optimize_plan(self._build_plan(
+            statement, self._effective_strategy(statement, override)))
         physical = None
         if self.config.engine != "materializing":
             # The baseline engine never executes the physical tree, so
             # only the pipelined configuration pays for lowering.
-            from ..engine.lowering import lower_plan
-            physical = lower_plan(plan)
+            physical = self._lower(plan)
         cached = CachedPlan(plan, statement.param_count,
                             self._effective_strategy(statement, override),
                             self.catalog.version,
-                            physical=physical)
+                            physical=physical,
+                            stats_version=self.catalog.stats_version)
         self.plan_cache.store(key, cached)
         return cached
 
@@ -388,12 +424,22 @@ class Connection:
             rows = [[_constant(expr, values) for expr in row]
                     for row in statement.rows]
             return self.insert(statement.table, rows)
+        if isinstance(statement, CreateIndexStmt):
+            self.catalog.create_index(
+                statement.name, statement.table, statement.column,
+                kind=statement.kind, unique=statement.unique)
+            return None
+        if isinstance(statement, AnalyzeStmt):
+            self.catalog.analyze(statement.table)
+            return None
         if isinstance(statement, DropStmt):
             if statement.kind == "view":
                 if not self.catalog.has_view(statement.name):
                     raise AnalyzerError(
                         f"view {statement.name!r} does not exist")
                 self.catalog.drop_view(statement.name)
+            elif statement.kind == "index":
+                self.catalog.drop_index(statement.name)
             else:
                 self.catalog.drop(statement.name)
             return None
@@ -404,21 +450,25 @@ class Connection:
     def _delete(self, statement: DeleteStmt, params: tuple) -> int:
         stored = self.catalog.get(statement.table)
         if statement.where is None:
-            removed = len(stored.rows)
+            removed_rows = list(stored.rows)
             stored.rows.clear()
-            return removed
+            self.catalog.note_delete(statement.table, removed_rows)
+            return len(removed_rows)
         condition = self._analyzer().analyze_expression(
             statement.where, stored.schema, qualifier=statement.table)
         executor = Executor(self.catalog, config=self.config)
         index = Frame.index_for(stored.schema.names)
         kept = []
+        removed_rows = []
         for row in stored.rows:
             ctx = EvalContext((Frame(index, row),), executor, params)
             if evaluate(condition, ctx) is not True:
                 kept.append(row)
-        removed = len(stored.rows) - len(kept)
+            else:
+                removed_rows.append(row)
         stored.rows[:] = kept
-        return removed
+        self.catalog.note_delete(statement.table, removed_rows)
+        return len(removed_rows)
 
 
 def connect(config: SessionConfig | None = None,

@@ -1,9 +1,12 @@
 """The LRU plan cache.
 
 Compiled plans are cached per connection, keyed by ``(sql text, strategy,
-catalog version)`` — see :meth:`repro.api.Connection._plan_key`.  Because
-the catalog's generation counter is part of the key, any DDL (CREATE/DROP
-of tables or views) makes every previously cached plan unreachable; stale
+catalog version, statistics version)`` — see
+:meth:`repro.api.Connection._plan_key`.  Because the catalog's DDL
+generation counter *and* its statistics generation are part of the key,
+any DDL (CREATE/DROP of tables, views or indexes) or ``ANALYZE`` makes
+every previously cached plan unreachable — cost-based plans are never
+served against statistics or indexes they were not costed with; stale
 entries are evicted by LRU order as new plans come in.
 """
 
@@ -27,6 +30,8 @@ class CachedPlan:
     param_count: int
     strategy: str | None            # effective strategy, None = no rewrite
     catalog_version: int
+    #: statistics generation the plan was costed against
+    stats_version: int = 0
     #: the physical plan the pipelined engine executes; its nodes also
     #: carry the batch-compiled expression closures, so a cache hit skips
     #: lowering *and* expression compilation.

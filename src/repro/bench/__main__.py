@@ -46,8 +46,10 @@ def main(argv: list[str] | None = None) -> int:
              "non-zero if the cached-plan path is not at least 2x faster "
              "than per-call Database.sql(), if the pipelined engine is "
              "not at least 1.5x faster than the materializing baseline "
-             "on the synthetic provenance workload, or if the Unn plan "
-             "stops hash-joining")
+             "on the synthetic provenance workload, if the Unn plan "
+             "stops hash-joining, or if IndexNestedLoopJoin is not at "
+             "least 2x faster than NestedLoopJoin on the indexed "
+             "point-lookup join workload")
     parser.add_argument(
         "--repeats", type=int, default=20, metavar="N",
         help="repeated executions for --smoke (default 20)")
@@ -90,8 +92,12 @@ def main(argv: list[str] | None = None) -> int:
         if result.engine_speedup < 1.5:
             print("FAIL: pipelined-engine speedup below the 1.5x floor")
             return 1
-        print("ok: plan cache and pipelined engine deliver the "
-              "expected speedups")
+        if result.index_join_speedup < 2.0:
+            print("FAIL: IndexNestedLoopJoin speedup over NestedLoopJoin "
+                  "below the 2x floor")
+            return 1
+        print("ok: plan cache, pipelined engine and index joins deliver "
+              "the expected speedups")
         return 0
 
     if args.figure is None:

@@ -1,6 +1,6 @@
 """Smoke micro-benchmarks (``python -m repro.bench --smoke``).
 
-Two checks, both run by CI as regression gates:
+Three checks, all run by CI as regression gates:
 
 * **Plan cache** — the same provenance query executed two ways over one
   catalog: the legacy per-call path (``Database.sql()`` re-parses,
@@ -17,6 +17,16 @@ Two checks, both run by CI as regression gates:
   batch-compiled expressions against per-row tree interpretation.  The
   check also asserts the Unn plan still picks a hash join — the paper's
   Figures 7-9 behaviour.
+
+* **Indexes** — an indexed point-lookup workload (prepared
+  ``k = ?`` lookups against a unique hash index versus the same session
+  with ``use_indexes=False``, which plans the filtered sequential scan)
+  and a small-probe/big-build equi-join lowered twice from one logical
+  plan: once cost-based (which must choose
+  :class:`~repro.engine.physical.IndexNestedLoopJoin`) and once with the
+  ``force_nested_loop`` lowering hook.  The gated ratio —
+  IndexNestedLoopJoin at least 2x over NestedLoopJoin on identical data
+  — is the floor under the index subsystem's reason to exist.
 """
 
 from __future__ import annotations
@@ -44,10 +54,17 @@ _LEGACY_QUERY = _QUERY.replace("?", "40")
 #: rows, q1 (equality ANY -> Unn-eligible) with provenance under Unn.
 _ENGINE_SIZE = 2000
 
+#: Index workload sizes: a big indexed table probed by a small outer —
+#: the shape where an index probe per outer row beats building a hash
+#: table (and demolishes a nested loop).
+_INDEX_TABLE_ROWS = 6000
+_INDEX_PROBE_ROWS = 48
+_INDEX_LOOKUPS = 300
+
 
 @dataclass
 class SmokeResult:
-    """Outcome of the two smoke micro-benchmarks."""
+    """Outcome of the three smoke micro-benchmarks."""
 
     repeats: int
     legacy_seconds: float        # total, Database.sql() per call
@@ -59,6 +76,12 @@ class SmokeResult:
     pipelined_seconds: float      # total, pipelined engine per call
     engine_rows: int
     engine_hash_joins: int        # hash joins in the pipelined Unn run
+    index_lookups: int            # point lookups per timed side
+    seq_lookup_seconds: float     # total, use_indexes=False (SeqScan)
+    index_lookup_seconds: float   # total, IndexScan
+    index_join_rows: int          # rows of the probe/build join
+    nlj_seconds: float            # total, forced NestedLoopJoin
+    inlj_seconds: float           # total, cost-chosen IndexNestedLoopJoin
 
     @property
     def speedup(self) -> float:
@@ -74,12 +97,28 @@ class SmokeResult:
             return float("inf")
         return self.materializing_seconds / self.pipelined_seconds
 
+    @property
+    def index_lookup_speedup(self) -> float:
+        """Indexed point lookups vs the sequential-scan plan."""
+        if self.index_lookup_seconds == 0:
+            return float("inf")
+        return self.seq_lookup_seconds / self.index_lookup_seconds
+
+    @property
+    def index_join_speedup(self) -> float:
+        """IndexNestedLoopJoin vs NestedLoopJoin on identical inputs."""
+        if self.inlj_seconds == 0:
+            return float("inf")
+        return self.nlj_seconds / self.inlj_seconds
+
     def to_dict(self) -> dict:
         """JSON-friendly form (uploaded as a CI artifact so BENCH_*
         trajectories are comparable across PRs)."""
         data = asdict(self)
         data["speedup"] = self.speedup
         data["engine_speedup"] = self.engine_speedup
+        data["index_lookup_speedup"] = self.index_lookup_speedup
+        data["index_join_speedup"] = self.index_join_speedup
         return data
 
 
@@ -152,8 +191,96 @@ def _run_engines(repeats: int,
             sum(results["pipelined"].values()), hash_joins)
 
 
+def _index_session():
+    """A session with the big indexed table + small probe table loaded."""
+    conn = connect()
+    conn.execute_script("""
+        CREATE TABLE big (k int, v int);
+        CREATE TABLE probe (k int);
+    """)
+    conn.insert("big", [(i, i % 97) for i in range(_INDEX_TABLE_ROWS)])
+    step = max(_INDEX_TABLE_ROWS // _INDEX_PROBE_ROWS, 1)
+    conn.insert("probe", [(i * step,) for i in range(_INDEX_PROBE_ROWS)])
+    conn.execute("CREATE UNIQUE INDEX big_k ON big (k)")
+    conn.execute("ANALYZE")
+    return conn
+
+
+def _run_index_lookups(conn, lookups: int) -> tuple[float, float]:
+    """Prepared point lookups: IndexScan vs the use_indexes=False plan."""
+    sql = "SELECT v FROM big WHERE k = ?"
+    seqscan = connect(use_indexes=False, catalog=conn.catalog)
+    timings: dict[str, float] = {}
+    for label, session in (("index", conn), ("seq", seqscan)):
+        statement = session.prepare(sql)
+        reference = statement.execute((17,))   # warm: plan cached
+        if reference.rows != [(17 % 97,)]:
+            raise AssertionError(f"{label} point lookup returned "
+                                 f"{reference.rows}")
+        keys = [(i * 37) % _INDEX_TABLE_ROWS for i in range(lookups)]
+        start = time.perf_counter()
+        for key in keys:
+            statement.execute((key,))
+        timings[label] = time.perf_counter() - start
+    text = conn.explain_physical(sql.replace("?", "17"))
+    if "IndexScan" not in text:
+        raise AssertionError("indexed point lookup did not plan an "
+                             "IndexScan")
+    seqscan.close()
+    return timings["seq"], timings["index"]
+
+
+def _run_index_join(conn, repeats: int) -> tuple[float, float, int]:
+    """One logical probe/build join, lowered twice: the cost-based plan
+    (must pick IndexNestedLoopJoin) vs the forced NestedLoopJoin."""
+    from ..engine import Executor
+    from ..engine.lowering import lower_plan
+    from ..engine.optimizer import optimize
+    from ..engine.physical import explain_physical
+
+    sql = "SELECT p.k, b.v FROM probe p JOIN big b ON p.k = b.k"
+    logical = optimize(conn.plan(sql), conn.catalog)
+    inlj_plan = lower_plan(logical, conn.catalog)
+    nlj_plan = lower_plan(logical, conn.catalog, force_nested_loop=True)
+    if "IndexNestedLoopJoin" not in explain_physical(inlj_plan):
+        raise AssertionError(
+            "cost-based lowering did not choose IndexNestedLoopJoin for "
+            "the small-probe/big-build join")
+    if "IndexNestedLoopJoin" in explain_physical(nlj_plan):
+        raise AssertionError("force_nested_loop hook produced an index "
+                             "join")
+
+    timings: dict[str, float] = {}
+    results: dict[str, Counter] = {}
+    for label, plan in (("inlj", inlj_plan), ("nlj", nlj_plan)):
+        executor = Executor(conn.catalog, optimize=False,
+                            config=conn.config)
+        results[label] = Counter(
+            executor.execute_physical(plan).rows)    # warm
+        start = time.perf_counter()
+        for _ in range(repeats):
+            executor.execute_physical(plan)
+        timings[label] = time.perf_counter() - start
+    if results["inlj"] != results["nlj"]:
+        raise AssertionError(
+            "IndexNestedLoopJoin disagrees with NestedLoopJoin")
+    return (timings["nlj"], timings["inlj"],
+            sum(results["inlj"].values()))
+
+
+def _run_indexes(repeats: int,
+                 lookups: int = _INDEX_LOOKUPS
+                 ) -> tuple[int, float, float, int, float, float]:
+    conn = _index_session()
+    seq_seconds, index_seconds = _run_index_lookups(conn, lookups)
+    nlj_seconds, inlj_seconds, join_rows = _run_index_join(conn, repeats)
+    conn.close()
+    return (lookups, seq_seconds, index_seconds, join_rows, nlj_seconds,
+            inlj_seconds)
+
+
 def run_smoke(repeats: int = 20, engine_repeats: int = 5) -> SmokeResult:
-    """Run both micro-benchmarks; see the module docstring."""
+    """Run the micro-benchmarks; see the module docstring."""
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     if engine_repeats < 1:
@@ -163,6 +290,9 @@ def run_smoke(repeats: int = 20, engine_repeats: int = 5) -> SmokeResult:
         _run_plan_cache(repeats)
     materializing_seconds, pipelined_seconds, engine_rows, hash_joins = \
         _run_engines(engine_repeats)
+    (index_lookups, seq_lookup_seconds, index_lookup_seconds,
+     index_join_rows, nlj_seconds, inlj_seconds) = \
+        _run_indexes(engine_repeats)
     return SmokeResult(
         repeats=repeats,
         legacy_seconds=legacy_seconds,
@@ -174,6 +304,12 @@ def run_smoke(repeats: int = 20, engine_repeats: int = 5) -> SmokeResult:
         pipelined_seconds=pipelined_seconds,
         engine_rows=engine_rows,
         engine_hash_joins=hash_joins,
+        index_lookups=index_lookups,
+        seq_lookup_seconds=seq_lookup_seconds,
+        index_lookup_seconds=index_lookup_seconds,
+        index_join_rows=index_join_rows,
+        nlj_seconds=nlj_seconds,
+        inlj_seconds=inlj_seconds,
     )
 
 
@@ -198,4 +334,15 @@ def format_smoke(result: SmokeResult) -> str:
         f"materializing per call   {per_materializing:8.3f} ms",
         f"pipelined per call       {per_pipelined:8.3f} ms",
         f"engine speedup           {result.engine_speedup:8.1f}x",
+        "-- indexes (point lookups + probe/build join) --",
+        f"point lookups            {result.index_lookups}",
+        f"seqscan lookups total    {result.seq_lookup_seconds * 1000:8.3f} ms",
+        f"indexed lookups total    {result.index_lookup_seconds * 1000:8.3f} ms",
+        f"lookup speedup           {result.index_lookup_speedup:8.1f}x",
+        f"join result rows         {result.index_join_rows}",
+        f"NestedLoopJoin per call  "
+        f"{result.nlj_seconds / result.engine_repeats * 1000:8.3f} ms",
+        f"IndexNLJoin per call     "
+        f"{result.inlj_seconds / result.engine_repeats * 1000:8.3f} ms",
+        f"index join speedup       {result.index_join_speedup:8.1f}x",
     ])

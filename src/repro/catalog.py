@@ -5,12 +5,16 @@ relation's schema — :func:`Catalog.get` is the single lookup point used by
 the analyzer and by ``CrossBase`` construction.
 
 The catalog also owns **view definitions** (parsed ``SELECT`` statements,
-macro-expanded by the analyzer at reference time) and a **generation
-counter** (:attr:`Catalog.version`) that is bumped by every DDL change —
-table or view creation, replacement and removal.  Cached query plans are
-keyed by that counter, so any DDL invalidates them; row-level DML
-(INSERT/DELETE) deliberately does *not* bump it, because plans do not
-depend on the data.
+macro-expanded by the analyzer at reference time), **secondary indexes**
+(:mod:`repro.storage.index`, created by ``CREATE INDEX`` and maintained
+on INSERT/DELETE), **table statistics** (:mod:`repro.stats`, collected by
+``ANALYZE``) and a **generation counter** (:attr:`Catalog.version`) that
+is bumped by every DDL change — table, view or index creation,
+replacement and removal.  Cached query plans are keyed by that counter
+*and* by :attr:`Catalog.stats_version` (bumped by ``ANALYZE``), so any
+change the planner's decisions depend on invalidates them; row-level DML
+(INSERT/DELETE) deliberately bumps neither, because plans remain valid —
+only statistics go stale.
 """
 
 from __future__ import annotations
@@ -20,6 +24,8 @@ from typing import Any, Iterable, Iterator, Sequence, TYPE_CHECKING
 from .errors import CatalogError
 from .relation import Relation
 from .schema import Schema
+from .stats import StatsRegistry, analyze_relation
+from .storage.index import SecondaryIndex, build_index
 
 if TYPE_CHECKING:  # pragma: no cover
     from .sql.ast import SelectStmt
@@ -27,12 +33,18 @@ if TYPE_CHECKING:  # pragma: no cover
 
 class Catalog:
     """A mapping from lower-cased table names to :class:`Relation` objects,
-    plus named view definitions and a DDL generation counter."""
+    plus named view definitions, secondary indexes, statistics and a DDL
+    generation counter."""
 
     def __init__(self) -> None:
         self._tables: dict[str, Relation] = {}
         self._views: dict[str, "SelectStmt"] = {}
+        self._indexes: dict[str, SecondaryIndex] = {}
+        # per-table view of _indexes, so the DML hot path resolves a
+        # table's indexes with one dict lookup instead of a scan
+        self._indexes_by_table: dict[str, list[SecondaryIndex]] = {}
         self._version = 0
+        self.stats = StatsRegistry()
 
     # -- versioning -----------------------------------------------------------
 
@@ -40,6 +52,11 @@ class Catalog:
     def version(self) -> int:
         """Generation counter, bumped by every DDL change."""
         return self._version
+
+    @property
+    def stats_version(self) -> int:
+        """Statistics generation, bumped by every ``ANALYZE``."""
+        return self.stats.generation
 
     def _bump(self) -> None:
         self._version += 1
@@ -69,19 +86,51 @@ class Catalog:
 
     def register(self, name: str, relation: Relation,
                  replace: bool = False) -> None:
-        """Register an existing :class:`Relation` under *name*."""
+        """Register an existing :class:`Relation` under *name*.
+
+        The data changed wholesale: old statistics are meaningless and
+        are discarded; existing indexes are rebuilt against the new
+        relation's schema (re-resolving their column's position), and an
+        index whose column no longer exists is dropped with the table
+        definition that carried it.
+        """
         key = name.lower()
         if key in self._tables and not replace:
             raise CatalogError(f"table {name!r} already exists")
+        # Validate every index rebuild against the new data *before*
+        # mutating anything: a unique violation (or incomparable sorted
+        # key) must fail the whole registration, not leave the table
+        # swapped with a broken index behind it.
+        rebuilt: list[tuple[SecondaryIndex, SecondaryIndex]] = []
+        dropped: list[SecondaryIndex] = []
+        for index in self.indexes_on(key):
+            if index.column not in relation.schema:
+                dropped.append(index)
+                continue
+            replacement = build_index(
+                index.kind, index.name, index.table, index.column,
+                relation.schema.position(index.column), relation.rows,
+                index.unique)
+            rebuilt.append((index, replacement))
         self._tables[key] = relation
+        self.stats.discard(key)
+        for index in dropped:
+            self.drop_index(index.name)
+        for old, new in rebuilt:
+            self._indexes[old.name] = new
+            siblings = self._indexes_by_table[old.table]
+            siblings[siblings.index(old)] = new
         self._bump()
 
     def drop(self, name: str) -> None:
-        """Remove a table; raises :class:`CatalogError` if absent."""
+        """Remove a table (and its indexes and statistics)."""
         key = name.lower()
         if key not in self._tables:
             raise CatalogError(f"table {name!r} does not exist")
         del self._tables[key]
+        self.stats.discard(key)
+        for index in self._indexes_by_table.pop(key, ()):
+            del self._indexes[index.name]
         self._bump()
 
     def get(self, name: str) -> Relation:
@@ -137,3 +186,135 @@ class Catalog:
             raise CatalogError(
                 f"view {name!r} does not exist; known views: "
                 f"{self.view_names()}") from None
+
+    # -- secondary indexes -----------------------------------------------------
+
+    def create_index(self, name: str, table: str, column: str,
+                     kind: str = "hash",
+                     unique: bool = False) -> SecondaryIndex:
+        """Create (and populate) a secondary index; DDL — bumps the
+        generation counter, so cached plans re-lower against it."""
+        key = name.lower()
+        if key in self._indexes:
+            raise CatalogError(f"index {name!r} already exists")
+        relation = self.get(table)
+        table_key = table.lower()
+        if column.lower() not in relation.schema:
+            raise CatalogError(
+                f"table {table!r} has no column {column!r}; columns: "
+                f"{list(relation.schema.names)}")
+        position = relation.schema.position(column.lower())
+        index = build_index(kind, key, table_key, column.lower(), position,
+                            relation.rows, unique)
+        self._indexes[key] = index
+        self._indexes_by_table.setdefault(table_key, []).append(index)
+        self._bump()
+        return index
+
+    def drop_index(self, name: str) -> None:
+        """Remove an index; raises :class:`CatalogError` if absent."""
+        key = name.lower()
+        if key not in self._indexes:
+            raise CatalogError(
+                f"index {name!r} does not exist; known indexes: "
+                f"{self.index_names()}")
+        index = self._indexes.pop(key)
+        self._indexes_by_table[index.table].remove(index)
+        self._bump()
+
+    def index_names(self) -> list[str]:
+        """All index names, in creation order."""
+        return list(self._indexes)
+
+    def get_index(self, name: str) -> SecondaryIndex:
+        try:
+            return self._indexes[name.lower()]
+        except KeyError:
+            raise CatalogError(
+                f"index {name!r} does not exist; known indexes: "
+                f"{self.index_names()}") from None
+
+    def indexes_on(self, table: str) -> list[SecondaryIndex]:
+        """All indexes over *table*, in creation order."""
+        return list(self._indexes_by_table.get(table.lower(), ()))
+
+    def index_for(self, table: str, column: str,
+                  kinds: Sequence[str] | None = None
+                  ) -> SecondaryIndex | None:
+        """An index usable for lookups on ``table.column``, or None.
+
+        *kinds* restricts (and orders) the acceptable index kinds — e.g.
+        ``("sorted",)`` for a range scan; by default any kind matches,
+        hash preferred (cheapest equality probe).
+        """
+        matches = [index for index in self.indexes_on(table)
+                   if index.column == column.lower()]
+        for kind in kinds or ("hash", "sorted"):
+            for index in matches:
+                if index.kind == kind:
+                    return index
+        return None
+
+    def has_unique_index(self, table: str, column: str) -> bool:
+        """True iff some index declares ``table.column`` unique."""
+        return any(index.unique for index in self.indexes_on(table)
+                   if index.column == column.lower())
+
+    # -- DML maintenance hooks -------------------------------------------------
+
+    def note_insert(self, table: str, rows: Iterable[Sequence[Any]],
+                    indexes: list[SecondaryIndex] | None = None) -> None:
+        """Maintain *table*'s indexes after rows were inserted.
+
+        On a unique violation the row is backed out of the indexes that
+        already accepted it before the error propagates, so no ghost
+        entries survive a rejected insert.  Bulk callers pass the
+        pre-resolved *indexes* so per-row calls skip re-resolution.
+        """
+        if indexes is None:
+            indexes = self.indexes_on(table)
+        if not indexes:
+            return
+        for row in rows:
+            row = tuple(row)
+            updated = []
+            try:
+                for index in indexes:
+                    index.insert(row)
+                    updated.append(index)
+            except CatalogError:
+                for index in updated:
+                    index.remove(row)
+                raise
+
+    def note_delete(self, table: str, rows: Iterable[tuple]) -> None:
+        """Maintain *table*'s indexes after rows were deleted.
+
+        Small deletes remove row by row; bulk deletes (including full
+        truncation) rebuild from the remaining rows instead — per-row
+        removal from a sorted index is linear per row, so rebuilding is
+        the cheaper path once a meaningful fraction of the table goes.
+        """
+        indexes = self.indexes_on(table)
+        if not indexes:
+            return
+        deleted = rows if isinstance(rows, list) else list(rows)
+        remaining = self.get(table).rows
+        if len(deleted) > 16 and len(deleted) * 4 >= len(remaining):
+            for index in indexes:
+                index.build(remaining)
+            return
+        for row in deleted:
+            for index in indexes:
+                index.remove(row)
+
+    # -- statistics ------------------------------------------------------------
+
+    def analyze(self, name: str | None = None) -> list[str]:
+        """Collect statistics for one table (or all); returns the names
+        analyzed.  Bumps the statistics generation, invalidating cached
+        plans that were costed against the old numbers."""
+        names = [name.lower()] if name is not None else self.names()
+        for table in names:
+            self.stats.put(table, analyze_relation(table, self.get(table)))
+        return names

@@ -6,10 +6,11 @@ A psql-flavoured REPL over an in-memory session
 =====================  ===================================================
 command                effect
 =====================  ===================================================
-``\\d``                 list tables and views
-``\\d <table>``         describe a table
+``\\d``                 list tables, views and indexes
+``\\d <table>``         describe a table (columns, indexes, statistics)
 ``\\strategy [name]``   show / set the default provenance strategy
 ``\\explain <select>``  print the physical plan (after rewrite + lowering)
+``\\stats [table]``     show collected planner statistics
 ``\\timing``            toggle per-query timing
 ``\\cache``             show plan-cache statistics
 ``\\tpch [scale]``      load a TPC-H instance into the session
@@ -18,9 +19,13 @@ command                effect
 =====================  ===================================================
 
 SQL-level plan inspection mirrors PostgreSQL: ``EXPLAIN <select>``
-prints the physical plan without running it, ``EXPLAIN ANALYZE
-<select>`` executes the query and prints the plan annotated with actual
-rows / batches / loops / wall-clock time per operator.
+prints the physical plan — with the cost model's estimated rows and
+costs per node — without running it; ``EXPLAIN ANALYZE <select>``
+executes the query and prints estimated-vs-actual rows plus batches /
+loops / wall-clock time per operator.  ``ANALYZE [table]`` collects the
+statistics those estimates come from, and ``CREATE [UNIQUE] INDEX name
+ON table (column) [USING hash|sorted]`` / ``DROP INDEX name`` manage the
+secondary indexes the cost-based planner may scan or probe.
 
 Everything else is executed as SQL (``SELECT PROVENANCE ...`` included)
 through the session's plan cache, so repeating a query skips planning.
@@ -91,6 +96,8 @@ class Shell:
         elif command == "\\explain":
             sql = line[len("\\explain"):].strip()
             print(self.conn.explain_physical(sql), file=out)
+        elif command == "\\stats":
+            self._show_stats(args[0] if args else None, out)
         elif command == "\\tpch":
             from .tpch import install_views, load_tpch
             scale = float(args[0]) if args else 0.0001
@@ -109,17 +116,20 @@ class Shell:
                 print(f"ran {args[0]}", file=out)
         else:
             print(f"unknown command {command}; try \\d, \\strategy, "
-                  f"\\explain, \\timing, \\cache, \\tpch, \\i, \\q",
-                  file=out)
+                  f"\\explain, \\stats, \\timing, \\cache, \\tpch, \\i, "
+                  f"\\q", file=out)
         return True
 
     def _list_tables(self, out) -> None:
         catalog = self.conn.catalog
         for name in catalog.names():
             rows = len(catalog.get(name).rows)
-            print(f"  table {name} ({rows} rows)", file=out)
+            analyzed = " (analyzed)" if catalog.stats.get(name) else ""
+            print(f"  table {name} ({rows} rows){analyzed}", file=out)
         for name in catalog.view_names():
             print(f"  view  {name}", file=out)
+        for name in catalog.index_names():
+            print(f"  {catalog.get_index(name).describe()}", file=out)
         if not catalog.names() and not catalog.view_names():
             print("  (no tables)", file=out)
 
@@ -128,6 +138,29 @@ class Shell:
         for attribute in stored.schema:
             print(f"  {attribute.name:24s} {attribute.type.value}",
                   file=out)
+        for index in self.conn.catalog.indexes_on(name):
+            print(f"  {index.describe()}", file=out)
+        stats = self.conn.catalog.stats.get(name)
+        if stats is not None:
+            print(f"  analyzed: {stats.row_count} rows", file=out)
+
+    def _show_stats(self, name: str | None, out) -> None:
+        catalog = self.conn.catalog
+        names = [name] if name else catalog.stats.tables()
+        if not names:
+            print("  (no statistics; run ANALYZE)", file=out)
+            return
+        for table in names:
+            stats = catalog.stats.get(table)
+            if stats is None:
+                print(f"  {table}: not analyzed", file=out)
+                continue
+            print(f"  {table}: {stats.row_count} rows", file=out)
+            for column in stats.columns.values():
+                print(f"    {column.name:20s} n_distinct={column.n_distinct}"
+                      f" null_frac={column.null_frac:.2f}"
+                      f" min={column.min_value!r} max={column.max_value!r}",
+                      file=out)
 
     # -- SQL ----------------------------------------------------------------------
 

@@ -7,7 +7,9 @@ by physical lowering (:mod:`.lowering`) into the batched operator tree of
 (:mod:`.materialize`) kept as a selectable baseline.
 """
 
+from .cost import CardinalityEstimator
 from .executor import ENGINES, Executor
 from .stats import ExecutionStats, NodeStats
 
-__all__ = ["ENGINES", "ExecutionStats", "Executor", "NodeStats"]
+__all__ = ["CardinalityEstimator", "ENGINES", "ExecutionStats",
+           "Executor", "NodeStats"]

@@ -66,9 +66,10 @@ class Executor:
         else:
             from .pipeline import PipelineEngine
             batch_size = config.batch_size if config is not None else 1024
+            use_indexes = config.use_indexes if config is not None else True
             self._impl = PipelineEngine(
                 catalog, self.compile_expressions, self.collect_stats,
-                self.stats, batch_size)
+                self.stats, batch_size, use_indexes=use_indexes)
 
     # -- public API ----------------------------------------------------------
 
@@ -81,7 +82,7 @@ class Executor:
         """
         if self.optimize:
             from .optimizer import optimize as optimize_tree
-            op = optimize_tree(op)
+            op = optimize_tree(op, self.catalog)
         return self._impl.execute(op, params)
 
     def execute_physical(self, plan, params: Iterable[Any] = ()) -> Relation:

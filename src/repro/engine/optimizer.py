@@ -1,5 +1,6 @@
-"""The planner's first phase — a minimal *logical* optimizer: selection
-pushdown + join-condition extraction.  The second phase
+"""The planner's first phase — a *logical* optimizer: selection
+pushdown, join-condition extraction and (given a catalog) greedy
+cost-based join ordering.  The second phase
 (:mod:`repro.engine.lowering`) lowers the rewritten logical tree into
 the physical plan the pipelined engine executes.
 
@@ -18,6 +19,14 @@ planning the experiments need, deliberately nothing more:
 * push sublink-free conjuncts through pure-rename projections,
 * recurse into sublink query trees.
 
+When :func:`optimize` is handed a catalog, a second pass re-orders
+maximal inner/cross join chains greedily by estimated cardinality
+(:mod:`repro.engine.cost`): starting from the smallest relation, each
+step joins the relation whose (condition-covered) result is estimated
+smallest, attaching pooled conjuncts as soon as both sides cover their
+columns.  The chain's original column order is restored with a final
+projection, so the rewrite is invisible to everything above it.
+
 Correlated references *inside* sublinks are handled precisely: a conjunct
 is pushable iff every column it reads **at the selection's own scope**
 (level == boundary depth) is covered — levels further out are enclosing
@@ -27,7 +36,9 @@ sublink's own columns.
 
 from __future__ import annotations
 
-from ..expressions.ast import BoolOp, Col, Expr, Sublink, TRUE, and_all
+from ..expressions.ast import (
+    Col, Expr, Sublink, TRUE, and_all, conjuncts_of,
+)
 from ..algebra.operators import (
     Join, JoinKind, Operator, Project, Select,
 )
@@ -59,12 +70,6 @@ def _collect_op_scope_names(op: Operator, boundary: int,
         _collect_scope_names(expr, boundary, names)
     for child in op.children():
         _collect_op_scope_names(child, boundary, names)
-
-
-def _conjuncts(expr: Expr) -> list[Expr]:
-    if isinstance(expr, BoolOp) and expr.op == "and":
-        return list(expr.items)
-    return [expr]
 
 
 def _substitute_renames(expr: Expr, mapping: dict[str, str],
@@ -162,9 +167,9 @@ def _optimize_node(op: Operator) -> Operator:
     if isinstance(op, Select):
         input_op = op.input
         # flatten nested selections so all conjuncts are considered together
-        conjuncts: list[Expr] = _conjuncts(op.condition)
+        conjuncts: list[Expr] = list(conjuncts_of(op.condition))
         while isinstance(input_op, Select):
-            conjuncts.extend(_conjuncts(input_op.condition))
+            conjuncts.extend(conjuncts_of(input_op.condition))
             input_op = input_op.input
         remaining: list[Expr] = []
         for conjunct in conjuncts:
@@ -179,18 +184,26 @@ def _optimize_node(op: Operator) -> Operator:
     return op
 
 
-def optimize(op: Operator) -> Operator:
-    """Optimize an operator tree (bottom-up, including sublink queries)."""
-    new_children = [optimize(child) for child in op.children()]
+def optimize(op: Operator, catalog=None) -> Operator:
+    """Optimize an operator tree (bottom-up, including sublink queries).
+
+    With *catalog*, a cost-based join-ordering pass runs after the
+    rule-based rewrites (see the module docstring)."""
+    op = _optimize_tree(op)
+    if catalog is not None:
+        from .cost import CardinalityEstimator
+        op = _reorder_joins(op, CardinalityEstimator(catalog))
+    return op
+
+
+def _optimize_tree(op: Operator) -> Operator:
+    new_children = [_optimize_tree(child) for child in op.children()]
     if list(op.children()) != new_children:
         op = op.replace_children(new_children)
 
-    def fix_sublinks(expr: Expr) -> Expr:
-        return _optimize_expr_sublinks(expr)
-
     exprs = op.expressions()
     if exprs:
-        new_exprs = [fix_sublinks(e) for e in exprs]
+        new_exprs = [_optimize_expr_sublinks(e) for e in exprs]
         if list(exprs) != new_exprs:
             op = op.replace_expressions(new_exprs)
     return _optimize_node(op)
@@ -202,7 +215,119 @@ def _optimize_expr_sublinks(expr: Expr) -> Expr:
     if new_children != list(expr.children()):
         expr = expr.replace_children(new_children)
     if isinstance(expr, Sublink):
-        optimized = optimize(expr.query)
+        optimized = _optimize_tree(expr.query)
         if optimized is not expr.query:
             expr = Sublink(expr.kind, optimized, expr.op, expr.test)
     return expr
+
+
+# ---------------------------------------------------------------------------
+# Greedy cost-based join ordering
+# ---------------------------------------------------------------------------
+
+#: Chains shorter than this are left alone: with two relations the only
+#: freedom is the build/probe side, which lowering already prices.
+_MIN_CHAIN = 3
+
+
+def _reorder_joins(op: Operator, estimator) -> Operator:
+    """Top-down pass: re-order every maximal inner/cross join chain."""
+    if isinstance(op, Join) and op.kind in (JoinKind.INNER, JoinKind.CROSS):
+        relations, conjuncts = _flatten_chain(op)
+        relations = [_reorder_joins(relation, estimator)
+                     for relation in relations]
+        if len(relations) >= _MIN_CHAIN:
+            return _greedy_chain(relations, conjuncts, estimator,
+                                 op.schema.names)
+        rebuilt = relations[0]
+        for relation in relations[1:]:
+            rebuilt = Join(rebuilt, relation, TRUE, JoinKind.CROSS)
+        if conjuncts:
+            rebuilt = Select(rebuilt, and_all(conjuncts))
+            rebuilt = _optimize_node(rebuilt)   # refold join conditions
+        return rebuilt
+
+    new_children = [_reorder_joins(child, estimator)
+                    for child in op.children()]
+    if list(op.children()) != new_children:
+        op = op.replace_children(new_children)
+    exprs = op.expressions()
+    if exprs:
+        new_exprs = [_reorder_expr(expr, estimator) for expr in exprs]
+        if list(exprs) != new_exprs:
+            op = op.replace_expressions(new_exprs)
+    return op
+
+
+def _reorder_expr(expr: Expr, estimator) -> Expr:
+    new_children = [_reorder_expr(child, estimator)
+                    for child in expr.children()]
+    if new_children != list(expr.children()):
+        expr = expr.replace_children(new_children)
+    if isinstance(expr, Sublink):
+        reordered = _reorder_joins(expr.query, estimator)
+        if reordered is not expr.query:
+            expr = Sublink(expr.kind, reordered, expr.op, expr.test)
+    return expr
+
+
+def _flatten_chain(op: Join) -> tuple[list[Operator], list[Expr]]:
+    """Leaves and pooled condition conjuncts of a maximal inner/cross
+    join chain (LEFT joins and non-join operators stay atomic leaves)."""
+    relations: list[Operator] = []
+    conjuncts: list[Expr] = []
+
+    def collect(node: Operator) -> None:
+        if isinstance(node, Join) and \
+                node.kind in (JoinKind.INNER, JoinKind.CROSS):
+            collect(node.left)
+            collect(node.right)
+            if node.condition != TRUE:
+                conjuncts.extend(conjuncts_of(node.condition))
+        else:
+            relations.append(node)
+
+    collect(op)
+    return relations, conjuncts
+
+
+def _greedy_chain(relations: list[Operator], conjuncts: list[Expr],
+                  estimator, original_names) -> Operator:
+    """Left-deep greedy join order: smallest relation first, then always
+    the join with the smallest estimated output."""
+    pool = [(conjunct, scope_column_names(conjunct))
+            for conjunct in conjuncts]
+    used: set[int] = set()
+    remaining = list(relations)
+    current = min(remaining, key=estimator.estimate)
+    remaining.remove(current)
+
+    while remaining:
+        best = None
+        for relation in remaining:
+            visible = set(current.schema.names) \
+                | set(relation.schema.names)
+            applicable = [
+                position for position, (_, needed) in enumerate(pool)
+                if position not in used and needed and needed <= visible]
+            condition = and_all(
+                pool[position][0] for position in applicable) \
+                if applicable else TRUE
+            kind = JoinKind.INNER if applicable else JoinKind.CROSS
+            candidate = Join(current, relation, condition, kind)
+            rows = estimator.estimate(candidate)
+            if best is None or rows < best[0]:
+                best = (rows, relation, candidate, applicable)
+        _, relation, candidate, applicable = best
+        current = candidate
+        remaining.remove(relation)
+        used.update(applicable)
+
+    leftover = [conjunct for position, (conjunct, _) in enumerate(pool)
+                if position not in used]
+    if leftover:
+        current = Select(current, and_all(leftover))
+    if current.schema.names != tuple(original_names):
+        current = Project(current,
+                          [(name, Col(name)) for name in original_names])
+    return current

@@ -87,14 +87,21 @@ class PhysicalOperator:
     Subclasses implement ``_reset`` (per-execution state) and
     ``next_batch``; ``open`` wires the engine and outer frames through the
     tree and ``close`` releases per-execution state.
+
+    ``est_rows`` / ``est_cost`` are the cost model's predictions, filled
+    in by catalog-aware lowering and rendered by ``EXPLAIN`` (estimated
+    vs actual under ``EXPLAIN ANALYZE``); both stay None when lowering
+    ran without a catalog.
     """
 
-    __slots__ = ("engine", "frames", "sublinks")
+    __slots__ = ("engine", "frames", "sublinks", "est_rows", "est_cost")
 
     def __init__(self) -> None:
         self.engine = None
         self.frames: tuple = ()
         self.sublinks: tuple[SublinkPlan, ...] = ()
+        self.est_rows: float | None = None
+        self.est_cost: float | None = None
 
     def children(self) -> tuple["PhysicalOperator", ...]:
         return ()
@@ -191,6 +198,105 @@ class SeqScan(PhysicalOperator):
 
     def label(self) -> str:
         return f"SeqScan {self.table} as {self.alias} -> {list(self.names)}"
+
+
+class IndexScan(PhysicalOperator):
+    """Scan of a catalog table through a secondary index.
+
+    ``op`` is the lookup comparison (``=`` for point lookups on any index
+    kind; ``< <= > >=`` for range scans, which require a sorted index).
+    The key expression is evaluated once per ``open`` — it may reference
+    outer frames (correlated sublinks) and ``?`` parameters, so a cached
+    plan re-executes with fresh keys.  If the index disappeared between
+    lowering and execution (plans lowered outside the session plan cache
+    can outlive a ``DROP INDEX``), the scan degrades to a filtered
+    sequential scan rather than failing.
+    """
+
+    __slots__ = ("table", "alias", "names", "column", "position", "op",
+                 "key_expr", "index_kind", "_rows", "_pos")
+
+    def __init__(self, table: str, alias: str, names: tuple[str, ...],
+                 column: str, position: int, op: str, key_expr: Expr,
+                 index_kind: str):
+        super().__init__()
+        self.table = table
+        self.alias = alias
+        self.names = names
+        self.column = column
+        self.position = position
+        self.op = op
+        self.key_expr = key_expr
+        self.index_kind = index_kind
+        self._rows: list[tuple] = []
+        self._pos = 0
+
+    def _key_value(self):
+        context = EvalContext(self.frames, self.engine, self.engine.params)
+        return evaluate(self.key_expr, context)
+
+    def _reset(self) -> None:
+        self._pos = 0
+        self.engine.stats.index_scans += 1
+        catalog = self.engine.catalog
+        table = catalog.get(self.table)
+        kinds = ("sorted",) if self.op != "=" else None
+        index = catalog.index_for(self.table, self.column, kinds)
+        value = self._key_value()
+        if value is None:
+            self._rows = []    # NULL matches neither = nor ranges
+            return
+        if index is None:
+            self._rows = self._scan_fallback(table.rows, value)
+            return
+        index.ensure(table.rows)
+        try:
+            if self.op == "=":
+                # Hash buckets match by Python equality (where 1 == True),
+                # but the equivalent SeqScan + Filter plan applies SQL
+                # comparison semantics and errors on incomparable
+                # operands — probe one real key first so both plans
+                # match, and fail, alike.
+                from ..datatypes import compare
+                sample = index.sample_key()
+                if sample is not None:
+                    compare("=", sample, value)
+                self._rows = index.lookup(value)
+            elif self.op in ("<", "<="):
+                self._rows = index.lookup_range(
+                    None, value, high_inclusive=self.op == "<=")
+            else:
+                self._rows = index.lookup_range(
+                    value, None, low_inclusive=self.op == ">=")
+        except TypeError:
+            # same error type the SeqScan + Filter plan raises for an
+            # incomparable operand, instead of a raw bisect TypeError
+            from ..errors import ExpressionError
+            raise ExpressionError(
+                f"cannot compare {self.column!r} values with "
+                f"{type(value).__name__} ({value!r})") from None
+
+    def _scan_fallback(self, rows: list[tuple], value) -> list[tuple]:
+        from ..datatypes import compare
+        position = self.position
+        op = self.op
+        return [row for row in rows
+                if compare(op, row[position], value) is True]
+
+    def _release(self) -> None:
+        self._rows = []
+
+    def next_batch(self) -> list | None:
+        if self._pos >= len(self._rows):
+            return None
+        batch = self._rows[self._pos:self._pos + self.engine.batch_size]
+        self._pos += len(batch)
+        return batch
+
+    def label(self) -> str:
+        return (f"IndexScan {self.table} as {self.alias} using "
+                f"{self.index_kind} on {self.column} "
+                f"{self.op} {format_expr(self.key_expr)}")
 
 
 class ValuesScan(PhysicalOperator):
@@ -537,6 +643,132 @@ class NestedLoopJoin(PhysicalOperator):
                 f"on {format_expr(self.condition)}")
 
 
+class IndexNestedLoopJoin(PhysicalOperator):
+    """Equi-join that probes a base table's secondary index per outer row
+    instead of building a hash table — the winning plan when the outer
+    input is far smaller than the (indexed) inner table.
+
+    The inner side is not a child operator: rows come straight from the
+    index (or, if the index disappeared, from an ad-hoc hash table built
+    over the table — the same work a :class:`HashJoin` would do, so the
+    plan only ever degrades to hash-join performance, never to a scan per
+    outer row).
+    """
+
+    __slots__ = ("left", "table", "alias", "right_names", "right_width",
+                 "left_position", "right_column", "right_position",
+                 "residual", "kind", "index", "_index_obj", "_fallback",
+                 "_residual_fn", "_fn_compiled")
+
+    def __init__(self, left: PhysicalOperator, table: str, alias: str,
+                 right_names: tuple[str, ...], left_position: int,
+                 right_column: str, right_position: int,
+                 residual: Expr | None, kind: JoinKind,
+                 index: dict[str, int]):
+        super().__init__()
+        self.left = left
+        self.table = table
+        self.alias = alias
+        self.right_names = right_names
+        self.right_width = len(right_names)
+        self.left_position = left_position
+        self.right_column = right_column
+        self.right_position = right_position
+        self.residual = residual
+        self.kind = kind
+        self.index = index
+        self._index_obj = None
+        self._fallback: dict | None = None
+        self._residual_fn = None
+        self._fn_compiled: bool | None = None
+
+    def children(self):
+        return (self.left,)
+
+    def _reset(self) -> None:
+        catalog = self.engine.catalog
+        table = catalog.get(self.table)
+        self._index_obj = catalog.index_for(self.table, self.right_column)
+        self._fallback = None
+        if self._index_obj is not None:
+            self._index_obj.ensure(table.rows)
+        else:
+            fallback: dict = {}
+            position = self.right_position
+            for row in table.rows:
+                key = row[position]
+                if key is not None:
+                    fallback.setdefault(key, []).append(row)
+            self._fallback = fallback
+        self.engine.stats.index_nl_joins += 1
+
+    def _release(self) -> None:
+        self._index_obj = None
+        self._fallback = None
+
+    def _probe(self, key) -> list[tuple]:
+        if key is None:
+            return []
+        if self._index_obj is not None:
+            try:
+                return self._index_obj.lookup(key)
+            except TypeError:
+                # a sorted index orders by key; a probe value that is
+                # not comparable with the keys matches nothing — the
+                # same no-match a HashJoin's dict lookup produces
+                return []
+        return self._fallback.get(key, [])
+
+    def _residual(self):
+        if self.residual is None:
+            return None
+        flag = self.engine.compile_expressions
+        if self._residual_fn is None or self._fn_compiled is not flag:
+            self._residual_fn = compile_batch_predicate(
+                self.residual, self.index, use_compiler=flag)
+            self._fn_compiled = flag
+        return self._residual_fn
+
+    def next_batch(self) -> list | None:
+        engine = self.engine
+        residual = self._residual()
+        position = self.left_position
+        pad_left = self.kind == JoinKind.LEFT
+        null_pad = (None,) * self.right_width
+        while True:
+            batch = engine.pull(self.left)
+            if batch is None:
+                return None
+            out: list[tuple] = []
+            for left in batch:
+                matched = False
+                bucket = self._probe(left[position])
+                if bucket:
+                    if residual is None:
+                        for right in bucket:
+                            out.append(left + right)
+                        matched = True
+                    else:
+                        kept = residual(
+                            [left + right for right in bucket],
+                            self.frames, engine, engine.params)
+                        if kept:
+                            out.extend(kept)
+                            matched = True
+                if pad_left and not matched:
+                    out.append(left + null_pad)
+            if out:
+                return out
+
+    def label(self) -> str:
+        text = (f"IndexNestedLoopJoin {self.kind.value} probe "
+                f"{self.table}.{self.right_column} "
+                f"(outer key at [{self.left_position}])")
+        if self.residual is not None:
+            text += f" residual {format_expr(self.residual)}"
+        return text
+
+
 # ---------------------------------------------------------------------------
 # Aggregation
 # ---------------------------------------------------------------------------
@@ -838,10 +1070,13 @@ def explain_physical(plan: "PhysicalPlan | PhysicalOperator",
                      stats=None) -> str:
     """Multi-line, indented rendering of a physical plan.
 
-    With *stats* (an :class:`~repro.engine.stats.ExecutionStats` from a
-    completed execution) each node is annotated with its actual row,
-    batch, loop and inclusive wall-clock counters — the ``EXPLAIN
-    ANALYZE`` output.
+    Nodes lowered with a catalog in hand carry the cost model's
+    predictions and are annotated ``(estimated N rows, cost C)``.  With
+    *stats* (an :class:`~repro.engine.stats.ExecutionStats` from a
+    completed execution) each node instead shows estimated-vs-actual:
+    ``(est N rows, actual rows=... batches=... loops=... time=...)`` —
+    the ``EXPLAIN ANALYZE`` output, which makes estimator drift visible
+    node by node.
     """
     root = plan.root if isinstance(plan, PhysicalPlan) else plan
     lines: list[str] = []
@@ -849,17 +1084,32 @@ def explain_physical(plan: "PhysicalPlan | PhysicalOperator",
     return "\n".join(lines)
 
 
+def _format_estimate(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return f"{value:.1f}"
+
+
 def _render(node: PhysicalOperator, indent: int, lines: list[str],
             stats) -> None:
     pad = "  " * indent
     text = pad + node.label()
+    estimated = node.est_rows
     if stats is not None:
         entry = stats.node_stats.get(id(node))
+        prefix = "" if estimated is None else \
+            f"est {_format_estimate(estimated)} rows, actual "
         if entry is not None:
-            text += (f"  (rows={entry.rows} batches={entry.batches} "
+            text += (f"  ({prefix}rows={entry.rows} "
+                     f"batches={entry.batches} "
                      f"loops={entry.loops} time={entry.time_ms:.3f}ms)")
         else:
-            text += "  (never executed)"
+            text += f"  ({prefix}never executed)"
+    elif estimated is not None:
+        text += f"  (estimated {_format_estimate(estimated)} rows"
+        if node.est_cost is not None:
+            text += f", cost {_format_estimate(node.est_cost)}"
+        text += ")"
     lines.append(text)
     for sub in node.sublinks:
         lines.append(pad + "  " + sub.label)

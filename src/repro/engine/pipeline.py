@@ -38,12 +38,13 @@ class PipelineEngine:
 
     def __init__(self, catalog: Catalog, compile_expressions: bool,
                  collect_stats: bool, stats: ExecutionStats,
-                 batch_size: int = 1024):
+                 batch_size: int = 1024, use_indexes: bool = True):
         self.catalog = catalog
         self.compile_expressions = compile_expressions
         self.collect_stats = collect_stats
         self.stats = stats
         self.batch_size = batch_size
+        self.use_indexes = use_indexes
         self.params: tuple = ()
         self._subplans: dict[int, SublinkPlan] = {}
         self._initplan_cache: dict[int, list[tuple]] = {}
@@ -55,7 +56,8 @@ class PipelineEngine:
         """Lower *op* (cached per tree identity) and run the pipeline."""
         plan = self._lowered.get(id(op))
         if plan is None:
-            plan = lower_plan(op)
+            plan = lower_plan(op, self.catalog,
+                              use_indexes=self.use_indexes)
             self._lowered[id(op)] = plan
         return self.execute_physical(plan, params)
 
@@ -98,7 +100,8 @@ class PipelineEngine:
         runner (e.g. by the direct-provenance evaluator)."""
         from ..algebra.properties import is_correlated
         registry = self._subplans
-        plan = lower_plan(query)
+        plan = lower_plan(query, self.catalog,
+                          use_indexes=self.use_indexes)
         registry.update(plan.subplans)
         cls = SubPlanSublink if is_correlated(query) else InitPlanSublink
         sub = cls(None, query, plan.root)

@@ -50,6 +50,8 @@ class ExecutionStats:
     sublink_cache_hits: int = 0
     hash_joins: int = 0
     nested_loop_joins: int = 0
+    index_nl_joins: int = 0
+    index_scans: int = 0
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
     operator_evals: dict[str, int] = field(default_factory=dict)

@@ -146,6 +146,18 @@ def and_all(items: Iterable[Expr]) -> Expr:
     return BoolOp("and", tuple(flat))
 
 
+def conjuncts_of(expr: Expr) -> tuple[Expr, ...]:
+    """The AND-conjuncts of *expr* (just *expr* when it is not an AND).
+
+    The shared inverse of :func:`and_all`, used wherever a pass takes a
+    condition apart conjunct by conjunct (optimizer pushdown, physical
+    lowering, the Unn strategy's applicability test).
+    """
+    if isinstance(expr, BoolOp) and expr.op == "and":
+        return expr.items
+    return (expr,)
+
+
 def or_all(items: Iterable[Expr]) -> Expr:
     """Disjunction of *items*, flattening and dropping literal FALSEs."""
     flat: list[Expr] = []

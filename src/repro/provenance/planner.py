@@ -1,20 +1,29 @@
 """Strategy selection.
 
-``auto`` picks, per operator, the cheapest applicable strategy — the
-preference order the paper's experiments justify::
+``auto`` picks, per sublink-bearing operator, the cheapest *applicable*
+strategy.  With a catalog in hand the choice is cost-based
+(:func:`repro.engine.cost.strategy_costs`): the estimated input and
+sublink cardinalities price each rewrite — Unn's hash join wins whenever
+its rules apply, Gen's minimal plan wins on small inputs, and Left
+overtakes Gen as the quadratic join term grows.  Without a catalog the
+planner falls back to the fixed preference order the paper's experiments
+justify::
 
     Unn  >  Left  >  Gen
 
-(Move is measurably equal to Left in both the paper and this engine; it is
-available by explicit request and in the benchmarks.)  Explicitly requested
-strategies are *forced*: if they do not apply, the rewrite fails with
-:class:`~repro.errors.RewriteError` rather than silently degrading, so
-benchmark results always measure what they claim to measure.
+(Move is measurably equal to Left in both the paper and this engine; it
+is available by explicit request and in the benchmarks.)  Explicitly
+requested strategies are *forced*: if they do not apply, the rewrite
+fails with :class:`~repro.errors.RewriteError` rather than silently
+degrading, so benchmark results always measure what they claim to
+measure.
 
 Strategy names — forced ones included — resolve through the pluggable
 :mod:`repro.provenance.strategies.registry`, so strategies registered by
 name are usable from SQL (``SELECT PROVENANCE (name)``), the CLI and the
-session config without touching this module.
+session config without touching this module.  Every ``auto`` decision is
+appended to :attr:`StrategyPlanner.decisions`, so tests and tools can
+observe which rewrites a query actually got.
 """
 
 from __future__ import annotations
@@ -23,11 +32,13 @@ from typing import TYPE_CHECKING
 
 from ..algebra.operators import Project, Select
 from ..algebra.properties import is_correlated
+from ..expressions.ast import Sublink
 from . import strategies
 from .strategies import SublinkStrategy, UnnStrategy
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..api.config import SessionConfig
+    from ..catalog import Catalog
 
 #: Names of the built-in strategies plus the automatic mode (static view;
 #: use :func:`repro.provenance.strategies.strategy_names` for the live set).
@@ -38,8 +49,10 @@ class StrategyPlanner:
     """Maps sublink-bearing operators to rewrite strategies."""
 
     def __init__(self, strategy: str = "auto",
-                 config: "SessionConfig | None" = None):
+                 config: "SessionConfig | None" = None,
+                 catalog: "Catalog | None" = None):
         self.config = config
+        self.catalog = catalog
         # A session's default_strategy stands in for "auto", so rewriters
         # constructed directly (not through a Connection, which resolves
         # the default before planning) honor the config too.
@@ -50,27 +63,69 @@ class StrategyPlanner:
         # time, not at the first sublink encountered.
         self._forced = None if strategy == strategies.AUTO \
             else strategies.resolve(strategy)
+        #: Strategy names ``auto`` picked, in rewrite order (one entry per
+        #: sublink-bearing operator dispatched).
+        self.decisions: list[str] = []
+        # one estimator per rewrite: its per-subtree memo is shared by
+        # every auto decision of this query
+        self._estimator = None
 
     def _auto(self, name: str) -> SublinkStrategy:
+        self.decisions.append(name)
         return strategies.resolve(name)
+
+    def _cardinalities(self, op, sublinks: list[Sublink]
+                       ) -> tuple[float, float] | None:
+        """(input rows, summed sublink rows), or None without a catalog."""
+        if self.catalog is None:
+            return None
+        if self._estimator is None:
+            from ..engine.cost import CardinalityEstimator
+            self._estimator = CardinalityEstimator(self.catalog)
+        estimator = self._estimator
+        input_rows = estimator.estimate(op.input)
+        sublink_rows = sum(
+            estimator.estimate(sublink.query) for sublink in sublinks)
+        return input_rows, sublink_rows
+
+    def _pick(self, candidates: list[str], op,
+              sublinks: list[Sublink]) -> SublinkStrategy:
+        """The cheapest of *candidates* (all known applicable) by the
+        cost model; the first candidate without one."""
+        if len(candidates) > 1:
+            cardinalities = self._cardinalities(op, sublinks)
+            if cardinalities is not None:
+                from ..engine.cost import strategy_costs
+                input_rows, sublink_rows = cardinalities
+                correlated = any(is_correlated(s.query) for s in sublinks)
+                costs = strategy_costs(input_rows, sublink_rows,
+                                       correlated)
+                candidates = sorted(
+                    candidates, key=lambda name: costs.get(name,
+                                                           float("inf")))
+        return self._auto(candidates[0])
 
     def for_select(self, op: Select) -> SublinkStrategy:
         """Strategy for a selection whose condition holds sublinks."""
         if self._forced is not None:
             return self._forced
-        unn = self._auto("unn")
-        if isinstance(unn, UnnStrategy) and unn.applicable_select(op):
-            return unn
         sublinks = SublinkStrategy.select_sublinks(op)
+        candidates = []
+        unn = strategies.resolve("unn")
+        if isinstance(unn, UnnStrategy) and unn.applicable_select(op):
+            candidates.append("unn")
         if all(not is_correlated(s.query) for s in sublinks):
-            return self._auto("left")
-        return self._auto("gen")
+            candidates.append("left")
+        candidates.append("gen")
+        return self._pick(candidates, op, sublinks)
 
     def for_project(self, op: Project) -> SublinkStrategy:
         """Strategy for a projection whose items hold sublinks."""
         if self._forced is not None:
             return self._forced
         sublinks = SublinkStrategy.project_sublinks(op)
+        candidates = []
         if all(not is_correlated(s.query) for s in sublinks):
-            return self._auto("left")
-        return self._auto("gen")
+            candidates.append("left")
+        candidates.append("gen")
+        return self._pick(candidates, op, sublinks)

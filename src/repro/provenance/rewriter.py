@@ -59,7 +59,7 @@ class ProvenanceRewriter:
         from .planner import StrategyPlanner
         self.catalog = catalog
         self.config = config  # SessionConfig | None
-        self.planner = StrategyPlanner(strategy, config)
+        self.planner = StrategyPlanner(strategy, config, catalog)
         self.registry: NamingRegistry = NamingRegistry()
 
     # -- public API -----------------------------------------------------------

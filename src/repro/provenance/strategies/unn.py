@@ -17,7 +17,8 @@ from typing import TYPE_CHECKING
 
 from ...errors import RewriteError
 from ...expressions.ast import (
-    BoolOp, Col, Comparison, Expr, Sublink, SublinkKind, TRUE, and_all,
+    Col, Comparison, Expr, Sublink, SublinkKind, TRUE, and_all,
+    conjuncts_of,
 )
 from ...algebra.operators import (
     Join, JoinKind, Operator, Project, Select,
@@ -30,12 +31,6 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..rewriter import ProvenanceRewriter, RewriteResult
 
 
-def _conjuncts(expr: Expr) -> tuple[Expr, ...]:
-    if isinstance(expr, BoolOp) and expr.op == "and":
-        return expr.items
-    return (expr,)
-
-
 class UnnStrategy(SublinkStrategy):
     """Rules U1 (EXISTS) and U2 (equality ANY)."""
 
@@ -45,7 +40,7 @@ class UnnStrategy(SublinkStrategy):
     def applicable_select(cls, op: Select) -> bool:
         """True iff every sublink-bearing conjunct matches U1 or U2."""
         saw_sublink = False
-        for part in _conjuncts(op.condition):
+        for part in conjuncts_of(op.condition):
             if not contains_sublinks(part):
                 continue
             saw_sublink = True
@@ -72,11 +67,11 @@ class UnnStrategy(SublinkStrategy):
         inner = rewriter.rewrite(op.input)
         current: Operator = inner.plan
         accesses = list(inner.accesses)
-        plain = [clone_expr(part) for part in _conjuncts(op.condition)
+        plain = [clone_expr(part) for part in conjuncts_of(op.condition)
                  if not contains_sublinks(part)]
         if plain:
             current = Select(current, and_all(plain))
-        for part in _conjuncts(op.condition):
+        for part in conjuncts_of(op.condition):
             if not contains_sublinks(part):
                 continue
             sublink = part

@@ -116,8 +116,31 @@ class InsertStmt:
 
 
 @dataclass
+class CreateIndexStmt:
+    """``CREATE [UNIQUE] INDEX name ON table (column) [USING kind]``.
+
+    ``kind`` is ``"hash"`` (the default — O(1) equality lookups) or
+    ``"sorted"`` (equality and range lookups).
+    """
+
+    name: str
+    table: str
+    column: str
+    unique: bool = False
+    kind: str = "hash"
+
+
+@dataclass
+class AnalyzeStmt:
+    """``ANALYZE [table]`` — collect planner statistics (all tables when
+    no name is given)."""
+
+    table: str | None = None
+
+
+@dataclass
 class DropStmt:
-    """``DROP TABLE|VIEW name``."""
+    """``DROP TABLE|VIEW|INDEX name``."""
 
     kind: str
     name: str
@@ -132,5 +155,6 @@ class DeleteStmt:
     param_count: int = 0
 
 
-Statement = (SelectStmt | CreateTableStmt | CreateViewStmt | InsertStmt
-             | DropStmt | DeleteStmt)
+Statement = (SelectStmt | CreateTableStmt | CreateViewStmt
+             | CreateIndexStmt | AnalyzeStmt | InsertStmt | DropStmt
+             | DeleteStmt)

@@ -33,7 +33,8 @@ KEYWORDS = {
     "all", "any", "some", "exists", "in", "like", "between", "is", "not",
     "and", "or", "null", "true", "false", "case", "when", "then", "else",
     "end", "cast", "asc", "desc", "insert", "into", "values", "create",
-    "table", "view", "drop", "delete", "update", "set",
+    "table", "view", "drop", "delete", "update", "set", "index",
+    "unique", "using", "analyze",
 }
 
 _MULTI_OPERATORS = ("<>", "<=", ">=", "!=", "||")

@@ -31,14 +31,19 @@ from ..expressions.ast import (
     or_all,
 )
 from .ast import (
-    CreateTableStmt, CreateViewStmt, DeleteStmt, DropStmt, InsertStmt,
-    JoinExpr, OrderItem, SelectItem, SelectStmt, Star, Statement,
-    SubqueryRef, TableRef,
+    AnalyzeStmt, CreateIndexStmt, CreateTableStmt, CreateViewStmt,
+    DeleteStmt, DropStmt, InsertStmt, JoinExpr, OrderItem, SelectItem,
+    SelectStmt, Star, Statement, SubqueryRef, TableRef,
 )
 from .lexer import Token, TokenKind, tokenize
 
 _AGGREGATE_NAMES = {"count", "sum", "avg", "min", "max"}
 _COMPARISON_OPS = {"=", "<>", "<", "<=", ">", ">="}
+
+#: Soft keywords: reserved only where their statements need them, still
+#: usable as column/table names (``CREATE TABLE t (index int)`` keeps
+#: parsing after the index/statistics DDL was added).
+_SOFT_KEYWORDS = ("index", "unique", "using", "analyze")
 
 
 class _Parser:
@@ -88,7 +93,8 @@ class _Parser:
 
     def expect_ident(self) -> str:
         token = self.current
-        if token.kind == TokenKind.IDENT:
+        if token.kind == TokenKind.IDENT or token.is_keyword(
+                *_SOFT_KEYWORDS):
             self.advance()
             return token.value
         raise self.error("expected identifier")
@@ -123,10 +129,14 @@ class _Parser:
             return self._parse_drop()
         if self.current.is_keyword("delete"):
             return self._parse_delete()
+        if self.current.is_keyword("analyze"):
+            return self._parse_analyze()
         raise self.error("expected a statement")
 
     def _parse_create(self) -> Statement:
         self.expect_keyword("create")
+        if self.current.is_keyword("unique", "index"):
+            return self._parse_create_index()
         if self.accept_keyword("table"):
             name = self.expect_ident()
             self.expect_punct("(")
@@ -179,9 +189,31 @@ class _Parser:
                 break
         return InsertStmt(table, rows)
 
+    def _parse_create_index(self) -> CreateIndexStmt:
+        unique = self.accept_keyword("unique")
+        self.expect_keyword("index")
+        name = self.expect_ident()
+        self.expect_keyword("on")
+        table = self.expect_ident()
+        self.expect_punct("(")
+        column = self.expect_ident()
+        self.expect_punct(")")
+        kind = "hash"
+        if self.accept_keyword("using"):
+            kind = self.expect_ident()
+        return CreateIndexStmt(name, table, column, unique, kind)
+
+    def _parse_analyze(self) -> AnalyzeStmt:
+        self.expect_keyword("analyze")
+        table = None
+        if self.current.kind == TokenKind.IDENT or \
+                self.current.is_keyword(*_SOFT_KEYWORDS):
+            table = self.expect_ident()
+        return AnalyzeStmt(table)
+
     def _parse_drop(self) -> DropStmt:
         self.expect_keyword("drop")
-        kind = self.expect_keyword("table", "view").value
+        kind = self.expect_keyword("table", "view", "index").value
         return DropStmt(kind, self.expect_ident())
 
     def _parse_delete(self) -> DeleteStmt:
@@ -282,7 +314,8 @@ class _Parser:
         alias = None
         if self.accept_keyword("as"):
             alias = self.expect_ident()
-        elif self.current.kind == TokenKind.IDENT:
+        elif self.current.kind == TokenKind.IDENT or \
+                self.current.is_keyword(*_SOFT_KEYWORDS):
             alias = self.expect_ident()
         return SelectItem(expr, alias)
 
@@ -326,7 +359,8 @@ class _Parser:
         alias = None
         if self.accept_keyword("as"):
             alias = self.expect_ident()
-        elif self.current.kind == TokenKind.IDENT:
+        elif self.current.kind == TokenKind.IDENT or \
+                self.current.is_keyword(*_SOFT_KEYWORDS):
             alias = self.expect_ident()
         return TableRef(name, alias)
 
@@ -480,7 +514,8 @@ class _Parser:
             expr = self.parse_expr()
             self.expect_punct(")")
             return expr
-        if token.kind == TokenKind.IDENT or token.is_keyword("left", "right"):
+        if token.kind == TokenKind.IDENT or \
+                token.is_keyword("left", "right", *_SOFT_KEYWORDS):
             return self._parse_identifier_expr()
         raise self.error("expected an expression")
 

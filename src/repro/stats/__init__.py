@@ -1,0 +1,28 @@
+"""Table and column statistics — the planner's knowledge of the data.
+
+``ANALYZE [table]`` (see :mod:`repro.sql.parser`) walks a stored relation
+once and records, per column: the distinct-value count, the NULL
+fraction, min/max bounds and the most-common values with their
+frequencies.  The resulting :class:`TableStats` live in the catalog's
+:class:`StatsRegistry`; the cardinality estimator
+(:mod:`repro.engine.cost`) reads them to turn the planner's fixed
+heuristics into data-driven decisions — selectivity-ordered filters,
+hash- vs index-join choices, join ordering and the automatic
+provenance-strategy selection.
+
+Statistics are a snapshot: DML does not update them (re-run ``ANALYZE``,
+exactly as in PostgreSQL), but every ``ANALYZE`` bumps the registry's
+generation counter, which the session folds into its plan-cache key so
+stale plans are never served.
+"""
+
+from .collect import MCV_LIMIT, ColumnStats, TableStats, analyze_relation
+from .registry import StatsRegistry
+
+__all__ = [
+    "MCV_LIMIT",
+    "ColumnStats",
+    "StatsRegistry",
+    "TableStats",
+    "analyze_relation",
+]

@@ -1,0 +1,95 @@
+"""One-pass statistics collection over a stored relation."""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Any
+
+from ..relation import Relation
+
+#: Most-common values kept per column.  When a column has at most this
+#: many distinct values the MCV list is *complete* — every value's exact
+#: frequency is known, so equality selectivities are exact, not estimates.
+MCV_LIMIT = 10
+
+
+@dataclass(frozen=True)
+class ColumnStats:
+    """Statistics of one column, as of the last ``ANALYZE``."""
+
+    name: str
+    n_distinct: int                 # distinct non-NULL values
+    null_frac: float                # fraction of NULL values
+    min_value: Any = None           # None when empty or not comparable
+    max_value: Any = None
+    #: ``((value, frequency), ...)`` for the most common non-NULL values,
+    #: frequency relative to the total row count, most frequent first.
+    mcvs: tuple[tuple[Any, float], ...] = ()
+
+    @property
+    def mcv_complete(self) -> bool:
+        """True iff every distinct value appears in the MCV list."""
+        return self.n_distinct <= len(self.mcvs)
+
+    def eq_fraction(self, value: Any) -> float | None:
+        """Fraction of rows equal to *value*, or None if unknown.
+
+        Exact when *value* is in the MCV list or the list is complete;
+        otherwise the uniform estimate over the remaining distinct values.
+        """
+        if value is None:
+            return 0.0
+        for mcv, frequency in self.mcvs:
+            if mcv == value:
+                return frequency
+        if self.mcv_complete:
+            return 0.0
+        remaining = self.n_distinct - len(self.mcvs)
+        if remaining <= 0:
+            return None
+        covered = sum(frequency for _, frequency in self.mcvs)
+        return max(0.0, (1.0 - self.null_frac - covered)) / remaining
+
+
+@dataclass(frozen=True)
+class TableStats:
+    """Statistics of one table, as of the last ``ANALYZE``."""
+
+    table: str
+    row_count: int
+    columns: dict[str, ColumnStats] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStats | None:
+        return self.columns.get(name)
+
+
+def analyze_relation(name: str, relation: Relation) -> TableStats:
+    """Compute :class:`TableStats` for *relation* in one pass per column."""
+    rows = relation.rows
+    total = len(rows)
+    columns: dict[str, ColumnStats] = {}
+    for position, attribute in enumerate(relation.schema):
+        values = [row[position] for row in rows]
+        non_null = [value for value in values if value is not None]
+        counts = Counter(non_null)
+        null_frac = (total - len(non_null)) / total if total else 0.0
+        mcvs = tuple(
+            (value, count / total)
+            for value, count in counts.most_common(MCV_LIMIT))
+        min_value = max_value = None
+        if non_null:
+            try:
+                min_value = min(non_null)
+                max_value = max(non_null)
+            except TypeError:   # mixed non-comparable types
+                pass
+        columns[attribute.name] = ColumnStats(
+            name=attribute.name,
+            n_distinct=len(counts),
+            null_frac=null_frac,
+            min_value=min_value,
+            max_value=max_value,
+            mcvs=mcvs,
+        )
+    return TableStats(table=name, row_count=total, columns=columns)

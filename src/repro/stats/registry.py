@@ -1,0 +1,41 @@
+"""The per-catalog statistics registry."""
+
+from __future__ import annotations
+
+from .collect import TableStats
+
+
+class StatsRegistry:
+    """Maps lower-cased table names to their last-ANALYZE statistics.
+
+    The ``generation`` counter bumps on every change (ANALYZE, table
+    drop/replace); the session layer folds it — together with the
+    catalog's DDL counter — into plan-cache keys, so plans compiled
+    against old statistics are never served after new ones arrive.
+    """
+
+    def __init__(self) -> None:
+        self._stats: dict[str, TableStats] = {}
+        self._generation = 0
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def bump(self) -> None:
+        self._generation += 1
+
+    def get(self, table: str) -> TableStats | None:
+        return self._stats.get(table.lower())
+
+    def put(self, table: str, stats: TableStats) -> None:
+        self._stats[table.lower()] = stats
+        self.bump()
+
+    def discard(self, table: str) -> None:
+        """Drop a table's statistics (table dropped or wholly replaced)."""
+        if self._stats.pop(table.lower(), None) is not None:
+            self.bump()
+
+    def tables(self) -> list[str]:
+        return list(self._stats)

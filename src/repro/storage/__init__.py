@@ -1,0 +1,11 @@
+"""Storage-side access structures.
+
+Currently: secondary indexes (:mod:`repro.storage.index`) created with
+``CREATE INDEX`` and consulted by the cost-based physical lowering
+(:class:`~repro.engine.physical.IndexScan`,
+:class:`~repro.engine.physical.IndexNestedLoopJoin`).
+"""
+
+from .index import HashIndex, SecondaryIndex, SortedIndex, build_index
+
+__all__ = ["HashIndex", "SecondaryIndex", "SortedIndex", "build_index"]

@@ -1,0 +1,250 @@
+"""Secondary index structures: hash (equality) and sorted (equality +
+range).
+
+An index maps one column's values to the full rows that carry them
+(rows are immutable tuples, so storing them directly is safe and avoids
+positional bookkeeping across deletes).  NULL keys are never indexed —
+SQL equality and range predicates cannot match NULL — but they count
+toward the maintained row total so the staleness check below sees them.
+
+Maintenance is two-layered:
+
+* the catalog forwards INSERT/DELETE row deltas eagerly
+  (:meth:`SecondaryIndex.insert` / :meth:`SecondaryIndex.remove`);
+* code that mutates a stored :class:`~repro.relation.Relation` directly
+  (bulk loaders, the TPC-H generator — which only ever *append* or
+  replace whole relations) bypasses those hooks, so every lookup path
+  first calls :meth:`SecondaryIndex.ensure`, which rebuilds when the
+  maintained row count disagrees with the table's.
+
+The count check is a heuristic aimed at those append/replace loaders: a
+hypothetical mutation that edits rows *in place* without changing the
+count (nothing in the codebase does — DML goes through the session,
+which maintains indexes eagerly) would not be detected.  If an UPDATE
+statement is ever added, route it through the catalog's maintenance
+hooks like INSERT/DELETE rather than relying on ``ensure``.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right, insort
+from typing import Any, Sequence
+
+from ..errors import CatalogError
+
+#: Index kinds accepted by ``CREATE INDEX ... USING <kind>``.
+INDEX_KINDS = ("hash", "sorted")
+
+
+class SecondaryIndex:
+    """Base class: one index over one column of one table."""
+
+    kind = "abstract"
+
+    def __init__(self, name: str, table: str, column: str, position: int,
+                 unique: bool = False):
+        self.name = name
+        self.table = table
+        self.column = column
+        self.position = position
+        self.unique = unique
+        self._row_count = 0     # rows seen, NULL keys included
+
+    # -- structure-specific primitives ---------------------------------------
+
+    def _clear(self) -> None:
+        raise NotImplementedError
+
+    def _add(self, key: Any, row: tuple) -> None:
+        raise NotImplementedError
+
+    def _discard(self, key: Any, row: tuple) -> None:
+        raise NotImplementedError
+
+    def _count(self, key: Any) -> int:
+        raise NotImplementedError
+
+    def lookup(self, key: Any) -> list[tuple]:
+        """All rows whose indexed column equals *key* (NULL matches none)."""
+        raise NotImplementedError
+
+    def sample_key(self) -> Any:
+        """An arbitrary indexed key, or None when nothing is indexed —
+        lets an empty lookup check the probe value's comparability
+        against real column data (SQL error parity with a scan)."""
+        raise NotImplementedError
+
+    # -- shared maintenance ---------------------------------------------------
+
+    def build(self, rows: Sequence[tuple]) -> None:
+        """(Re)build from scratch over *rows*."""
+        self._clear()
+        self._row_count = 0
+        for row in rows:
+            self.insert(row)
+
+    def insert(self, row: tuple) -> None:
+        """Index one newly inserted row.
+
+        A key that is not comparable with the existing keys (sorted
+        indexes order by key) raises :class:`CatalogError`, not a bare
+        ``TypeError`` — callers roll maintenance failures back by
+        catching the library's error hierarchy.
+        """
+        key = row[self.position]
+        if key is not None:
+            try:
+                if self.unique and self._count(key):
+                    raise CatalogError(
+                        f"duplicate value {key!r} violates unique index "
+                        f"{self.name!r} on {self.table}({self.column})")
+                self._add(key, row)
+            except TypeError:
+                raise CatalogError(
+                    f"value {key!r} is not comparable with the keys of "
+                    f"{self.kind} index {self.name!r} on "
+                    f"{self.table}({self.column})") from None
+        self._row_count += 1
+
+    def remove(self, row: tuple) -> None:
+        """Un-index one deleted row (one occurrence)."""
+        key = row[self.position]
+        if key is not None:
+            try:
+                self._discard(key, row)
+            except TypeError:
+                pass   # never indexed: insert would have refused the key
+        self._row_count -= 1
+
+    def ensure(self, rows: Sequence[tuple]) -> None:
+        """Rebuild if the table was mutated behind the catalog's back."""
+        if self._row_count != len(rows):
+            self.build(rows)
+
+    def __len__(self) -> int:
+        return self._row_count
+
+    def describe(self) -> str:
+        flavor = "unique " if self.unique else ""
+        return (f"{flavor}{self.kind} index {self.name} on "
+                f"{self.table}({self.column})")
+
+
+class HashIndex(SecondaryIndex):
+    """Equality lookups in O(1): a dict from key to its rows."""
+
+    kind = "hash"
+
+    def __init__(self, name: str, table: str, column: str, position: int,
+                 unique: bool = False):
+        super().__init__(name, table, column, position, unique)
+        self._buckets: dict[Any, list[tuple]] = {}
+
+    def _clear(self) -> None:
+        self._buckets = {}
+
+    def _add(self, key: Any, row: tuple) -> None:
+        self._buckets.setdefault(key, []).append(row)
+
+    def _discard(self, key: Any, row: tuple) -> None:
+        bucket = self._buckets.get(key)
+        if bucket is None:
+            return
+        try:
+            bucket.remove(row)
+        except ValueError:
+            return
+        if not bucket:
+            del self._buckets[key]
+
+    def _count(self, key: Any) -> int:
+        return len(self._buckets.get(key, ()))
+
+    def lookup(self, key: Any) -> list[tuple]:
+        if key is None:
+            return []
+        return self._buckets.get(key, [])
+
+    def sample_key(self) -> Any:
+        return next(iter(self._buckets), None)
+
+
+def _entry_key(entry: tuple[Any, tuple]) -> Any:
+    return entry[0]
+
+
+class SortedIndex(SecondaryIndex):
+    """Equality *and* range lookups over a sorted ``(key, row)`` list.
+
+    Ordering compares keys only (never whole rows, which may hold NULLs
+    or mixed types); equal keys keep insertion order.
+    """
+
+    kind = "sorted"
+
+    def __init__(self, name: str, table: str, column: str, position: int,
+                 unique: bool = False):
+        super().__init__(name, table, column, position, unique)
+        self._entries: list[tuple[Any, tuple]] = []
+
+    def _clear(self) -> None:
+        self._entries = []
+
+    def _add(self, key: Any, row: tuple) -> None:
+        insort(self._entries, (key, row), key=_entry_key)
+
+    def _span(self, key: Any) -> tuple[int, int]:
+        return (bisect_left(self._entries, key, key=_entry_key),
+                bisect_right(self._entries, key, key=_entry_key))
+
+    def _discard(self, key: Any, row: tuple) -> None:
+        lo, hi = self._span(key)
+        for position in range(lo, hi):
+            if self._entries[position][1] == row:
+                del self._entries[position]
+                return
+
+    def _count(self, key: Any) -> int:
+        lo, hi = self._span(key)
+        return hi - lo
+
+    def lookup(self, key: Any) -> list[tuple]:
+        if key is None:
+            return []
+        lo, hi = self._span(key)
+        return [row for _, row in self._entries[lo:hi]]
+
+    def sample_key(self) -> Any:
+        return self._entries[0][0] if self._entries else None
+
+    def lookup_range(self, low: Any, high: Any, low_inclusive: bool = True,
+                     high_inclusive: bool = True) -> list[tuple]:
+        """Rows with ``low <op> key <op> high``; ``None`` bounds are open."""
+        lo = 0
+        if low is not None:
+            lo = (bisect_left(self._entries, low, key=_entry_key)
+                  if low_inclusive
+                  else bisect_right(self._entries, low, key=_entry_key))
+        hi = len(self._entries)
+        if high is not None:
+            hi = (bisect_right(self._entries, high, key=_entry_key)
+                  if high_inclusive
+                  else bisect_left(self._entries, high, key=_entry_key))
+        return [row for _, row in self._entries[lo:hi]]
+
+
+def build_index(kind: str, name: str, table: str, column: str,
+                position: int, rows: Sequence[tuple],
+                unique: bool = False) -> SecondaryIndex:
+    """Construct and populate an index of *kind* over *rows*."""
+    if kind == "hash":
+        index: SecondaryIndex = HashIndex(name, table, column, position,
+                                          unique)
+    elif kind == "sorted":
+        index = SortedIndex(name, table, column, position, unique)
+    else:
+        raise CatalogError(
+            f"unknown index kind {kind!r}; expected one of "
+            f"{list(INDEX_KINDS)}")
+    index.build(rows)
+    return index

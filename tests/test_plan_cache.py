@@ -90,6 +90,53 @@ class TestInvalidation:
         ps.execute((10,))   # version changed -> key miss -> replanned
         assert conn.plan_cache.misses > misses
 
+    def test_analyze_invalidates_cached_plan(self, conn):
+        """Regression: the key must fold in the statistics generation —
+        a plan costed before ANALYZE may no longer be the plan the cost
+        model would pick, so it must never be served afterwards."""
+        sql = "SELECT a FROM r WHERE a = 1"
+        conn.execute(sql)
+        stale_key = conn._plan_key(sql, None)
+        cached = conn.plan_cache.peek(stale_key)
+        assert cached is not None
+        misses = conn.plan_cache.misses
+        conn.execute("ANALYZE r")
+        conn.execute(sql)
+        assert conn.plan_cache.misses > misses          # replanned
+        fresh = conn.plan_cache.peek(conn._plan_key(sql, None))
+        assert fresh is not None and fresh is not cached
+        assert fresh.stats_version == conn.catalog.stats_version
+
+    def test_create_index_invalidates_cached_plan(self, conn):
+        """Regression: after CREATE INDEX the same SQL must re-lower —
+        and actually switch from the stale SeqScan plan to an IndexScan."""
+        from repro.engine.physical import IndexScan, SeqScan
+
+        sql = "SELECT b FROM r WHERE a = 2"
+        conn.execute(sql)
+        stale = conn.plan_cache.peek(conn._plan_key(sql, None))
+        assert any(isinstance(node, SeqScan)
+                   for node in stale.physical.nodes())
+        conn.execute("CREATE INDEX r_a ON r (a)")
+        assert conn.plan_cache.peek(conn._plan_key(sql, None)) is None
+        assert conn.execute(sql).rows == [(1,)]
+        fresh = conn.plan_cache.peek(conn._plan_key(sql, None))
+        assert any(isinstance(node, IndexScan)
+                   for node in fresh.physical.nodes())
+
+    def test_drop_index_invalidates_cached_plan(self, conn):
+        from repro.engine.physical import IndexScan
+
+        conn.execute("CREATE INDEX r_a ON r (a)")
+        sql = "SELECT b FROM r WHERE a = 2"
+        conn.execute(sql)
+        cached = conn.plan_cache.peek(conn._plan_key(sql, None))
+        assert any(isinstance(node, IndexScan)
+                   for node in cached.physical.nodes())
+        conn.execute("DROP INDEX r_a")
+        assert conn.plan_cache.peek(conn._plan_key(sql, None)) is None
+        assert conn.execute(sql).rows == [(1,)]   # replanned, no index
+
     def test_view_redefinition_changes_results(self, conn):
         conn.create_view("v", "SELECT a FROM r WHERE a >= 2")
         cur = conn.cursor()

@@ -8,6 +8,9 @@ randomly generated databases and sublink queries.
 3. Provenance tuples are real: every non-NULL provenance tuple embedded in
    q+'s output occurs in the corresponding base relation.
 4. Bag-algebra laws of the substrate (Figure 1 multiplicity identities).
+5. Cardinality-estimator sanity: estimates are non-negative, bounded by
+   the table's row count for single-table filters, and exact for
+   ``col = const`` on a unique indexed column.
 """
 
 from collections import Counter
@@ -15,7 +18,7 @@ from collections import Counter
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro import Database
+from repro import Database, connect
 from repro.relation import Relation
 
 
@@ -177,6 +180,69 @@ def test_union_via_sql_matches_relation_layer(xs, ys):
     db.insert("t2", ys)
     rows = db.sql("SELECT x FROM t1 UNION ALL SELECT x FROM t2").rows
     assert Counter(rows) == Counter(xs) + Counter(ys)
+
+
+# ---------------------------------------------------------------------------
+# Cardinality-estimator sanity
+# ---------------------------------------------------------------------------
+
+filter_predicates = st.sampled_from([
+    "a = {v}", "a <> {v}", "a < {v}", "a >= {v}", "a IS NULL",
+    "a = {v} AND b > {v}", "a = {v} OR b = {v}", "NOT a = {v}",
+])
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.tuples(nullable_int, small_int),
+                min_size=0, max_size=12),
+       filter_predicates, small_int, st.booleans())
+def test_estimates_bounded_for_single_table_filters(rows, predicate,
+                                                    value, analyzed):
+    conn = connect()
+    conn.execute("CREATE TABLE t (a int, b int)")
+    conn.insert("t", rows)
+    if analyzed:
+        conn.execute("ANALYZE t")
+    sql = f"SELECT a FROM t WHERE {predicate.format(v=value)}"
+    estimate = conn.estimate_rows(sql)
+    assert estimate >= 0.0
+    assert estimate <= len(rows) + 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(min_value=-50, max_value=50),
+                min_size=1, max_size=20, unique=True),
+       st.booleans())
+def test_unique_indexed_equality_estimate_is_exact(values, analyzed):
+    conn = connect()
+    conn.execute("CREATE TABLE u (k int, v int)")
+    conn.insert("u", [(value, 0) for value in values])
+    conn.execute("CREATE UNIQUE INDEX u_k ON u (k)")
+    if analyzed:
+        conn.execute("ANALYZE u")
+    for value in values:
+        estimate = conn.estimate_rows(f"SELECT v FROM u WHERE k = {value}")
+        actual = len(conn.sql(f"SELECT v FROM u WHERE k = {value}").rows)
+        assert actual == 1
+        assert estimate == pytest.approx(1.0)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(small_int, small_int), min_size=0, max_size=12),
+       st.sampled_from(["hash", "sorted"]))
+def test_indexed_and_plain_plans_agree(rows, kind):
+    """Whatever the planner picks, indexed execution returns the same
+    bag as the index-free plan."""
+    plain = connect(use_indexes=False)
+    plain.execute("CREATE TABLE t (a int, b int)")
+    plain.insert("t", rows)
+    indexed = connect(catalog=plain.catalog)
+    indexed.execute(f"CREATE INDEX t_a ON t (a) USING {kind}")
+    indexed.execute("ANALYZE t")
+    for sql in ("SELECT b FROM t WHERE a = 1",
+                "SELECT b FROM t WHERE a >= 0 AND b < 2"):
+        assert Counter(indexed.sql(sql).rows) == \
+            Counter(plain.sql(sql).rows)
 
 
 @settings(max_examples=60, deadline=None)
