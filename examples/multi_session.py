@@ -1,0 +1,71 @@
+"""Multi-session usage: one shared Engine, snapshot-isolated
+transactions, and streaming provenance results.
+
+Run with::
+
+    PYTHONPATH=src python examples/multi_session.py
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+from repro import Engine, TransactionError
+
+
+def main() -> None:
+    engine = Engine()
+
+    # -- load through one session; every session sees the shared catalog --
+    loader = engine.connect()
+    loader.execute("CREATE TABLE orders (id int, customer int, total int)")
+    loader.insert("orders", [(i, i % 5, (i * 37) % 100)
+                             for i in range(50)])
+    loader.execute("CREATE TABLE vip (customer int)")
+    loader.insert("vip", [(1,), (3,)])
+    loader.execute("CREATE UNIQUE INDEX orders_id ON orders (id)")
+    loader.execute("ANALYZE")
+
+    # -- snapshot isolation: a reader never sees an open transaction -------
+    writer = engine.connect()
+    reader = engine.connect()
+    writer.execute("BEGIN")
+    writer.execute("DELETE FROM orders WHERE customer = 0")
+    print("reader still sees:",
+          reader.execute("SELECT count(*) AS n FROM orders").rows[0][0],
+          "orders (writer's DELETE is uncommitted)")
+    writer.execute("ROLLBACK")   # tables, indexes and stats all revert
+
+    # -- transactions retry on first-committer-wins conflicts --------------
+    def bump_totals(customer: int) -> None:
+        conn = engine.connect()
+        while True:
+            conn.begin()
+            try:
+                conn.execute("INSERT INTO orders VALUES (?, ?, ?)",
+                             (1000 + customer, customer, 1))
+                conn.commit()
+                return
+            except TransactionError:
+                continue         # a concurrent commit won; retry
+
+    with ThreadPoolExecutor(max_workers=4) as pool:
+        for future in [pool.submit(bump_totals, c) for c in range(4)]:
+            future.result()
+    print("after 4 concurrent commits:",
+          reader.execute("SELECT count(*) AS n FROM orders").rows[0][0],
+          "orders")
+
+    # -- streaming provenance: witnesses group contributing inputs ---------
+    result = reader.execute(
+        "SELECT PROVENANCE total FROM orders "
+        "WHERE customer = ANY (SELECT customer FROM vip) AND total > 90")
+    print("provenance columns:", result.provenance_columns)
+    for witness in result.witnesses():
+        combos = [[(c.table, c.row) for c in combo]
+                  for combo in witness.inputs]
+        print(f"  output {witness.tuple} <- {combos}")
+
+    engine.close()
+
+
+if __name__ == "__main__":
+    main()

@@ -22,19 +22,35 @@ Quickstart (the session API)::
         ps = conn.prepare(
             "SELECT PROVENANCE * FROM r WHERE a = ANY "
             "(SELECT c FROM s WHERE c < ?)")
-        print(ps.execute((10,)).pretty())
-        ps.execute((3,))   # plan-cache hit: no re-parse / re-rewrite
+        result = ps.execute((10,))
+        print(result.pretty())
+        print(result.witnesses(0))    # contributing input tuples
 
-Prepared statements and cursors share a per-connection LRU plan cache
-keyed by ``(sql, strategy, catalog version)``; rewrite strategies —
-the built-in four included — resolve through the pluggable registry in
-:mod:`repro.provenance.strategies`.  The legacy :class:`Database` facade
-remains available and delegates to the same machinery.
+Multi-session: an :class:`Engine` owns the shared catalog, the
+engine-wide plan cache and the reader-writer lock; ``engine.connect()``
+mints thread-safe sessions with real ``BEGIN``/``COMMIT``/``ROLLBACK``
+transactions under snapshot isolation::
+
+    from repro import Engine
+
+    engine = Engine()
+    conn = engine.connect()
+    with conn.transaction():
+        conn.execute("INSERT INTO r VALUES (9, 9)")
+        # invisible to other sessions until commit
+
+Prepared statements and cursors share the engine's LRU plan cache keyed
+by ``(sql, strategy, session knobs, catalog version, stats version)``;
+rewrite strategies — the built-in four included — resolve through the
+pluggable registry in :mod:`repro.provenance.strategies`.  The legacy
+:class:`Database` facade remains available and delegates to the same
+machinery.
 """
 
 from .api import (
-    CachedPlan, Connection, Cursor, PlanCache, PreparedStatement,
-    SessionConfig, connect,
+    CachedPlan, Connection, Contribution, Cursor, Engine, PlanCache,
+    PreparedStatement, Result, SessionConfig, Transaction, Witness,
+    connect,
 )
 from .catalog import Catalog
 from .datatypes import NULL, SQLType
@@ -44,28 +60,52 @@ from .errors import (
     AnalyzerError,
     BindError,
     CatalogError,
+    DatabaseError,
+    DataError,
+    Error,
     ExecutionError,
     ExpressionError,
+    IntegrityError,
     InterfaceError,
+    InternalError,
+    NotSupportedError,
+    OperationalError,
+    ProgrammingError,
     ReproError,
     RewriteError,
     SchemaError,
     SQLSyntaxError,
+    TransactionError,
     UnsupportedFeatureError,
+    Warning,
 )
 from .provenance import ProvenanceRewriter, RewriteResult
 from .relation import Relation
 from .schema import Attribute, Schema
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
+
+#: DB-API 2.0 module interface (PEP 249).
+apilevel = "2.0"
+#: Threads may share the module (and an :class:`Engine` — each thread
+#: takes its own session via ``engine.connect()``), but not a single
+#: :class:`Connection`.
+threadsafety = 1
+#: ``?`` positional parameter markers.
+paramstyle = "qmark"
 
 __all__ = [
-    "Attribute", "CachedPlan", "Catalog", "Connection", "Cursor",
-    "Database", "ExecutionStats", "Executor", "NULL", "PlanCache",
-    "PreparedStatement", "ProvenanceRewriter", "Relation", "RewriteResult",
-    "SQLType", "Schema", "SessionConfig", "connect",
-    "AnalyzerError", "BindError", "CatalogError", "ExecutionError",
-    "ExpressionError", "InterfaceError", "ReproError", "RewriteError",
-    "SQLSyntaxError", "SchemaError", "UnsupportedFeatureError",
+    "Attribute", "CachedPlan", "Catalog", "Connection", "Contribution",
+    "Cursor", "Database", "Engine", "ExecutionStats", "Executor", "NULL",
+    "PlanCache", "PreparedStatement", "ProvenanceRewriter", "Relation",
+    "Result", "RewriteResult", "SQLType", "Schema", "SessionConfig",
+    "Transaction", "Witness", "connect",
+    "apilevel", "paramstyle", "threadsafety",
+    "AnalyzerError", "BindError", "CatalogError", "DataError",
+    "DatabaseError", "Error", "ExecutionError", "ExpressionError",
+    "IntegrityError", "InterfaceError", "InternalError",
+    "NotSupportedError", "OperationalError", "ProgrammingError",
+    "ReproError", "RewriteError", "SQLSyntaxError", "SchemaError",
+    "TransactionError", "UnsupportedFeatureError", "Warning",
     "__version__",
 ]

@@ -51,6 +51,12 @@ class SessionConfig:
         plans every statement as if no index existed — the knob the
         benchmarks use to price index plans against their scan
         equivalents on identical data.
+    ``autocommit``
+        Initial autocommit mode of new sessions.  True (the default):
+        every statement is its own snapshot-isolated transaction.
+        False: the first statement implicitly opens a transaction that
+        stays open until ``commit()`` / ``rollback()`` (DB-API style).
+        Sessions can flip :attr:`Connection.autocommit` at runtime.
     """
 
     default_strategy: str = "auto"
@@ -61,6 +67,7 @@ class SessionConfig:
     engine: str = "pipelined"
     batch_size: int = 1024
     use_indexes: bool = True
+    autocommit: bool = True
 
     def __post_init__(self) -> None:
         self.validate()

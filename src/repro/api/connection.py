@@ -1,6 +1,7 @@
-"""The session object: catalog + config + plan cache.
+"""The session object: a lightweight, transactional view over a shared
+:class:`~repro.api.engine.Engine`.
 
-A :class:`Connection` is the new public entry point of the library::
+A :class:`Connection` is the public entry point of the library::
 
     from repro import connect
 
@@ -11,62 +12,115 @@ A :class:`Connection` is the new public entry point of the library::
         ps = conn.prepare("SELECT PROVENANCE * FROM r WHERE a = ?")
         print(ps.execute((1,)).pretty())
 
-Three execution surfaces share one catalog and one plan cache:
+``connect()`` mints a private engine; ``Engine().connect()`` mints
+sessions sharing one catalog, plan cache and lock across threads.  Three
+execution surfaces share them:
 
-* :meth:`cursor` / :meth:`execute` — DB-API-flavored, plan-cached.
+* :meth:`cursor` / :meth:`execute` — DB-API-flavored, plan-cached,
+  returning streaming :class:`~repro.api.result.Result` objects.
 * :meth:`prepare` — parse/plan once, re-execute with new bindings.
 * :meth:`sql` / :meth:`provenance` / :meth:`plan` / :meth:`explain` —
-  one-shot helpers that deliberately bypass the plan cache (they back the
-  legacy :class:`repro.db.Database` facade and the benchmarks, which must
-  measure un-cached planning).
+  one-shot helpers that deliberately bypass the plan cache and execute
+  eagerly (they back the legacy :class:`repro.db.Database` facade and
+  the benchmarks, which must measure un-cached, fully-drained runs).
 
-Plans are cached under ``(sql text, strategy override, default strategy,
-catalog version, statistics version)``; the catalog's generation counter
-is bumped by every DDL statement (CREATE/DROP of tables, views and
-indexes) and the statistics generation by every ``ANALYZE``, so any
-change the cost-based planner's decisions depend on invalidates all
-cached plans for the old state.
+Transactions are real: ``BEGIN`` / ``COMMIT`` / ``ROLLBACK`` (or
+:meth:`begin` / :meth:`commit` / :meth:`rollback` /
+``with conn.transaction():``) give snapshot isolation — reads see the
+state as of ``BEGIN`` plus the transaction's own writes; commits are
+first-committer-wins.  In autocommit mode (the default) every statement
+is its own transaction: reads run lock-free against a per-statement
+snapshot, writes serialize on the engine's write lock.
+
+Plans are cached engine-wide under ``(sql text, strategy override,
+session planning knobs, catalog version, statistics version)``; the
+catalog's generation counter is bumped by every DDL statement and the
+statistics generation by every ``ANALYZE``, so any change the cost-based
+planner's decisions depend on invalidates all cached plans for the old
+state.
 """
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from typing import Any, Iterable, Sequence
 
 from ..catalog import Catalog
 from ..datatypes import SQLType
-from ..errors import AnalyzerError, InterfaceError, ReproError
+from ..errors import (
+    AnalyzerError, InterfaceError, ProgrammingError, ReproError,
+)
 from ..engine import ExecutionStats, Executor
 from ..expressions.ast import Expr
 from ..expressions.evaluator import EvalContext, Frame, evaluate
 from ..algebra.operators import Operator
 from ..algebra.printer import explain as explain_plan
 from ..provenance import ProvenanceRewriter
+from ..provenance.naming import BaseAccess
 from ..provenance.strategies import AUTO
 from ..relation import Relation
 from ..schema import Attribute, Schema
 from ..sql.analyzer import Analyzer
 from ..sql.ast import (
-    AnalyzeStmt, CreateIndexStmt, CreateTableStmt, CreateViewStmt,
-    DeleteStmt, DropStmt, InsertStmt, SelectStmt, Statement,
+    AnalyzeStmt, BeginStmt, CommitStmt, CreateIndexStmt, CreateTableStmt,
+    CreateViewStmt, DeleteStmt, DropStmt, InsertStmt, RollbackStmt,
+    SelectStmt, Statement,
 )
 from ..sql.parser import parse_statement, parse_statements
 from .config import SessionConfig
 from .cursor import Cursor
+from .engine import Engine
 from .plan_cache import CachedPlan, PlanCache
 from .prepared import PreparedStatement, check_arity
+from .result import Result
+from .transaction import Transaction
 
 
 class Connection:
-    """An in-process session over a catalog, with a per-session config
-    and an LRU cache of compiled plans."""
+    """An in-process session over a shared engine, with a per-session
+    config, transaction state, and access to the engine-wide plan cache."""
 
     def __init__(self, config: SessionConfig | None = None,
-                 catalog: Catalog | None = None):
-        self.config = config or SessionConfig()
-        self.catalog = catalog if catalog is not None else Catalog()
-        self.plan_cache = PlanCache(self.config.plan_cache_size)
+                 catalog: Catalog | None = None,
+                 engine: Engine | None = None):
+        if engine is not None:
+            if catalog is not None and catalog is not engine.catalog:
+                raise InterfaceError(
+                    "pass either an engine or a catalog, not both")
+            self._engine = engine
+            self._private_engine = False
+            self.config = config or engine.config
+        else:
+            self.config = config or SessionConfig()
+            self._engine = Engine(self.config, catalog)
+            self._private_engine = True
         self.last_stats: ExecutionStats | None = None
+        #: autocommit (the default): every statement is its own
+        #: transaction.  Set False to have the first statement implicitly
+        #: BEGIN; the transaction then stays open until commit/rollback.
+        self.autocommit = self.config.autocommit
+        self._txn: Transaction | None = None
+        self._txn_cache: PlanCache | None = None
         self._closed = False
+        self._engine.register(self)
+
+    # -- shared state ---------------------------------------------------------
+
+    @property
+    def engine(self) -> Engine:
+        """The engine core this session runs on (private unless the
+        connection came from :meth:`Engine.connect`)."""
+        return self._engine
+
+    @property
+    def catalog(self) -> Catalog:
+        """The engine's live, shared catalog."""
+        return self._engine.catalog
+
+    @property
+    def plan_cache(self) -> PlanCache:
+        """The engine-wide plan cache (shared by every session)."""
+        return self._engine.plan_cache
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -75,17 +129,20 @@ class Connection:
         return self._closed
 
     def close(self) -> None:
-        """Close the session and drop its cached plans."""
+        """Close the session: roll back any open transaction (releasing
+        its snapshot) and deregister from the engine.  Idempotent —
+        double-close is a no-op.  A private engine closes with its only
+        session; a shared engine (and its plan cache) lives on."""
+        if self._closed:
+            return
         self._closed = True
-        self.plan_cache.clear()
-
-    def commit(self) -> None:
-        """No-op (the engine is non-transactional); DB-API compatibility."""
-        self._check_open()
-
-    def rollback(self) -> None:
-        """No-op (the engine is non-transactional); DB-API compatibility."""
-        self._check_open()
+        txn, self._txn = self._txn, None
+        self._txn_cache = None
+        if txn is not None:
+            txn.rollback()
+        self._engine.release(self)
+        if self._private_engine:
+            self._engine.close()
 
     def __enter__(self) -> "Connection":
         return self
@@ -97,10 +154,68 @@ class Connection:
         if self._closed:
             raise InterfaceError("connection is closed")
 
+    # -- transactions ----------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        """True while an explicit (or autocommit=False implicit)
+        transaction is open."""
+        return self._txn is not None
+
+    def begin(self) -> None:
+        """Open a snapshot-isolated transaction (SQL: ``BEGIN``).
+
+        Until commit/rollback, every read sees the catalog as of this
+        moment plus the transaction's own writes; writes stay private.
+        """
+        self._check_open()
+        if self._txn is not None:
+            raise ProgrammingError("a transaction is already in progress")
+        self._txn = self._engine.begin()
+        self._txn_cache = None
+
+    def commit(self) -> None:
+        """Publish the open transaction's changes atomically (SQL:
+        ``COMMIT``).  First-committer-wins: raises
+        :class:`~repro.errors.TransactionError` if a concurrently
+        committed transaction changed a table this one wrote (state is
+        rolled back).  Without an open transaction this is a no-op
+        (DB-API compatibility for autocommit sessions)."""
+        self._check_open()
+        txn, self._txn = self._txn, None
+        self._txn_cache = None
+        if txn is not None:
+            txn.commit()
+
+    def rollback(self) -> None:
+        """Discard the open transaction: tables, indexes and statistics
+        all revert to their pre-``BEGIN`` state (they were never touched
+        — writes went to private copies).  Without an open transaction
+        this is a no-op."""
+        self._check_open()
+        txn, self._txn = self._txn, None
+        self._txn_cache = None
+        if txn is not None:
+            txn.rollback()
+
+    @contextmanager
+    def transaction(self):
+        """``with conn.transaction(): ...`` — begin, then commit on
+        success or roll back on exception."""
+        self.begin()
+        try:
+            yield self
+        except BaseException:
+            self.rollback()
+            raise
+        else:
+            self.commit()
+
     # -- statement surfaces ---------------------------------------------------
 
     def cursor(self) -> Cursor:
-        """A new cursor sharing this session's catalog and plan cache."""
+        """A new cursor sharing this session's transaction state and the
+        engine's plan cache."""
         self._check_open()
         return Cursor(self)
 
@@ -115,11 +230,12 @@ class Connection:
         return PreparedStatement(self, sql, strategy)
 
     def execute(self, sql: str,
-                params: Sequence[Any] = ()) -> Relation | int | None:
+                params: Sequence[Any] = ()) -> Result | int | None:
         """Execute one statement through the plan cache.
 
-        SELECTs return a :class:`~repro.relation.Relation`, INSERT/DELETE
-        the affected row count, DDL None.
+        SELECTs return a streaming :class:`~repro.api.result.Result`,
+        INSERT/DELETE the affected row count, DDL and transaction
+        control None.
         """
         self._check_open()
         return self._execute_text(sql, params)
@@ -136,8 +252,9 @@ class Connection:
     # -- one-shot helpers (uncached; the legacy Database substrate) -----------
 
     def sql(self, text: str, strategy: str | None = None,
-            params: Sequence[Any] = ()) -> Relation:
-        """Run a SELECT (optionally ``SELECT PROVENANCE``) without caching.
+            params: Sequence[Any] = ()) -> Result:
+        """Run a SELECT (optionally ``SELECT PROVENANCE``) without
+        caching, fully drained (the benchmarks time this path).
 
         *strategy* overrides the strategy named in the SQL text.
         """
@@ -148,7 +265,7 @@ class Connection:
         return self._run_select_uncached(statement, strategy, params)
 
     def provenance(self, text: str, strategy: str = AUTO,
-                   params: Sequence[Any] = ()) -> Relation:
+                   params: Sequence[Any] = ()) -> Result:
         """Compute the provenance of a plain SELECT query."""
         self._check_open()
         statement = parse_statement(text)
@@ -157,8 +274,10 @@ class Connection:
         strategy = strategy or AUTO
         if strategy == AUTO and self.config.default_strategy != AUTO:
             strategy = self.config.default_strategy
-        plan = self._build_plan(statement, strategy)
-        return self._execute_uncached(plan, statement.param_count, params)
+        catalog = self._read_catalog()
+        plan, accesses = self._build_plan_full(statement, strategy, catalog)
+        return self._execute_uncached(plan, statement.param_count, params,
+                                      catalog, strategy, accesses)
 
     def plan(self, text: str, strategy: str | None = None) -> Operator:
         """The algebra plan a query would execute (after any rewrite)."""
@@ -179,16 +298,18 @@ class Connection:
         operator tree the pipelined engine executes, with join algorithms
         and InitPlan/SubPlan sublink classification visible."""
         from ..engine.physical import explain_physical as render
-        return render(self._lower(self._optimize_plan(
-            self.plan(text, strategy))))
+        catalog = self._read_catalog()
+        plan = self._optimize_plan(self.plan(text, strategy), catalog)
+        return render(self._lower(plan, catalog))
 
     def estimate_rows(self, text: str, strategy: str | None = None) -> float:
         """The cost model's cardinality estimate for a SELECT — the row
         count ``EXPLAIN`` would show on the plan root, without executing
         anything."""
         from ..engine.cost import CardinalityEstimator
-        plan = self._optimize_plan(self.plan(text, strategy))
-        return CardinalityEstimator(self.catalog).estimate(plan)
+        catalog = self._read_catalog()
+        plan = self._optimize_plan(self.plan(text, strategy), catalog)
+        return CardinalityEstimator(catalog).estimate(plan)
 
     def explain_analyze(self, text: str, params: Sequence[Any] = (),
                         strategy: str | None = None) -> str:
@@ -201,22 +322,26 @@ class Connection:
         """
         self._check_open()
         from ..engine.physical import explain_physical as render
-        cached = self._get_plan(text, strategy)
-        if cached.physical is None:  # materializing session / legacy entry
-            cached.physical = self._lower(cached.plan)
-        executor = Executor(
-            self.catalog, optimize=False,
-            config=self.config.with_options(
-                engine="pipelined", collect_stats=True))
-        relation = executor.execute_physical(
-            cached.physical, check_arity(cached.param_count, params))
-        stats = self._finish_stats(executor)
-        root = stats.node_stats.get(id(cached.physical.root))
-        lines = [render(cached.physical, stats=stats)]
-        lines.append(f"Result: {len(relation.rows)} row(s), "
-                     f"{root.batches if root else 0} batch(es), "
-                     f"batch size {self.config.batch_size}")
-        return "\n".join(lines)
+        catalog = self._read_catalog()
+        cached = self._get_plan(text, strategy, catalog=catalog)
+        instance = cached.acquire_physical(
+            lambda: self._lower(cached.plan, catalog))
+        try:
+            executor = Executor(
+                catalog, optimize=False,
+                config=self.config.with_options(
+                    engine="pipelined", collect_stats=True))
+            relation = executor.execute_physical(
+                instance, check_arity(cached.param_count, params))
+            stats = self._finish_stats(executor)
+            root = stats.node_stats.get(id(instance.root))
+            lines = [render(instance, stats=stats)]
+            lines.append(f"Result: {len(relation.rows)} row(s), "
+                         f"{root.batches if root else 0} batch(es), "
+                         f"batch size {self.config.batch_size}")
+            return "\n".join(lines)
+        finally:
+            cached.release_physical(instance)
 
     def create_view(self, name: str, text: str) -> None:
         """Register a view over a SELECT statement."""
@@ -227,7 +352,7 @@ class Connection:
         if statement.param_count:
             raise AnalyzerError(
                 "a view definition cannot contain ? parameters")
-        self.catalog.create_view(name, statement)
+        self._write(lambda txn: txn.run_ddl("create_view", name, statement))
 
     def create_table(self, name: str,
                      columns: Sequence[tuple[str, str]]) -> None:
@@ -236,38 +361,49 @@ class Connection:
         schema = Schema(
             Attribute(column, SQLType.parse(type_name))
             for column, type_name in columns)
-        self.catalog.create(name, schema)
+        self._write(lambda txn: txn.create_table(name, schema))
 
     def insert(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
         """Bulk-insert rows; returns the number of rows inserted.
 
-        Secondary indexes on *table* are maintained in step; a unique
-        violation rolls the offending row back out of the table before
-        the error propagates.
+        One transaction per call: secondary indexes are maintained in
+        step, and a unique violation rolls the whole statement back.
         """
         self._check_open()
-        stored = self.catalog.get(table)
-        indexes = self.catalog.indexes_on(table)
-        count = 0
-        for row in rows:
-            stored.insert(row)
-            if indexes:
-                try:
-                    self.catalog.note_insert(table, (stored.rows[-1],),
-                                             indexes)
-                except ReproError:
-                    stored.rows.pop()
-                    raise
-            count += 1
-        return count
+        return self._write(lambda txn: txn.insert_rows(table, rows))
 
     # -- planning internals ---------------------------------------------------
 
     def _parse(self, sql: str) -> Statement:
         return parse_statement(sql)
 
-    def _analyzer(self) -> Analyzer:
-        return Analyzer(self.catalog)
+    def _read_catalog(self) -> Catalog:
+        """The catalog this session's reads should see: the open
+        transaction's private snapshot, or a fresh per-statement snapshot
+        (autocommit) — never the live shared dicts, so a concurrent
+        commit can never tear a statement mid-plan or mid-scan."""
+        if self._txn is not None:
+            return self._txn.catalog
+        return self._engine.snapshot()
+
+    def _implicit_begin(self) -> None:
+        """Open the implicit DB-API transaction when ``autocommit`` is
+        off — shared by every statement surface (cursors, prepared
+        statements), so repeatable reads hold regardless of which
+        surface ran the statement."""
+        if self._txn is None and not self.autocommit:
+            self.begin()
+
+    def _active_cache(self) -> PlanCache:
+        """The plan cache for the current state: engine-wide normally;
+        a small transaction-local cache once the transaction performed
+        private DDL/ANALYZE (its catalog versions no longer describe any
+        state the shared cache's keys could safely match)."""
+        if self._txn is not None and self._txn.diverged:
+            if self._txn_cache is None:
+                self._txn_cache = PlanCache(16)
+            return self._txn_cache
+        return self.plan_cache
 
     def _effective_strategy(self, statement: SelectStmt,
                             override: str | None) -> str | None:
@@ -283,51 +419,73 @@ class Connection:
             strategy = self.config.default_strategy
         return strategy
 
-    def _optimize_plan(self, plan: Operator) -> Operator:
+    def _optimize_plan(self, plan: Operator,
+                       catalog: Catalog | None = None) -> Operator:
         """The session's logical-optimizer step (no-op when disabled)."""
         if self.config.optimize:
             from ..engine.optimizer import optimize as optimize_tree
-            plan = optimize_tree(plan, self.catalog)
+            plan = optimize_tree(
+                plan, catalog if catalog is not None else self.catalog)
         return plan
 
-    def _lower(self, plan: Operator):
-        """Physical lowering with the session's catalog and index knob —
-        the one spelling shared by every planning surface, so EXPLAIN
-        output always describes the plan execution would run."""
+    def _lower(self, plan: Operator, catalog: Catalog):
+        """Physical lowering with the given catalog and the session's
+        index knob — the one spelling shared by every planning surface,
+        so EXPLAIN output always describes the plan execution would run."""
         from ..engine.lowering import lower_plan
-        return lower_plan(plan, self.catalog,
+        return lower_plan(plan, catalog,
                           use_indexes=self.config.use_indexes)
 
-    def _build_plan(self, statement: SelectStmt,
-                    strategy: str | None) -> Operator:
-        """analyze → (rewrite): the un-optimized plan, statement untouched."""
-        plan = self._analyzer().analyze(statement)
+    def _build_plan_full(self, statement: SelectStmt, strategy: str | None,
+                         catalog: Catalog
+                         ) -> tuple[Operator, list[BaseAccess] | None]:
+        """analyze → (rewrite): the un-optimized plan plus the rewrite's
+        base-access bookkeeping; the statement is left untouched."""
+        plan = Analyzer(catalog).analyze(statement)
+        accesses: list[BaseAccess] | None = None
         if strategy:
-            rewriter = ProvenanceRewriter(self.catalog, strategy,
-                                          self.config)
-            plan = rewriter.rewrite_query(plan).plan
-        return plan
+            rewriter = ProvenanceRewriter(catalog, strategy, self.config)
+            result = rewriter.rewrite_query(plan)
+            plan, accesses = result.plan, result.accesses
+        return plan, accesses
 
-    def _plan_key(self, sql: str, override: str | None) -> tuple:
+    def _build_plan(self, statement: SelectStmt,
+                    strategy: str | None,
+                    catalog: Catalog | None = None) -> Operator:
+        """Back-compat spelling of :meth:`_build_plan_full` (plan only)."""
+        if catalog is None:
+            catalog = self._read_catalog()
+        return self._build_plan_full(statement, strategy, catalog)[0]
+
+    def _plan_key(self, sql: str, override: str | None,
+                  catalog: Catalog | None = None) -> tuple:
+        if catalog is None:
+            catalog = self._read_catalog()
         # The statistics generation is part of the key: ANALYZE changes
         # the cost model's answers (and CREATE/DROP INDEX bumps the DDL
-        # counter), so no stale cost-based plan is ever served.  So is
-        # the use_indexes knob — toggling it mid-session must not keep
-        # serving plans lowered under the other setting.
+        # counter), so no stale cost-based plan is ever served.  The
+        # session planning knobs are too — the cache is engine-wide now,
+        # and sessions with different engines/optimizer settings must not
+        # trade plans.
         return (sql, override, self.config.default_strategy,
-                self.config.use_indexes, self.catalog.version,
-                self.catalog.stats_version)
+                self.config.engine, self.config.optimize,
+                self.config.compile_expressions, self.config.use_indexes,
+                catalog.version, catalog.stats_version)
 
     def _get_plan(self, sql: str, override: str | None = None,
-                  statement: SelectStmt | None = None) -> CachedPlan:
+                  statement: SelectStmt | None = None,
+                  catalog: Catalog | None = None) -> CachedPlan:
         """The cached plan for *sql*, compiling (and storing) on a miss.
 
         *statement* skips re-parsing when the caller already holds the
         parsed form (prepared statements).  The catalog version in the key
         means DDL-invalidated entries simply never match again.
         """
-        key = self._plan_key(sql, override)
-        cached = self.plan_cache.lookup(key)
+        if catalog is None:
+            catalog = self._read_catalog()
+        key = self._plan_key(sql, override, catalog)
+        cache = self._active_cache()
+        cached = cache.lookup(key)
         if cached is not None:
             return cached
         if statement is None:
@@ -335,19 +493,20 @@ class Connection:
             if not isinstance(parsed, SelectStmt):
                 raise AnalyzerError("expected a SELECT statement")
             statement = parsed
-        plan = self._optimize_plan(self._build_plan(
-            statement, self._effective_strategy(statement, override)))
+        strategy = self._effective_strategy(statement, override)
+        plan, accesses = self._build_plan_full(statement, strategy, catalog)
+        plan = self._optimize_plan(plan, catalog)
         physical = None
         if self.config.engine != "materializing":
             # The baseline engine never executes the physical tree, so
             # only the pipelined configuration pays for lowering.
-            physical = self._lower(plan)
-        cached = CachedPlan(plan, statement.param_count,
-                            self._effective_strategy(statement, override),
-                            self.catalog.version,
+            physical = self._lower(plan, catalog)
+        cached = CachedPlan(plan, statement.param_count, strategy,
+                            catalog.version,
                             physical=physical,
-                            stats_version=self.catalog.stats_version)
-        self.plan_cache.store(key, cached)
+                            accesses=accesses,
+                            stats_version=catalog.stats_version)
+        cache.store(key, cached)
         return cached
 
     # -- execution internals --------------------------------------------------
@@ -359,37 +518,54 @@ class Connection:
         self.last_stats = stats
         return stats
 
-    def _execute_plan(self, cached: CachedPlan,
-                      params: tuple) -> Relation:
+    def _execute_plan(self, cached: CachedPlan, params: tuple,
+                      catalog: Catalog) -> Result:
         """Run an already-planned cached statement (no per-call optimizer
-        or lowering — the physical plan executes directly)."""
-        executor = Executor(self.catalog, optimize=False,
+        or lowering — a leased physical instance streams directly)."""
+        executor = Executor(catalog, optimize=False,
                             config=self.config,
                             compiled_cache=cached.compiled)
-        if cached.physical is not None:
-            relation = executor.execute_physical(cached.physical, params)
-        else:
+        if self.config.engine == "materializing":
             relation = executor.execute(cached.plan, params)
-        self._finish_stats(executor)
-        return relation
+            self._finish_stats(executor)
+            return Result.completed(relation, strategy=cached.strategy,
+                                    accesses=cached.accesses)
+        instance = cached.acquire_physical(
+            lambda: self._lower(cached.plan, catalog))
+
+        def batches():
+            try:
+                yield from executor.stream_physical(instance, params)
+            finally:
+                cached.release_physical(instance)
+
+        self._finish_stats(executor)    # counters update live as batches
+        return Result(instance.schema, batches(),  # are consumed
+                      strategy=cached.strategy, accesses=cached.accesses)
 
     def _execute_uncached(self, plan: Operator, param_count: int,
-                          params: Sequence[Any]) -> Relation:
+                          params: Sequence[Any], catalog: Catalog,
+                          strategy: str | None = None,
+                          accesses: list[BaseAccess] | None = None
+                          ) -> Result:
         values = check_arity(param_count, params)
-        executor = Executor(self.catalog, config=self.config)
+        executor = Executor(catalog, config=self.config)
         relation = executor.execute(plan, values)
         self._finish_stats(executor)
-        return relation
+        return Result.completed(relation, strategy=strategy,
+                                accesses=accesses)
 
     def _run_select_uncached(self, statement: SelectStmt,
                              strategy: str | None = None,
-                             params: Sequence[Any] = ()) -> Relation:
-        plan = self._build_plan(
-            statement, self._effective_strategy(statement, strategy))
-        return self._execute_uncached(plan, statement.param_count, params)
+                             params: Sequence[Any] = ()) -> Result:
+        catalog = self._read_catalog()
+        effective = self._effective_strategy(statement, strategy)
+        plan, accesses = self._build_plan_full(statement, effective, catalog)
+        return self._execute_uncached(plan, statement.param_count, params,
+                                      catalog, effective, accesses)
 
     def _execute_text(self, sql: str,
-                      params: Sequence[Any]) -> Relation | int | None:
+                      params: Sequence[Any]) -> Result | int | None:
         """The cursor path: plan-cache lookup before parsing.
 
         The pre-parse probe is a counter-free :meth:`PlanCache.peek` so
@@ -397,66 +573,147 @@ class Connection:
         the miss counter; hit/miss accounting happens in
         :meth:`_get_plan`, once per cacheable statement.
         """
-        if self.plan_cache.peek(self._plan_key(sql, None)) is not None:
-            cached = self._get_plan(sql)   # counts the hit, bumps LRU
-            return self._execute_plan(
-                cached, check_arity(cached.param_count, params))
+        if self._txn is None and not self.autocommit:
+            # can't implicitly BEGIN before knowing whether the text is
+            # itself transaction control — parse first on this path
+            statement = self._parse(sql)
+            if not isinstance(statement,
+                              (BeginStmt, CommitStmt, RollbackStmt)):
+                self.begin()                 # implicit DB-API transaction
+            if isinstance(statement, SelectStmt):
+                return self._run_select_cached(sql, statement, params)
+            return self._run_statement(statement, params)
+        catalog = self._read_catalog()
+        cache = self._active_cache()
+        if cache.peek(self._plan_key(sql, None, catalog)) is not None:
+            return self._run_select_cached(sql, None, params, catalog)
         statement = self._parse(sql)
         if isinstance(statement, SelectStmt):
-            cached = self._get_plan(sql, statement=statement)
-            return self._execute_plan(
-                cached, check_arity(cached.param_count, params))
+            return self._run_select_cached(sql, statement, params, catalog)
         return self._run_statement(statement, params)
 
+    def _run_select_cached(self, sql: str, statement: SelectStmt | None,
+                           params: Sequence[Any],
+                           catalog: Catalog | None = None) -> Result:
+        """Plan-cache lookup (hit counting included) + execution — the
+        one spelling behind every cached-SELECT dispatch branch."""
+        if catalog is None:
+            catalog = self._read_catalog()
+        cached = self._get_plan(sql, statement=statement, catalog=catalog)
+        return self._execute_plan(
+            cached, check_arity(cached.param_count, params), catalog)
+
+    def _write(self, apply):
+        """Run one write operation transactionally: inside the open
+        transaction when there is one (implicitly beginning one when
+        ``autocommit`` is off), otherwise as a one-statement transaction
+        under the engine's write lock."""
+        if self._txn is not None:
+            return apply(self._txn)
+        if not self.autocommit:
+            self.begin()
+            return apply(self._txn)
+        with self._engine.exclusive():
+            txn = self._engine.begin()
+            try:
+                result = apply(txn)
+                txn.commit()
+            except BaseException:
+                txn.rollback()
+                raise
+            return result
+
+    @contextmanager
+    def _bulk(self):
+        """Group many write statements into one transaction (the
+        ``executemany`` fast path: one copy-on-write privatization and
+        one commit for the whole batch)."""
+        if self._txn is not None or not self.autocommit:
+            yield
+            return
+        with self._engine.exclusive():
+            self._txn = self._engine.begin()
+            try:
+                yield
+            except BaseException:
+                txn, self._txn = self._txn, None
+                if txn is not None:
+                    txn.rollback()
+                raise
+            else:
+                txn, self._txn = self._txn, None
+                self._txn_cache = None
+                if txn is not None:
+                    txn.commit()
+
     def _run_statement(self, statement: Statement,
-                       params: Sequence[Any] = ()) -> Relation | int | None:
+                       params: Sequence[Any] = ()) -> Result | int | None:
         """Execute a parsed statement (the non-plan-cached dispatch)."""
         values = check_arity(getattr(statement, "param_count", 0), params)
         if isinstance(statement, SelectStmt):
             return self._run_select_uncached(statement, params=values)
+        if isinstance(statement, BeginStmt):
+            self.begin()
+            return None
+        if isinstance(statement, CommitStmt):
+            self.commit()
+            return None
+        if isinstance(statement, RollbackStmt):
+            self.rollback()
+            return None
+        return self._write(
+            lambda txn: self._apply_statement(txn, statement, values))
+
+    def _apply_statement(self, txn: Transaction, statement: Statement,
+                         values: tuple) -> int | None:
+        """Apply one write statement to a transaction's private state."""
         if isinstance(statement, CreateTableStmt):
-            self.create_table(statement.name, statement.columns)
+            schema = Schema(
+                Attribute(column, SQLType.parse(type_name))
+                for column, type_name in statement.columns)
+            txn.create_table(statement.name, schema)
             return None
         if isinstance(statement, CreateViewStmt):
-            self.catalog.create_view(statement.name, statement.query)
+            txn.run_ddl("create_view", statement.name, statement.query)
             return None
         if isinstance(statement, InsertStmt):
             rows = [[_constant(expr, values) for expr in row]
                     for row in statement.rows]
-            return self.insert(statement.table, rows)
+            return txn.insert_rows(statement.table, rows)
         if isinstance(statement, CreateIndexStmt):
-            self.catalog.create_index(
-                statement.name, statement.table, statement.column,
-                kind=statement.kind, unique=statement.unique)
+            txn.run_ddl("create_index", statement.name, statement.table,
+                        statement.column, kind=statement.kind,
+                        unique=statement.unique)
             return None
         if isinstance(statement, AnalyzeStmt):
-            self.catalog.analyze(statement.table)
+            txn.run_ddl("analyze", statement.table)
             return None
         if isinstance(statement, DropStmt):
             if statement.kind == "view":
-                if not self.catalog.has_view(statement.name):
+                if not txn.catalog.has_view(statement.name):
                     raise AnalyzerError(
                         f"view {statement.name!r} does not exist")
-                self.catalog.drop_view(statement.name)
+                txn.run_ddl("drop_view", statement.name)
             elif statement.kind == "index":
-                self.catalog.drop_index(statement.name)
+                txn.run_ddl("drop_index", statement.name)
             else:
-                self.catalog.drop(statement.name)
+                txn.drop_table(statement.name)
             return None
         if isinstance(statement, DeleteStmt):
-            return self._delete(statement, values)
+            return self._delete(txn, statement, values)
         raise ReproError(f"unsupported statement {statement!r}")
 
-    def _delete(self, statement: DeleteStmt, params: tuple) -> int:
-        stored = self.catalog.get(statement.table)
+    def _delete(self, txn: Transaction, statement: DeleteStmt,
+                params: tuple) -> int:
+        stored = txn.table_for_write(statement.table)
         if statement.where is None:
-            removed_rows = list(stored.rows)
-            stored.rows.clear()
-            self.catalog.note_delete(statement.table, removed_rows)
+            removed_rows = stored.rows
+            stored.rows = []    # rebind: open streams keep the old list
+            txn.delete_rows(statement.table, removed_rows)
             return len(removed_rows)
-        condition = self._analyzer().analyze_expression(
+        condition = Analyzer(txn.catalog).analyze_expression(
             statement.where, stored.schema, qualifier=statement.table)
-        executor = Executor(self.catalog, config=self.config)
+        executor = Executor(txn.catalog, config=self.config)
         index = Frame.index_for(stored.schema.names)
         kept = []
         removed_rows = []
@@ -466,18 +723,21 @@ class Connection:
                 kept.append(row)
             else:
                 removed_rows.append(row)
-        stored.rows[:] = kept
-        self.catalog.note_delete(statement.table, removed_rows)
+        stored.rows = kept      # rebind: open streams keep the old list
+        txn.delete_rows(statement.table, removed_rows)
         return len(removed_rows)
 
 
 def connect(config: SessionConfig | None = None,
             catalog: Catalog | None = None, **options: Any) -> Connection:
-    """Open a session.
+    """Open a session on a new private engine.
 
     Keyword *options* are :class:`SessionConfig` fields, as a shorthand::
 
         conn = connect(default_strategy="left", plan_cache_size=64)
+
+    To share one engine between sessions (threads), create an
+    :class:`~repro.api.engine.Engine` and call its ``connect()`` instead.
     """
     if options:
         if config is not None:

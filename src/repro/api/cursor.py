@@ -12,8 +12,17 @@ A :class:`Cursor` is the statement-execution surface of a
         for row in cur:
             print(row)
 
-SELECT plans go through the connection's plan cache, so re-executing the
-same SQL text (even from a different cursor) skips planning entirely.
+SELECT plans go through the engine's plan cache, so re-executing the
+same SQL text (even from a different cursor or session) skips planning
+entirely.  Results stream: ``fetchone``/``fetchmany`` and iteration pull
+row batches from the engine on demand — the pending
+:class:`~repro.api.result.Result` is exposed as :attr:`Cursor.result`
+(and, materialized, as the legacy :attr:`Cursor.relation`).
+
+``executemany`` parses (and, for SELECTs, plans) the statement **once**
+and reuses it for every parameter tuple; write statements additionally
+run inside one transaction, so the whole batch is a single copy-on-write
+privatization and a single commit — and all-or-nothing on error.
 """
 
 from __future__ import annotations
@@ -23,6 +32,7 @@ from typing import Any, Iterable, Iterator, Sequence, TYPE_CHECKING
 from ..errors import InterfaceError
 from ..relation import Relation
 from ..sql.ast import SelectStmt
+from .result import Result
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..engine import ExecutionStats
@@ -41,7 +51,7 @@ class Cursor:
     def __init__(self, connection: "Connection"):
         self._connection = connection
         self._closed = False
-        self._relation: Relation | None = None
+        self._result: Result | None = None
         self._position = 0
         self._rowcount = -1
 
@@ -54,15 +64,19 @@ class Cursor:
     @property
     def description(self) -> Description | None:
         """Column metadata of the pending result set (None otherwise)."""
-        if self._relation is None:
+        if self._result is None:
             return None
-        return tuple(
-            (attr.name, attr.type, None, None, None, None, None)
-            for attr in self._relation.schema)
+        return self._result.description
 
     @property
     def rowcount(self) -> int:
-        """Rows in the result set / affected by DML; -1 when unknown."""
+        """Rows in the result set / affected by DML; -1 when unknown.
+
+        For a pending SELECT this drains the streaming result to count
+        it — iterate the cursor instead when you only need the rows.
+        """
+        if self._result is not None and self._rowcount < 0:
+            self._rowcount = self._result.rowcount
         return self._rowcount
 
     @property
@@ -77,61 +91,88 @@ class Cursor:
             raise InterfaceError("cursor is closed")
         self._connection._check_open()
 
+    def _discard_pending(self) -> None:
+        if self._result is not None and self._result.streaming:
+            self._result.close()
+        self._result = None
+        self._position = 0
+        self._rowcount = -1
+
     def execute(self, sql: str, params: Sequence[Any] = ()) -> "Cursor":
         """Execute one statement, binding *params* to ``?`` placeholders."""
         self._check_open()
-        self._relation = None
-        self._position = 0
+        self._discard_pending()
         result = self._connection._execute_text(sql, params)
         if isinstance(result, Relation):
-            self._relation = result
-            self._rowcount = len(result.rows)
+            self._result = result if isinstance(result, Result) \
+                else Result.completed(result)
         elif isinstance(result, int):
             self._rowcount = result
-        else:
-            self._rowcount = -1
         return self
 
     def executemany(self, sql: str,
                     seq_of_params: Iterable[Sequence[Any]]) -> "Cursor":
-        """Execute *sql* once per parameter tuple (rowcounts accumulate)."""
+        """Execute *sql* once per parameter tuple (rowcounts accumulate).
+
+        The statement is parsed once; SELECTs are planned once and every
+        re-execution hits the plan cache; write statements run in a
+        single transaction (all-or-nothing) over one copy-on-write pass.
+        """
         self._check_open()
+        self._discard_pending()
+        connection = self._connection
+        statement = connection._parse(sql)
         total = 0
         saw_count = False
-        for params in seq_of_params:
-            self.execute(sql, params)
-            if self._rowcount >= 0:
+        if isinstance(statement, SelectStmt):
+            connection._implicit_begin()
+            for params in seq_of_params:
+                result = connection._run_select_cached(sql, statement,
+                                                       params)
                 saw_count = True
-                total += self._rowcount
+                total += result.rowcount
+                self._result = result
+            self._rowcount = total if saw_count else -1
+            return self
+        with connection._bulk():
+            for params in seq_of_params:
+                result = connection._run_statement(statement, params)
+                if isinstance(result, int):
+                    saw_count = True
+                    total += result
         self._rowcount = total if saw_count else -1
         return self
 
     # -- fetching -------------------------------------------------------------
 
-    def _pending(self) -> Relation:
-        if self._relation is None:
+    def _pending(self) -> Result:
+        if self._result is None:
             raise InterfaceError(
                 "no result set pending; execute a SELECT first")
-        return self._relation
+        return self._result
+
+    @property
+    def result(self) -> Result:
+        """The pending :class:`~repro.api.result.Result` (streaming)."""
+        return self._pending()
 
     @property
     def relation(self) -> Relation:
         """The pending result as a :class:`~repro.relation.Relation`
-        (schema included) — this engine's native result type."""
+        (schema included) — this engine's native result type.  Touching
+        ``.rows`` on it drains the stream."""
         return self._pending()
 
     def fetchone(self) -> tuple | None:
-        rows = self._pending().rows
-        if self._position >= len(rows):
+        chunk = self._pending().fetch(1, self._position)
+        if not chunk:
             return None
-        row = rows[self._position]
         self._position += 1
-        return row
+        return chunk[0]
 
     def fetchmany(self, size: int | None = None) -> list[tuple]:
         size = self.arraysize if size is None else size
-        rows = self._pending().rows
-        chunk = rows[self._position:self._position + size]
+        chunk = self._pending().fetch(size, self._position)
         self._position += len(chunk)
         return list(chunk)
 
@@ -152,7 +193,9 @@ class Cursor:
 
     def close(self) -> None:
         self._closed = True
-        self._relation = None
+        if self._result is not None and self._result.streaming:
+            self._result.close()
+        self._result = None
 
     def __enter__(self) -> "Cursor":
         return self

@@ -1,0 +1,226 @@
+"""The shared engine core: one catalog, one plan cache, many sessions.
+
+An :class:`Engine` owns everything that is shared between concurrent
+sessions — the :class:`~repro.catalog.Catalog` (tables, views, secondary
+indexes, statistics), the lock-guarded LRU plan cache, and the
+reader-writer lock that orders readers' snapshots against writers'
+commits::
+
+    from repro import Engine
+
+    engine = Engine()
+    writer = engine.connect()
+    reader = engine.connect(default_strategy="left")
+
+Concurrency model (snapshot isolation, copy-on-write):
+
+* Readers never hold a lock while executing.  Each statement (or each
+  explicit transaction) captures a :meth:`snapshot` — a cheap
+  dict-level copy of the catalog that pins the current ``Relation``,
+  index and statistics *objects* — under the read lock, then plans and
+  executes entirely against the pinned objects.
+* Writers never mutate a pinned object.  A transaction applies its
+  changes to private copy-on-write table/index copies; :meth:`commit`
+  takes the write lock, validates that no concurrently committed
+  transaction touched the same tables (first-committer-wins — a loser
+  gets :class:`~repro.errors.TransactionError`), and *swaps* the new
+  objects into the shared catalog.  In-flight readers keep streaming
+  from the old objects; statements started after the commit see the new
+  ones.
+* Autocommit statements are one-statement transactions executed while
+  holding the write lock, so DDL/DML serialize.
+
+The legacy single-user entry points still work: ``repro.connect()``
+mints a *private* engine per connection, and a bare
+``Connection(config, catalog)`` does the same — nothing breaks, but
+every connection now runs on the same transactional machinery.
+"""
+
+from __future__ import annotations
+
+import threading
+import weakref
+from typing import TYPE_CHECKING, Any
+
+from ..catalog import Catalog
+from ..errors import InterfaceError
+from .config import SessionConfig
+from .plan_cache import PlanCache
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .connection import Connection
+    from .transaction import Transaction
+
+
+class RWLock:
+    """A writer-preferring reader-writer lock.
+
+    Many readers may hold the lock concurrently; a writer holds it
+    exclusively.  Writer-preferring: once a writer is waiting, new
+    readers queue behind it, so a steady stream of snapshots cannot
+    starve commits.  The write side is reentrant for the owning thread,
+    and a thread holding the write lock may also take the read side —
+    an autocommit statement commits its one-statement transaction while
+    already holding the exclusive lock.
+    """
+
+    def __init__(self) -> None:
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer: int | None = None      # owning thread id
+        self._write_depth = 0
+        self._writers_waiting = 0
+
+    def acquire_read(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:            # writer may re-enter as reader
+                self._write_depth += 1
+                return
+            while self._writer is not None or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self) -> None:
+        with self._cond:
+            if self._writer == threading.get_ident():
+                self._write_depth -= 1
+                return
+            self._readers -= 1
+            if not self._readers:
+                self._cond.notify_all()
+
+    def acquire_write(self) -> None:
+        me = threading.get_ident()
+        with self._cond:
+            if self._writer == me:
+                self._write_depth += 1
+                return
+            self._writers_waiting += 1
+            try:
+                while self._writer is not None or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = me
+            self._write_depth = 1
+
+    def release_write(self) -> None:
+        with self._cond:
+            self._write_depth -= 1
+            if not self._write_depth:
+                self._writer = None
+                self._cond.notify_all()
+
+    class _Guard:
+        __slots__ = ("_acquire", "_release")
+
+        def __init__(self, acquire, release):
+            self._acquire = acquire
+            self._release = release
+
+        def __enter__(self):
+            self._acquire()
+            return self
+
+        def __exit__(self, *exc_info):
+            self._release()
+
+    def read(self) -> "RWLock._Guard":
+        """``with lock.read():`` — shared acquisition."""
+        return RWLock._Guard(self.acquire_read, self.release_read)
+
+    def write(self) -> "RWLock._Guard":
+        """``with lock.write():`` — exclusive acquisition."""
+        return RWLock._Guard(self.acquire_write, self.release_write)
+
+
+class Engine:
+    """The shared, thread-safe core behind one or many sessions.
+
+    *config* provides the default :class:`SessionConfig` new sessions
+    inherit (each :meth:`connect` call may override fields); *catalog*
+    adopts an existing catalog (the TPC-H loaders and tests build one up
+    front).
+    """
+
+    def __init__(self, config: SessionConfig | None = None,
+                 catalog: Catalog | None = None):
+        self.config = config or SessionConfig()
+        self.catalog = catalog if catalog is not None else Catalog()
+        self.plan_cache = PlanCache(self.config.plan_cache_size)
+        self.lock = RWLock()
+        self._sessions: "weakref.WeakSet[Connection]" = weakref.WeakSet()
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def connect(self, config: SessionConfig | None = None,
+                **options: Any) -> "Connection":
+        """Mint a new session over this engine's shared state.
+
+        Keyword *options* are :class:`SessionConfig` fields overriding
+        the engine's defaults for this session only::
+
+            reader = engine.connect(default_strategy="left")
+        """
+        if self._closed:
+            raise InterfaceError("engine is closed")
+        from .connection import Connection
+        if config is None:
+            config = self.config
+        # each session gets its own copy, so runtime mutation of one
+        # session's config never leaks into its siblings
+        config = config.with_options(**options)
+        return Connection(config, engine=self)
+
+    def register(self, session: "Connection") -> None:
+        """Track a live session (called by ``Connection.__init__``)."""
+        self._sessions.add(session)
+
+    def release(self, session: "Connection") -> None:
+        """Forget a session (called by ``Connection.close``)."""
+        self._sessions.discard(session)
+
+    @property
+    def session_count(self) -> int:
+        """Number of live (unclosed) sessions on this engine."""
+        return len(self._sessions)
+
+    def close(self) -> None:
+        """Close the engine and every session still open on it."""
+        if self._closed:
+            return
+        self._closed = True
+        for session in list(self._sessions):
+            session.close()
+        self._sessions.clear()
+        self.plan_cache.clear()
+
+    # -- snapshots and transactions -------------------------------------------
+
+    def snapshot(self) -> Catalog:
+        """A consistent point-in-time catalog copy (see
+        :meth:`repro.catalog.Catalog.snapshot`), captured under the read
+        lock so it can never observe a half-applied commit."""
+        with self.lock.read():
+            return self.catalog.snapshot()
+
+    def begin(self) -> "Transaction":
+        """Open a snapshot-isolated transaction against this engine."""
+        from .transaction import Transaction
+        return Transaction(self)
+
+    def exclusive(self) -> "RWLock._Guard":
+        """The write lock, as a context manager — the autocommit write
+        path wraps one statement's begin/apply/commit in it."""
+        return self.lock.write()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "closed" if self._closed else \
+            f"{self.session_count} session(s)"
+        return f"<Engine {len(self.catalog.names())} table(s), {state}>"

@@ -1,23 +1,44 @@
-"""The LRU plan cache.
+"""The engine-wide LRU plan cache.
 
-Compiled plans are cached per connection, keyed by ``(sql text, strategy,
-catalog version, statistics version)`` — see
+Compiled plans are cached per :class:`~repro.api.engine.Engine` — shared
+by every session on it — keyed by ``(sql text, strategy, session knobs,
+catalog version, statistics version)``; see
 :meth:`repro.api.Connection._plan_key`.  Because the catalog's DDL
 generation counter *and* its statistics generation are part of the key,
 any DDL (CREATE/DROP of tables, views or indexes) or ``ANALYZE`` makes
 every previously cached plan unreachable — cost-based plans are never
 served against statistics or indexes they were not costed with; stale
 entries are evicted by LRU order as new plans come in.
+
+Thread safety is two-level:
+
+* the cache's own bookkeeping (the LRU ordering and the hit/miss
+  counters) is guarded by an internal lock, so concurrent sessions can
+  probe and fill it freely;
+* physical plan *instances* carry per-execution operator state between
+  ``open`` and ``close``, so one instance must never be driven by two
+  executions at once.  Each :class:`CachedPlan` therefore manages a small
+  pool: :meth:`CachedPlan.acquire_physical` leases an exclusive instance
+  (re-lowering the logical plan when the pool is empty — concurrent
+  executions of the same statement each get their own operator tree) and
+  :meth:`CachedPlan.release_physical` returns it.  Single-session use
+  leases the same instance every time, with no extra lowering.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Any, Hashable
+from typing import Any, Callable, Hashable
 
 from ..algebra.operators import Operator
 from ..engine.physical import PhysicalPlan
+from ..provenance.naming import BaseAccess
+
+#: Leased-and-returned physical instances kept per cached plan; beyond
+#: this, returned instances are dropped (re-lowered on future demand).
+_POOL_CAP = 4
 
 
 @dataclass
@@ -32,28 +53,61 @@ class CachedPlan:
     catalog_version: int
     #: statistics generation the plan was costed against
     stats_version: int = 0
-    #: the physical plan the pipelined engine executes; its nodes also
-    #: carry the batch-compiled expression closures, so a cache hit skips
-    #: lowering *and* expression compilation.
+    #: template physical plan (pool seed); its nodes carry the
+    #: batch-compiled expression closures, so a cache hit skips lowering
+    #: *and* expression compilation.
     physical: PhysicalPlan | None = None
+    #: provenance base accesses recorded by the rewrite (None when the
+    #: statement was not a provenance query) — carried into
+    #: :class:`repro.api.result.Result` for the witness accessors.
+    accesses: list[BaseAccess] | None = None
     #: compiled-expression closures for the materializing engine, shared
     #: across executions of this plan (keyed by expression node identity
     #: — valid only for ``plan``).
     compiled: dict[int, Any] = field(default_factory=dict)
+    _pool: list[PhysicalPlan] = field(default_factory=list, repr=False)
+    _pool_lock: threading.Lock = field(default_factory=threading.Lock,
+                                       repr=False)
+
+    def __post_init__(self) -> None:
+        if self.physical is not None:
+            self._pool.append(self.physical)
 
     @property
     def column_names(self) -> tuple[str, ...]:
         return self.plan.schema.names
 
+    # -- physical-instance leasing -------------------------------------------
+
+    def acquire_physical(self, lower: Callable[[], PhysicalPlan]
+                         ) -> PhysicalPlan:
+        """Lease an exclusive physical instance, lowering a fresh one via
+        *lower* when every pooled instance is in use."""
+        with self._pool_lock:
+            if self._pool:
+                return self._pool.pop()
+        instance = lower()
+        if self.physical is None:
+            self.physical = instance    # adopt as the template
+        return instance
+
+    def release_physical(self, instance: PhysicalPlan) -> None:
+        """Return a leased instance to the pool (dropped when full)."""
+        with self._pool_lock:
+            if len(self._pool) < _POOL_CAP:
+                self._pool.append(instance)
+
 
 class PlanCache:
-    """A tiny LRU mapping from plan keys to :class:`CachedPlan` objects."""
+    """A tiny lock-guarded LRU mapping from plan keys to
+    :class:`CachedPlan` objects."""
 
     def __init__(self, capacity: int = 128):
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
         self._entries: "OrderedDict[Hashable, CachedPlan]" = OrderedDict()
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -62,30 +116,39 @@ class PlanCache:
         """The cached plan for *key* without touching counters or LRU
         order — for callers that do not yet know whether the statement is
         cacheable (e.g. un-parsed text that may turn out to be DDL)."""
-        return self._entries.get(key)
+        with self._lock:
+            return self._entries.get(key)
 
     def lookup(self, key: Hashable) -> CachedPlan | None:
         """The cached plan for *key*, bumping it to most-recently-used."""
-        entry = self._entries.get(key)
-        if entry is None:
-            self.misses += 1
-            return None
-        self._entries.move_to_end(key)
-        self.hits += 1
-        return entry
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry
 
     def store(self, key: Hashable, plan: CachedPlan) -> None:
-        """Insert *plan*, evicting the least-recently-used entry if full."""
+        """Insert *plan*, evicting the least-recently-used entry if full.
+
+        Two sessions racing to plan the same statement both store; the
+        later entry wins and the earlier one ages out — duplicate
+        planning work, never a correctness problem.
+        """
         if self.capacity <= 0:
             return
-        self._entries[key] = plan
-        self._entries.move_to_end(key)
-        while len(self._entries) > self.capacity:
-            self._entries.popitem(last=False)
+        with self._lock:
+            self._entries[key] = plan
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
 
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def stats(self) -> dict[str, int]:
         """Counters for monitoring: hits, misses, current size, capacity."""

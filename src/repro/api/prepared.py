@@ -13,11 +13,11 @@ from __future__ import annotations
 from typing import Any, Iterable, Sequence, TYPE_CHECKING
 
 from ..errors import BindError, InterfaceError
-from ..relation import Relation
 from ..sql.ast import SelectStmt, Statement
 
 if TYPE_CHECKING:  # pragma: no cover
     from .connection import Connection
+    from .result import Result
 
 
 def check_arity(expected: int, params: Sequence[Any]) -> tuple:
@@ -85,27 +85,43 @@ class PreparedStatement:
 
     # -- execution ------------------------------------------------------------
 
-    def execute(self, params: Sequence[Any] = ()) -> Relation | int | None:
-        """Execute with *params* bound to the ``?`` placeholders."""
+    def execute(self, params: Sequence[Any] = ()) -> "Result | int | None":
+        """Execute with *params* bound to the ``?`` placeholders.
+
+        SELECTs return a streaming :class:`~repro.api.result.Result`.
+        """
         if self._closed:
             raise InterfaceError("prepared statement is closed")
         values = check_arity(self._param_count, params)
         connection = self._connection
         if isinstance(self._statement, SelectStmt):
+            connection._implicit_begin()
+            catalog = connection._read_catalog()
             cached = connection._get_plan(
-                self._sql, self._strategy, statement=self._statement)
-            return connection._execute_plan(cached, values)
+                self._sql, self._strategy, statement=self._statement,
+                catalog=catalog)
+            return connection._execute_plan(cached, values, catalog)
         return connection._run_statement(self._statement, values)
 
     __call__ = execute
 
     def executemany(self, seq_of_params: Iterable[Sequence[Any]]) -> int:
         """Execute once per parameter tuple; returns total affected rows
-        (for INSERT/DELETE) or the number of executions (for SELECTs)."""
+        (for INSERT/DELETE) or the number of executions (for SELECTs).
+
+        Write statements run in one transaction — a single copy-on-write
+        pass and a single commit for the whole batch.
+        """
         total = 0
-        for params in seq_of_params:
-            result = self.execute(params)
-            total += result if isinstance(result, int) else 1
+        if isinstance(self._statement, SelectStmt):
+            for params in seq_of_params:
+                self.execute(params)
+                total += 1
+            return total
+        with self._connection._bulk():
+            for params in seq_of_params:
+                result = self.execute(params)
+                total += result if isinstance(result, int) else 1
         return total
 
     def close(self) -> None:

@@ -1,0 +1,302 @@
+"""Snapshot-isolated transactions over a shared :class:`Engine`.
+
+A :class:`Transaction` owns a private snapshot of the engine's catalog
+(:meth:`repro.catalog.Catalog.snapshot` — copied dicts, shared
+``Relation``/index/statistics objects).  All of the transaction's reads
+and writes go through that private catalog:
+
+* the first write to a table **privatizes** it — the rows list is copied
+  and every index on it is cloned, so mutations never touch the objects
+  concurrent readers have pinned (copy-on-write);
+* DDL (CREATE/DROP of tables, views, indexes; ANALYZE) applies to the
+  private catalog directly, visible to this transaction only.
+
+``commit()`` hands the transaction to the engine, which — under the
+write lock — validates *first-committer-wins* against the per-table data
+generations captured at snapshot time and then **swaps** the private
+objects into the shared catalog.  A conflict raises
+:class:`~repro.errors.TransactionError` and leaves the shared state
+untouched; ``rollback()`` (or an abandoned transaction) simply discards
+the private snapshot — tables, indexes and statistics all revert for
+free because they were never changed.
+
+The commit's change set is computed by *identity diff* against the
+snapshot: a table whose ``Relation`` object differs from the snapshot's
+was written (privatized); names present on one side only were created or
+dropped.  Explicit op tracking is only needed for the drop-then-recreate
+corner, which must behave as DDL (plan invalidation), not as a data swap.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Iterable, Sequence
+
+from ..catalog import Catalog
+from ..errors import CatalogError, TransactionError
+from ..relation import Relation
+from ..storage.index import build_index
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .engine import Engine
+
+
+class Transaction:
+    """One snapshot-isolated unit of work (see the module docstring)."""
+
+    def __init__(self, engine: "Engine"):
+        self.engine = engine
+        #: the private catalog this transaction reads from and writes to
+        self.catalog: Catalog = engine.snapshot()
+        self._base_tables = dict(self.catalog._tables)
+        self._base_views = dict(self.catalog._views)
+        self._base_indexes = dict(self.catalog._indexes)
+        self._base_stats = dict(self.catalog.stats._stats)
+        self._base_data_versions = self.catalog.data_versions()
+        self._base_catalog_version = self.catalog.version
+        self._base_stats_version = self.catalog.stats_version
+        self._recreated: set[str] = set()   # dropped-then-recreated names
+        self._finished = False
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self._finished
+
+    @property
+    def diverged(self) -> bool:
+        """True once the transaction performed private DDL or ANALYZE —
+        its plans must stop sharing the engine-wide plan cache, whose
+        keys are only meaningful for states the live catalog has had."""
+        return (self.catalog.version != self._base_catalog_version
+                or self.catalog.stats_version != self._base_stats_version)
+
+    def _check_active(self) -> None:
+        if self._finished:
+            raise TransactionError("transaction is already finished")
+
+    # -- write operations (against the private catalog) ------------------------
+
+    def table_for_write(self, name: str) -> Relation:
+        """The private, mutation-safe copy of *name* (copy-on-write).
+
+        Callers must treat the returned relation's ``rows`` *list* as
+        immutable once a statement finished: DML rebinds ``rows`` to a
+        fresh list instead of mutating in place, so the transaction's
+        own still-streaming results (whose scans captured the previous
+        list at ``open``) are never torn by a later statement.
+        """
+        self._check_active()
+        key = name.lower()
+        stored = self.catalog.get(key)
+        if stored is not self._base_tables.get(key):
+            return stored           # created in-txn, or already privatized
+        private = Relation.from_trusted_rows(stored.schema,
+                                             list(stored.rows))
+        clones = [index.clone() for index in self.catalog.indexes_on(key)]
+        self.catalog.swap_table(key, private, clones)
+        return private
+
+    def insert_rows(self, name: str,
+                    rows: Iterable[Sequence[Any]]) -> int:
+        """Insert rows with statement-level atomicity: on any failure
+        (unique violation, arity mismatch) every row this statement
+        already inserted is backed out of the private indexes and the
+        table is left exactly as before the statement — also inside an
+        explicit transaction, whose earlier statements survive."""
+        stored = self.table_for_write(name)
+        indexes = self.catalog.indexes_on(name)
+        new_rows = list(stored.rows)
+        added: list[tuple] = []
+        try:
+            for row in rows:
+                coerced = Relation._coerce(stored.schema, row)
+                if indexes:
+                    self.catalog.note_insert(name, (coerced,), indexes)
+                new_rows.append(coerced)
+                added.append(coerced)
+        except BaseException:
+            for row in reversed(added):
+                for index in indexes:
+                    index.remove(row)
+            raise
+        stored.rows = new_rows      # rebind: open streams keep the old list
+        return len(added)
+
+    def delete_rows(self, name: str, removed: list[tuple]) -> None:
+        """Index-maintenance hook after the caller filtered the private
+        table's rows in place."""
+        self._check_active()
+        self.catalog.note_delete(name, removed)
+
+    def create_table(self, name: str, schema, rows=()) -> None:
+        self._check_active()
+        key = name.lower()
+        existed_in_base = key in self._base_tables
+        self.catalog.create(key, schema, rows)
+        if existed_in_base:
+            self._recreated.add(key)
+
+    def drop_table(self, name: str) -> None:
+        self._check_active()
+        self.catalog.drop(name)
+
+    def run_ddl(self, method: str, *args: Any, **kwargs: Any) -> Any:
+        """Apply a catalog DDL method (``create_view`` / ``drop_view`` /
+        ``create_index`` / ``drop_index`` / ``analyze``) privately."""
+        self._check_active()
+        return getattr(self.catalog, method)(*args, **kwargs)
+
+    # -- finishing ------------------------------------------------------------
+
+    def commit(self) -> None:
+        """Validate and publish this transaction's changes atomically."""
+        self._check_active()
+        try:
+            with self.engine.lock.write():
+                apply_commit(self, self.engine.catalog)
+        finally:
+            self._finished = True
+
+    def rollback(self) -> None:
+        """Discard the private snapshot; shared state was never touched."""
+        self._finished = True
+
+
+# ---------------------------------------------------------------------------
+# Commit: validate, then apply — caller holds the engine's write lock.
+# ---------------------------------------------------------------------------
+
+def apply_commit(txn: Transaction, live: Catalog) -> None:
+    """First-committer-wins validation followed by an apply step that
+    cannot fail halfway: every operation that *could* fail (existence
+    checks, unique-index rebuilds) runs before the first mutation."""
+    private = txn.catalog
+    final_tables = private._tables
+
+    created = [k for k in final_tables
+               if k not in txn._base_tables or k in txn._recreated]
+    dropped = [k for k in txn._base_tables
+               if k not in final_tables or k in txn._recreated]
+    written = [k for k, rel in final_tables.items()
+               if k in txn._base_tables and k not in txn._recreated
+               and rel is not txn._base_tables[k]]
+
+    # -- validate -----------------------------------------------------------
+    conflict_tables = set(written) | set(dropped)
+    for key in conflict_tables:
+        if key not in live:
+            raise TransactionError(
+                f"could not serialize access: table {key!r} was "
+                f"concurrently dropped")
+        if live.data_version(key) != txn._base_data_versions.get(key, 0):
+            raise TransactionError(
+                f"could not serialize access: table {key!r} was "
+                f"concurrently updated")
+        # swapping/dropping this table replaces its index list wholesale
+        # with the snapshot-era (plus in-txn) objects — concurrent index
+        # DDL on it would be silently undone, so it must conflict
+        base_ids = {id(ix) for ix in txn._base_indexes.values()
+                    if ix.table == key}
+        live_ids = {id(ix) for ix in live.indexes_on(key)}
+        if base_ids != live_ids:
+            raise TransactionError(
+                f"could not serialize access: indexes on table {key!r} "
+                f"were concurrently changed")
+    for key in created:
+        if key in live and key not in dropped:
+            raise TransactionError(
+                f"could not serialize access: table {key!r} was "
+                f"concurrently created")
+
+    touched = set(created) | set(written)
+    new_views = [(name, query) for name, query in private._views.items()
+                 if txn._base_views.get(name) is not query]
+    gone_views = [name for name in txn._base_views
+                  if name not in private._views]
+    for name, _ in new_views:
+        base_query = txn._base_views.get(name)
+        live_query = live._views.get(name)
+        if base_query is None:
+            if live_query is not None:
+                raise TransactionError(
+                    f"could not serialize access: view {name!r} was "
+                    f"concurrently created")
+        elif live_query is not base_query:
+            raise TransactionError(
+                f"could not serialize access: view {name!r} was "
+                f"concurrently replaced or dropped")
+    for name in gone_views:
+        if live._views.get(name) is not txn._base_views.get(name):
+            raise TransactionError(
+                f"could not serialize access: view {name!r} was "
+                f"concurrently replaced or dropped")
+
+    new_indexes = []      # (index object or rebuilt copy, bump-only flag)
+    gone_indexes = []     # names to drop from the live catalog
+    for name, index in private._indexes.items():
+        if name in txn._base_indexes:
+            continue
+        if name in live._indexes:
+            raise TransactionError(
+                f"could not serialize access: index {name!r} was "
+                f"concurrently created")
+        if index.table in touched:
+            new_indexes.append((index, True))   # installed via the swap
+            continue
+        if live.data_version(index.table) != \
+                txn._base_data_versions.get(index.table, 0):
+            # the indexed table moved under us: rebuild over the live
+            # rows now, so a unique violation surfaces as a conflict
+            # here rather than failing mid-apply
+            try:
+                index = build_index(
+                    index.kind, index.name, index.table, index.column,
+                    index.position, live.get(index.table).rows,
+                    index.unique)
+            except CatalogError as exc:
+                raise TransactionError(
+                    f"could not serialize access: {exc}") from exc
+        new_indexes.append((index, False))
+    for name, index in txn._base_indexes.items():
+        if name in private._indexes:
+            continue
+        if index.table in touched or index.table in dropped:
+            gone_indexes.append((name, True))   # removed via swap / drop
+            continue
+        if name not in live._indexes:
+            raise TransactionError(
+                f"could not serialize access: index {name!r} was "
+                f"concurrently dropped")
+        gone_indexes.append((name, False))
+
+    # -- apply (no failure paths from here on) ------------------------------
+    for key in dropped:
+        live.drop(key)
+    for key in created:
+        live.install_table(key, final_tables[key],
+                           private.indexes_on(key))
+    for key in written:
+        live.swap_table(key, final_tables[key], private.indexes_on(key))
+    for name, query in new_views:
+        live.create_view(name, query)
+    for name in gone_views:
+        live.drop_view(name)
+    for name, swapped in gone_indexes:
+        if swapped:
+            live.bump_ddl()
+        else:
+            live.drop_index(name)
+    for index, swapped in new_indexes:
+        if swapped:
+            live.bump_ddl()
+        else:
+            live.install_index(index)
+    # skip stats only for tables that are *finally* gone — a
+    # dropped-and-recreated table's in-txn ANALYZE must publish
+    finally_gone = set(dropped) - set(created)
+    for table, stats in private.stats._stats.items():
+        if table in finally_gone:
+            continue
+        if txn._base_stats.get(table) is not stats:
+            live.stats.put(table, stats)

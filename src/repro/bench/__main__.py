@@ -47,9 +47,12 @@ def main(argv: list[str] | None = None) -> int:
              "than per-call Database.sql(), if the pipelined engine is "
              "not at least 1.5x faster than the materializing baseline "
              "on the synthetic provenance workload, if the Unn plan "
-             "stops hash-joining, or if IndexNestedLoopJoin is not at "
+             "stops hash-joining, if IndexNestedLoopJoin is not at "
              "least 2x faster than NestedLoopJoin on the indexed "
-             "point-lookup join workload")
+             "point-lookup join workload, or if K sessions sharing one "
+             "Engine do not deliver at least 2x the aggregate throughput "
+             "of K sequential single-connection runs on the read-heavy "
+             "mix")
     parser.add_argument(
         "--repeats", type=int, default=20, metavar="N",
         help="repeated executions for --smoke (default 20)")
@@ -96,8 +99,12 @@ def main(argv: list[str] | None = None) -> int:
             print("FAIL: IndexNestedLoopJoin speedup over NestedLoopJoin "
                   "below the 2x floor")
             return 1
-        print("ok: plan cache, pipelined engine and index joins deliver "
-              "the expected speedups")
+        if result.concurrency_speedup < 2.0:
+            print("FAIL: shared-Engine concurrent throughput below the "
+                  "2x floor over sequential single-connection runs")
+            return 1
+        print("ok: plan cache, pipelined engine, index joins and the "
+              "shared Engine deliver the expected speedups")
         return 0
 
     if args.figure is None:

@@ -1,6 +1,6 @@
 """Smoke micro-benchmarks (``python -m repro.bench --smoke``).
 
-Three checks, all run by CI as regression gates:
+Four checks, all run by CI as regression gates:
 
 * **Plan cache** — the same provenance query executed two ways over one
   catalog: the legacy per-call path (``Database.sql()`` re-parses,
@@ -18,6 +18,16 @@ Three checks, all run by CI as regression gates:
   check also asserts the Unn plan still picks a hash join — the paper's
   Figures 7-9 behaviour.
 
+* **Concurrency** — the shared-engine payoff: K threads, each with its
+  own session from one :class:`~repro.api.engine.Engine`, run a
+  read-heavy mix of distinct provenance queries against shared tiny
+  tables (planning-bound, like the plan-cache check) versus the same
+  total work as K *sequential* single-connection runs on private
+  engines, each of which must plan the whole mix from a cold cache.
+  The gated ratio — shared-engine aggregate throughput at least 2x the
+  sequential baseline — is what the engine-wide plan cache plus
+  lock-free snapshot reads buy a multi-session deployment.
+
 * **Indexes** — an indexed point-lookup workload (prepared
   ``k = ?`` lookups against a unique hash index versus the same session
   with ``use_indexes=False``, which plans the filtered sequential scan)
@@ -31,11 +41,13 @@ Three checks, all run by CI as regression gates:
 
 from __future__ import annotations
 
+import threading
 import time
 from collections import Counter
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass
 
-from ..api import connect
+from ..api import Engine, connect
 from ..db import Database
 from ..synthetic import SyntheticConfig, load_synthetic, q1_sql
 
@@ -61,6 +73,14 @@ _INDEX_TABLE_ROWS = 6000
 _INDEX_PROBE_ROWS = 48
 _INDEX_LOOKUPS = 300
 
+#: Concurrency workload: K sessions over one shared engine vs K cold
+#: sequential single-connection runs, on a planning-bound mix of
+#: distinct provenance queries (small data, many distinct plans — the
+#: repeated-query profile an engine-wide plan cache exists for).
+_CONCURRENCY_THREADS = 4
+_CONCURRENCY_ROUNDS = 1
+_CONCURRENCY_DISTINCT = 20
+
 
 @dataclass
 class SmokeResult:
@@ -82,6 +102,10 @@ class SmokeResult:
     index_join_rows: int          # rows of the probe/build join
     nlj_seconds: float            # total, forced NestedLoopJoin
     inlj_seconds: float           # total, cost-chosen IndexNestedLoopJoin
+    concurrency_threads: int      # K sessions / sequential runs
+    concurrency_queries: int      # total statements per side
+    sequential_seconds: float     # K cold single-connection runs, serial
+    concurrent_seconds: float     # K threads sharing one Engine
 
     @property
     def speedup(self) -> float:
@@ -111,6 +135,14 @@ class SmokeResult:
             return float("inf")
         return self.nlj_seconds / self.inlj_seconds
 
+    @property
+    def concurrency_speedup(self) -> float:
+        """Aggregate throughput of K threads sharing one Engine vs K
+        sequential cold single-connection runs (same total work)."""
+        if self.concurrent_seconds == 0:
+            return float("inf")
+        return self.sequential_seconds / self.concurrent_seconds
+
     def to_dict(self) -> dict:
         """JSON-friendly form (uploaded as a CI artifact so BENCH_*
         trajectories are comparable across PRs)."""
@@ -119,6 +151,7 @@ class SmokeResult:
         data["engine_speedup"] = self.engine_speedup
         data["index_lookup_speedup"] = self.index_lookup_speedup
         data["index_join_speedup"] = self.index_join_speedup
+        data["concurrency_speedup"] = self.concurrency_speedup
         return data
 
 
@@ -154,7 +187,7 @@ def _run_plan_cache(repeats: int) -> tuple[float, float, int, int]:
     hits_before = conn.plan_cache.hits
     start = time.perf_counter()
     for _ in range(repeats):
-        statement.execute((40,))
+        statement.execute((40,)).rows     # drain: results stream lazily
     prepared_seconds = time.perf_counter() - start
 
     return (legacy_seconds, prepared_seconds,
@@ -178,7 +211,7 @@ def _run_engines(repeats: int,
         for _ in range(3):                  # best-of-3 rounds: noise-robust
             start = time.perf_counter()
             for _ in range(repeats):
-                statement.execute(())
+                statement.execute(()).rows   # drain the streaming result
             rounds.append(time.perf_counter() - start)
         timings[engine] = min(rounds)
         if engine == "pipelined":
@@ -220,7 +253,7 @@ def _run_index_lookups(conn, lookups: int) -> tuple[float, float]:
         keys = [(i * 37) % _INDEX_TABLE_ROWS for i in range(lookups)]
         start = time.perf_counter()
         for key in keys:
-            statement.execute((key,))
+            statement.execute((key,)).rows   # drain the streaming result
         timings[label] = time.perf_counter() - start
     text = conn.explain_physical(sql.replace("?", "17"))
     if "IndexScan" not in text:
@@ -268,6 +301,93 @@ def _run_index_join(conn, repeats: int) -> tuple[float, float, int]:
             sum(results["inlj"].values()))
 
 
+def _concurrency_mix(count: int = _CONCURRENCY_DISTINCT) -> list[str]:
+    """Distinct provenance queries (distinct constants force distinct
+    plan-cache entries) over the tiny plan-cache tables."""
+    return [
+        ("SELECT PROVENANCE r.a, r.b FROM r "
+         f"WHERE a = ANY (SELECT c FROM s WHERE c < {30 + i}) "
+         f"AND EXISTS (SELECT c FROM s WHERE s.d < {80 + i})")
+        for i in range(count)
+    ]
+
+
+def _run_mix(conn, queries: list[str], rounds: int) -> int:
+    rows = 0
+    for _ in range(rounds):
+        for sql in queries:
+            rows += len(conn.execute(sql).rows)   # drain the stream
+    return rows
+
+
+def _sequential_pass(threads: int, queries: list[str],
+                     rounds: int) -> tuple[float, int]:
+    """K independent single-connection runs, each on a private engine
+    with a cold plan cache (population untimed)."""
+    sessions = []
+    for _ in range(threads):
+        conn = connect()
+        _populate(conn)
+        sessions.append(conn)
+    start = time.perf_counter()
+    rows = sum(_run_mix(conn, queries, rounds) for conn in sessions)
+    elapsed = time.perf_counter() - start
+    for conn in sessions:
+        conn.close()
+    return elapsed, rows
+
+
+def _concurrent_pass(threads: int, queries: list[str],
+                     rounds: int) -> tuple[float, int]:
+    """K threads sharing one freshly seeded Engine: the mix is planned
+    once engine-wide; every other session's execution is a plan-cache
+    hit on a lock-free snapshot."""
+    engine = Engine()
+    seeder = engine.connect()
+    _populate(seeder)
+    workers = [engine.connect() for _ in range(threads)]
+    barrier = threading.Barrier(threads)
+
+    def work(conn) -> int:
+        barrier.wait()
+        return _run_mix(conn, queries, rounds)
+
+    with ThreadPoolExecutor(max_workers=threads) as pool:
+        start = time.perf_counter()
+        futures = [pool.submit(work, conn) for conn in workers]
+        rows = sum(future.result() for future in futures)
+        elapsed = time.perf_counter() - start
+    engine.close()
+    return elapsed, rows
+
+
+def _run_concurrency(threads: int = _CONCURRENCY_THREADS,
+                     rounds: int = _CONCURRENCY_ROUNDS
+                     ) -> tuple[int, int, float, float]:
+    """K threads sharing one Engine vs K sequential cold runs.
+
+    Best-of-2 per side (fresh cold state each pass) so one unlucky
+    scheduling blip cannot fail the CI gate.
+    """
+    queries = _concurrency_mix()
+    sequential_seconds = float("inf")
+    concurrent_seconds = float("inf")
+    sequential_rows = concurrent_rows = 0
+    for _ in range(2):
+        elapsed, sequential_rows = _sequential_pass(threads, queries,
+                                                    rounds)
+        sequential_seconds = min(sequential_seconds, elapsed)
+        elapsed, concurrent_rows = _concurrent_pass(threads, queries,
+                                                    rounds)
+        concurrent_seconds = min(concurrent_seconds, elapsed)
+    if concurrent_rows != sequential_rows:
+        raise AssertionError(
+            f"shared-engine sessions returned {concurrent_rows} rows, "
+            f"sequential baseline {sequential_rows}")
+    total = threads * rounds * len(queries)
+    return threads, total, sequential_seconds, concurrent_seconds
+
+
 def _run_indexes(repeats: int,
                  lookups: int = _INDEX_LOOKUPS
                  ) -> tuple[int, float, float, int, float, float]:
@@ -293,6 +413,8 @@ def run_smoke(repeats: int = 20, engine_repeats: int = 5) -> SmokeResult:
     (index_lookups, seq_lookup_seconds, index_lookup_seconds,
      index_join_rows, nlj_seconds, inlj_seconds) = \
         _run_indexes(engine_repeats)
+    (concurrency_threads, concurrency_queries, sequential_seconds,
+     concurrent_seconds) = _run_concurrency()
     return SmokeResult(
         repeats=repeats,
         legacy_seconds=legacy_seconds,
@@ -310,6 +432,10 @@ def run_smoke(repeats: int = 20, engine_repeats: int = 5) -> SmokeResult:
         index_join_rows=index_join_rows,
         nlj_seconds=nlj_seconds,
         inlj_seconds=inlj_seconds,
+        concurrency_threads=concurrency_threads,
+        concurrency_queries=concurrency_queries,
+        sequential_seconds=sequential_seconds,
+        concurrent_seconds=concurrent_seconds,
     )
 
 
@@ -345,4 +471,12 @@ def format_smoke(result: SmokeResult) -> str:
         f"IndexNLJoin per call     "
         f"{result.inlj_seconds / result.engine_repeats * 1000:8.3f} ms",
         f"index join speedup       {result.index_join_speedup:8.1f}x",
+        "-- concurrency (shared Engine vs sequential runs) --",
+        f"sessions / threads       {result.concurrency_threads}",
+        f"statements per side      {result.concurrency_queries}",
+        f"sequential total         "
+        f"{result.sequential_seconds * 1000:8.3f} ms",
+        f"shared-engine total      "
+        f"{result.concurrent_seconds * 1000:8.3f} ms",
+        f"concurrency speedup      {result.concurrency_speedup:8.1f}x",
     ])

@@ -44,6 +44,10 @@ class Catalog:
         # table's indexes with one dict lookup instead of a scan
         self._indexes_by_table: dict[str, list[SecondaryIndex]] = {}
         self._version = 0
+        # per-table data generation: bumped when a table's Relation
+        # object is swapped wholesale (committed DML) — the counter
+        # snapshot-isolated transactions validate against at commit
+        self._data_versions: dict[str, int] = {}
         self.stats = StatsRegistry()
 
     # -- versioning -----------------------------------------------------------
@@ -60,6 +64,25 @@ class Catalog:
 
     def _bump(self) -> None:
         self._version += 1
+
+    def bump_ddl(self) -> None:
+        """Record a DDL change applied out-of-band (a committed
+        transaction's index DDL that was installed via a table swap
+        rather than replayed), so cached plans re-key."""
+        self._bump()
+
+    def data_version(self, name: str) -> int:
+        """Data generation of one table: bumped by every committed swap
+        of the table's :class:`Relation` (and by create/register, so the
+        counter stays monotonic across drop-and-recreate)."""
+        return self._data_versions.get(name.lower(), 0)
+
+    def data_versions(self) -> dict[str, int]:
+        """A copy of every table's data generation (snapshot capture)."""
+        return dict(self._data_versions)
+
+    def _bump_data(self, key: str) -> None:
+        self._data_versions[key] = self._data_versions.get(key, 0) + 1
 
     # -- tables ---------------------------------------------------------------
 
@@ -82,6 +105,7 @@ class Catalog:
         table = Relation(schema, rows)
         self._tables[key] = table
         self._bump()
+        self._bump_data(key)
         return table
 
     def register(self, name: str, relation: Relation,
@@ -121,6 +145,7 @@ class Catalog:
             siblings = self._indexes_by_table[old.table]
             siblings[siblings.index(old)] = new
         self._bump()
+        self._bump_data(key)
 
     def drop(self, name: str) -> None:
         """Remove a table (and its indexes and statistics)."""
@@ -132,6 +157,83 @@ class Catalog:
         for index in self._indexes_by_table.pop(key, ()):
             del self._indexes[index.name]
         self._bump()
+        self._bump_data(key)   # monotonic across drop-and-recreate
+
+    def swap_table(self, name: str, relation: Relation,
+                   indexes: Sequence[SecondaryIndex]) -> None:
+        """Atomically replace a table's :class:`Relation` and its index
+        objects with post-transaction versions (the commit apply step).
+
+        Data-only: the DDL generation counter is *not* bumped (cached
+        plans stay valid), the data generation is.  *indexes* is the
+        authoritative post-commit index list for the table — index
+        objects created or dropped inside the committing transaction are
+        installed / removed here; the caller bumps the DDL counter
+        separately for each such index DDL operation.
+        """
+        key = name.lower()
+        if key not in self._tables:
+            raise CatalogError(f"table {name!r} does not exist")
+        for index in self._indexes_by_table.get(key, ()):
+            del self._indexes[index.name]
+        installed = list(indexes)
+        self._tables[key] = relation
+        if installed:
+            self._indexes_by_table[key] = installed
+        else:
+            self._indexes_by_table.pop(key, None)
+        for index in installed:
+            self._indexes[index.name] = index
+        self._bump_data(key)
+
+    def install_table(self, name: str, relation: Relation,
+                      indexes: Sequence[SecondaryIndex] = ()) -> None:
+        """Install a table created inside a committing transaction,
+        adopting the transaction's private :class:`Relation` and index
+        objects.  DDL — bumps the generation counter like ``create``."""
+        key = name.lower()
+        if key in self._tables:
+            raise CatalogError(f"table {name!r} already exists")
+        self._tables[key] = relation
+        installed = list(indexes)
+        if installed:
+            self._indexes_by_table[key] = installed
+            for index in installed:
+                self._indexes[index.name] = index
+        self._bump()
+        self._bump_data(key)
+
+    def install_index(self, index: SecondaryIndex) -> None:
+        """Install an already-built index object (a committing
+        transaction's prevalidated CREATE INDEX).  DDL — bumps the
+        generation counter like ``create_index``."""
+        if index.name in self._indexes:
+            raise CatalogError(f"index {index.name!r} already exists")
+        self._indexes[index.name] = index
+        self._indexes_by_table.setdefault(index.table, []).append(index)
+        self._bump()
+
+    def snapshot(self) -> "Catalog":
+        """A consistent point-in-time copy for lock-free readers.
+
+        The container dicts are copied; the :class:`Relation`, index and
+        statistics objects are shared by reference.  That is safe because
+        committed writes *swap* those objects wholesale (copy-on-write)
+        instead of mutating them in place — a snapshot keeps serving the
+        versions that were current when it was taken.  Version counters
+        are pinned, so plans cached against the snapshot key correctly.
+        """
+        copy = Catalog.__new__(Catalog)
+        copy._tables = dict(self._tables)
+        copy._views = dict(self._views)
+        copy._indexes = dict(self._indexes)
+        copy._indexes_by_table = {
+            table: list(indexes)
+            for table, indexes in self._indexes_by_table.items()}
+        copy._version = self._version
+        copy._data_versions = dict(self._data_versions)
+        copy.stats = self.stats.snapshot()
+        return copy
 
     def get(self, name: str) -> Relation:
         """Look up a table; raises :class:`CatalogError` if absent."""

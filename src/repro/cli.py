@@ -27,6 +27,11 @@ statistics those estimates come from, and ``CREATE [UNIQUE] INDEX name
 ON table (column) [USING hash|sorted]`` / ``DROP INDEX name`` manage the
 secondary indexes the cost-based planner may scan or probe.
 
+Transactions work as in psql: ``BEGIN`` opens a snapshot-isolated
+transaction (the prompt shows ``repro*>`` while one is open),
+``COMMIT`` publishes it atomically and ``ROLLBACK`` discards it —
+restoring tables, indexes and statistics to their pre-``BEGIN`` state.
+
 Everything else is executed as SQL (``SELECT PROVENANCE ...`` included)
 through the session's plan cache, so repeating a query skips planning.
 Start with ``python -m repro --strategy left`` to pick the default
@@ -169,7 +174,8 @@ class Shell:
         try:
             from .relation import Relation
             words = text.split(None, 2)
-            if words and words[0].upper() == "EXPLAIN":
+            head = words[0].upper() if words else ""
+            if head == "EXPLAIN":
                 if len(words) > 1 and words[1].upper() == "ANALYZE":
                     print(self.conn.explain_analyze(
                         words[2] if len(words) > 2 else ""), file=out)
@@ -181,6 +187,8 @@ class Shell:
             if isinstance(result, Relation):
                 print(result.pretty(), file=out)
                 print(f"({len(result.rows)} rows)", file=out)
+            elif head in ("BEGIN", "COMMIT", "ROLLBACK"):
+                print(head, file=out)     # psql-style command tags
             else:
                 print("ok", file=out)
         except ReproError as exc:
@@ -223,7 +231,9 @@ def main(argv: list[str] | None = None) -> int:
     print('type SQL, "\\tpch" to load data, or "\\q" to quit')
     buffer: list[str] = []
     while True:
-        prompt = "repro> " if not buffer else "  ...> "
+        # a psql-style "*" marks an open transaction
+        mark = "*" if shell.conn.in_transaction else ""
+        prompt = f"repro{mark}> " if not buffer else "  ...> "
         try:
             line = input(prompt)
         except EOFError:

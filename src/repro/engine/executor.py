@@ -93,6 +93,15 @@ class Executor:
             return self._impl.execute(plan.logical, params)
         return self._impl.execute_physical(plan, params)
 
+    def stream_physical(self, plan, params: Iterable[Any] = ()):
+        """Run an already-lowered physical plan as a generator of row
+        batches (the streaming-result path).  The materializing engine
+        cannot pipeline — it executes eagerly and yields one batch."""
+        if self.engine == "materializing":
+            relation = self._impl.execute(plan.logical, params)
+            return iter((relation.rows,)) if relation.rows else iter(())
+        return self._impl.stream_physical(plan, params)
+
     # -- SubqueryRunner protocol (sublink evaluation hook) --------------------
 
     def run_subquery(self, query: Operator, frames: tuple) -> list[tuple]:

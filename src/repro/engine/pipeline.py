@@ -71,6 +71,32 @@ class PipelineEngine:
             self._finish_timings(plan)
         return Relation.from_trusted_rows(plan.schema, rows)
 
+    def stream_physical(self, plan: PhysicalPlan,
+                        params: Iterable[Any] = ()):
+        """Run an already-lowered plan as a lazy generator of row
+        batches — the streaming sink behind
+        :class:`repro.api.result.Result`.
+
+        The plan stays open between yields; closing the generator early
+        (``generator.close()``, or dropping the last reference) closes
+        the operator tree, so abandoned result sets release their hash
+        tables and sort buffers without being drained.
+        """
+        self.params = tuple(params)
+        self._subplans.update(plan.subplans)
+        root = plan.root
+        root.open(self, ())
+        try:
+            while True:
+                batch = self.pull(root)
+                if batch is None:
+                    break
+                yield batch
+        finally:
+            root.close()
+            if self.collect_stats:
+                self._finish_timings(plan)
+
     # -- SubqueryRunner protocol (sublink evaluation hook) --------------------
 
     def run_subquery(self, query: Operator, frames: Frames) -> list[tuple]:

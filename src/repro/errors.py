@@ -1,27 +1,96 @@
 """Exception hierarchy for the repro provenance DBMS.
 
-All errors raised by the library derive from :class:`ReproError` so that
-callers can catch everything with a single ``except`` clause while still
-being able to discriminate parse errors from semantic errors and runtime
-errors.
+Two inheritance trees are interleaved here:
+
+* the library's historic tree rooted at :class:`ReproError`, so existing
+  ``except ReproError`` / ``except CatalogError`` call sites keep
+  working unchanged;
+* the complete DB-API 2.0 hierarchy (:pep:`249`): :class:`Warning`,
+  :class:`Error`, :class:`InterfaceError`, :class:`DatabaseError`,
+  :class:`DataError`, :class:`OperationalError`, :class:`IntegrityError`,
+  :class:`InternalError`, :class:`ProgrammingError`,
+  :class:`NotSupportedError`.
+
+Every concrete library error is grafted onto the DB-API tree at the
+standard place: parse/analysis/binding errors are
+:class:`ProgrammingError`, runtime execution failures are
+:class:`OperationalError`, unique-index violations are
+:class:`IntegrityError`, and unsupported SQL or rewrite strategies are
+:class:`NotSupportedError`.  Catching :class:`Error` (or the legacy
+:class:`ReproError`, which is its base) catches everything the library
+raises.
 """
 
 from __future__ import annotations
 
 
 class ReproError(Exception):
-    """Base class of every error raised by this library."""
+    """Base class of every error raised by this library (legacy root;
+    DB-API code should catch :class:`Error`, which is equivalent for all
+    concrete errors)."""
 
 
-class CatalogError(ReproError):
+class Warning(Exception):  # noqa: A001 - DB-API 2.0 mandates the name
+    """DB-API 2.0 warning category (important non-fatal notices)."""
+
+
+class Error(ReproError):
+    """DB-API 2.0 base error: every concrete library error derives from
+    this."""
+
+
+class InterfaceError(Error):
+    """The DB-API-flavored session API was misused.
+
+    Examples: operating on a closed connection or cursor, fetching from a
+    cursor with no pending result set, invalid session configuration.
+    """
+
+
+class DatabaseError(Error):
+    """DB-API 2.0: an error related to the database itself."""
+
+
+class DataError(DatabaseError):
+    """DB-API 2.0: a problem with the processed data (bad cast, value
+    out of range, division by zero)."""
+
+
+class OperationalError(DatabaseError):
+    """DB-API 2.0: an error in the database's operation, not necessarily
+    the programmer's fault — e.g. a snapshot-isolation commit conflict
+    (``could not serialize``), or a runtime execution failure."""
+
+
+class InternalError(DatabaseError):
+    """DB-API 2.0: the database hit an internal inconsistency."""
+
+
+class ProgrammingError(DatabaseError):
+    """DB-API 2.0: the statement itself is wrong (syntax error, unknown
+    table or column, wrong parameter arity)."""
+
+
+class NotSupportedError(DatabaseError):
+    """DB-API 2.0: the request uses a feature the engine does not
+    support."""
+
+
+class CatalogError(DatabaseError):
     """A catalog operation failed (unknown/duplicate table, bad schema)."""
 
 
-class SchemaError(ReproError):
+class IntegrityError(CatalogError):
+    """A constraint was violated — e.g. a duplicate value hit a UNIQUE
+    index.  Also a :class:`CatalogError` (its historic class), so legacy
+    ``except CatalogError`` handlers keep catching it."""
+
+
+class SchemaError(ProgrammingError):
     """A schema is malformed or two schemas are incompatible."""
 
 
-class SQLSyntaxError(ReproError):
+class SQLSyntaxError(ProgrammingError):
     """The SQL text could not be tokenized or parsed.
 
     Carries the 1-based ``line`` and ``column`` of the offending token when
@@ -37,7 +106,7 @@ class SQLSyntaxError(ReproError):
         super().__init__(message)
 
 
-class AnalyzerError(ReproError):
+class AnalyzerError(ProgrammingError):
     """The SQL statement parsed but is semantically invalid.
 
     Examples: unknown column, ambiguous reference, aggregate nested inside
@@ -45,15 +114,15 @@ class AnalyzerError(ReproError):
     """
 
 
-class ExpressionError(ReproError):
+class ExpressionError(DatabaseError):
     """An expression could not be typed, bound, or evaluated."""
 
 
-class ExecutionError(ReproError):
+class ExecutionError(OperationalError):
     """The executor failed at runtime (e.g. scalar sublink returned >1 row)."""
 
 
-class RewriteError(ReproError):
+class RewriteError(NotSupportedError):
     """A provenance rewrite rule could not be applied.
 
     Raised for instance when the Left/Move strategies are requested for a
@@ -62,11 +131,11 @@ class RewriteError(ReproError):
     """
 
 
-class UnsupportedFeatureError(ReproError):
+class UnsupportedFeatureError(NotSupportedError):
     """The query uses a SQL feature outside the supported subset."""
 
 
-class BindError(ReproError):
+class BindError(ProgrammingError):
     """Parameter binding failed.
 
     Raised by the session API when the values passed to a prepared
@@ -75,9 +144,7 @@ class BindError(ReproError):
     """
 
 
-class InterfaceError(ReproError):
-    """The DB-API-flavored session API was misused.
-
-    Examples: operating on a closed connection or cursor, fetching from a
-    cursor with no pending result set.
-    """
+class TransactionError(OperationalError):
+    """A transaction could not proceed — e.g. a snapshot-isolation commit
+    found that a concurrently committed transaction already changed a
+    table this one wrote (first-committer-wins)."""

@@ -155,6 +155,21 @@ class DeleteStmt:
     param_count: int = 0
 
 
+@dataclass
+class BeginStmt:
+    """``BEGIN [TRANSACTION | WORK]`` — open an explicit transaction."""
+
+
+@dataclass
+class CommitStmt:
+    """``COMMIT [TRANSACTION | WORK]`` — commit the open transaction."""
+
+
+@dataclass
+class RollbackStmt:
+    """``ROLLBACK [TRANSACTION | WORK]`` — discard the open transaction."""
+
+
 Statement = (SelectStmt | CreateTableStmt | CreateViewStmt
              | CreateIndexStmt | AnalyzeStmt | InsertStmt | DropStmt
-             | DeleteStmt)
+             | DeleteStmt | BeginStmt | CommitStmt | RollbackStmt)

@@ -34,7 +34,8 @@ KEYWORDS = {
     "and", "or", "null", "true", "false", "case", "when", "then", "else",
     "end", "cast", "asc", "desc", "insert", "into", "values", "create",
     "table", "view", "drop", "delete", "update", "set", "index",
-    "unique", "using", "analyze",
+    "unique", "using", "analyze", "begin", "commit", "rollback",
+    "transaction", "work",
 }
 
 _MULTI_OPERATORS = ("<>", "<=", ">=", "!=", "||")

@@ -31,9 +31,10 @@ from ..expressions.ast import (
     or_all,
 )
 from .ast import (
-    AnalyzeStmt, CreateIndexStmt, CreateTableStmt, CreateViewStmt,
-    DeleteStmt, DropStmt, InsertStmt, JoinExpr, OrderItem, SelectItem,
-    SelectStmt, Star, Statement, SubqueryRef, TableRef,
+    AnalyzeStmt, BeginStmt, CommitStmt, CreateIndexStmt, CreateTableStmt,
+    CreateViewStmt, DeleteStmt, DropStmt, InsertStmt, JoinExpr, OrderItem,
+    RollbackStmt, SelectItem, SelectStmt, Star, Statement, SubqueryRef,
+    TableRef,
 )
 from .lexer import Token, TokenKind, tokenize
 
@@ -42,8 +43,10 @@ _COMPARISON_OPS = {"=", "<>", "<", "<=", ">", ">="}
 
 #: Soft keywords: reserved only where their statements need them, still
 #: usable as column/table names (``CREATE TABLE t (index int)`` keeps
-#: parsing after the index/statistics DDL was added).
-_SOFT_KEYWORDS = ("index", "unique", "using", "analyze")
+#: parsing after the index/statistics DDL was added, and a column named
+#: ``commit`` keeps parsing after the transaction statements were).
+_SOFT_KEYWORDS = ("index", "unique", "using", "analyze", "begin",
+                  "commit", "rollback", "transaction", "work")
 
 
 class _Parser:
@@ -131,7 +134,18 @@ class _Parser:
             return self._parse_delete()
         if self.current.is_keyword("analyze"):
             return self._parse_analyze()
+        if self.current.is_keyword("begin", "commit", "rollback"):
+            return self._parse_transaction()
         raise self.error("expected a statement")
+
+    def _parse_transaction(self) -> Statement:
+        word = self.advance().value
+        self.accept_keyword("transaction", "work")
+        if word == "begin":
+            return BeginStmt()
+        if word == "commit":
+            return CommitStmt()
+        return RollbackStmt()
 
     def _parse_create(self) -> Statement:
         self.expect_keyword("create")

@@ -39,3 +39,11 @@ class StatsRegistry:
 
     def tables(self) -> list[str]:
         return list(self._stats)
+
+    def snapshot(self) -> "StatsRegistry":
+        """A point-in-time copy (shared immutable TableStats objects,
+        copied mapping, pinned generation) for snapshot catalogs."""
+        copy = StatsRegistry()
+        copy._stats = dict(self._stats)
+        copy._generation = self._generation
+        return copy

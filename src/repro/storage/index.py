@@ -30,7 +30,7 @@ from __future__ import annotations
 from bisect import bisect_left, bisect_right, insort
 from typing import Any, Sequence
 
-from ..errors import CatalogError
+from ..errors import CatalogError, IntegrityError
 
 #: Index kinds accepted by ``CREATE INDEX ... USING <kind>``.
 INDEX_KINDS = ("hash", "sorted")
@@ -95,7 +95,7 @@ class SecondaryIndex:
         if key is not None:
             try:
                 if self.unique and self._count(key):
-                    raise CatalogError(
+                    raise IntegrityError(
                         f"duplicate value {key!r} violates unique index "
                         f"{self.name!r} on {self.table}({self.column})")
                 self._add(key, row)
@@ -120,6 +120,23 @@ class SecondaryIndex:
         """Rebuild if the table was mutated behind the catalog's back."""
         if self._row_count != len(rows):
             self.build(rows)
+
+    def clone(self) -> "SecondaryIndex":
+        """An independent copy sharing the (immutable) row tuples.
+
+        Transactions mutate a clone copy-on-write style; the original
+        stays pinned in concurrent readers' snapshots, so cloning must
+        duplicate every internal container the original could share.
+        """
+        copy = type(self)(self.name, self.table, self.column,
+                          self.position, self.unique)
+        copy._row_count = self._row_count
+        copy._adopt(self)
+        return copy
+
+    def _adopt(self, source: "SecondaryIndex") -> None:
+        """Copy *source*'s structure-specific containers into self."""
+        raise NotImplementedError
 
     def __len__(self) -> int:
         return self._row_count
@@ -167,6 +184,10 @@ class HashIndex(SecondaryIndex):
 
     def sample_key(self) -> Any:
         return next(iter(self._buckets), None)
+
+    def _adopt(self, source: "HashIndex") -> None:
+        self._buckets = {key: list(rows)
+                         for key, rows in source._buckets.items()}
 
 
 def _entry_key(entry: tuple[Any, tuple]) -> Any:
@@ -216,6 +237,9 @@ class SortedIndex(SecondaryIndex):
 
     def sample_key(self) -> Any:
         return self._entries[0][0] if self._entries else None
+
+    def _adopt(self, source: "SortedIndex") -> None:
+        self._entries = list(source._entries)
 
     def lookup_range(self, low: Any, high: Any, low_inclusive: bool = True,
                      high_inclusive: bool = True) -> list[tuple]:

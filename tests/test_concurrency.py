@@ -1,0 +1,204 @@
+"""Threaded stress tests: N reader + M writer sessions over one shared
+Engine, asserting snapshot consistency under concurrent commits.
+
+The invariants:
+
+* **atomic visibility** — every writer transaction inserts a balanced
+  pair of rows (``+v`` and ``-v``); a reader summing the table must see
+  0 at every instant, never a half-applied transaction;
+* **unique indexes never corrupt** — concurrent writers racing inserts
+  against one UNIQUE index end with table and index in exact agreement
+  and no duplicate keys, however the conflicts and integrity errors
+  interleaved.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro import Engine, IntegrityError, TransactionError
+
+READERS = 4
+WRITERS = 3
+WRITES_PER_WRITER = 15
+READS_PER_READER = 40
+
+
+def _commit_with_retry(conn, apply, attempts: int = 50) -> None:
+    """Run *apply* in a transaction, retrying serialization conflicts
+    (first-committer-wins makes losers retry, like any SI database)."""
+    for _ in range(attempts):
+        conn.begin()
+        try:
+            apply(conn)
+            conn.commit()
+            return
+        except TransactionError:
+            continue        # commit already rolled the txn back
+        except BaseException:
+            conn.rollback()
+            raise
+    raise AssertionError("writer starved: too many commit conflicts")
+
+
+class TestBalancedInvariant:
+    def test_readers_never_see_half_applied_transactions(self):
+        engine = Engine()
+        setup = engine.connect()
+        setup.execute("CREATE TABLE acc (tag int, v int)")
+        stop = threading.Event()
+        violations: list = []
+
+        def writer(seed: int) -> None:
+            conn = engine.connect()
+            for i in range(WRITES_PER_WRITER):
+                tag = seed * 1000 + i
+
+                def apply(c, tag=tag):
+                    c.execute("INSERT INTO acc VALUES (?, ?)", (tag, 7))
+                    c.execute("INSERT INTO acc VALUES (?, ?)", (tag, -7))
+                _commit_with_retry(conn, apply)
+            conn.close()
+
+        def reader() -> None:
+            conn = engine.connect()
+            for _ in range(READS_PER_READER):
+                if stop.is_set():
+                    break
+                total = conn.execute(
+                    "SELECT sum(v) AS s FROM acc").rows[0][0]
+                if total not in (None, 0):
+                    violations.append(total)
+                # pairs must also arrive together, not one-sided
+                odd = conn.execute(
+                    "SELECT tag FROM acc GROUP BY tag "
+                    "HAVING count(*) <> 2").rows
+                if odd:
+                    violations.append(("unpaired", odd))
+            conn.close()
+
+        with ThreadPoolExecutor(max_workers=READERS + WRITERS) as pool:
+            writer_futures = [pool.submit(writer, seed)
+                              for seed in range(WRITERS)]
+            reader_futures = [pool.submit(reader) for _ in range(READERS)]
+            for future in writer_futures:
+                future.result()
+            stop.set()
+            for future in reader_futures:
+                future.result()
+
+        assert violations == []
+        final = setup.execute("SELECT count(*) AS c FROM acc").rows[0][0]
+        assert final == WRITERS * WRITES_PER_WRITER * 2
+        engine.close()
+
+    def test_snapshot_stable_while_writers_commit(self):
+        engine = Engine()
+        setup = engine.connect()
+        setup.execute("CREATE TABLE log (x int)")
+        setup.execute("INSERT INTO log VALUES (1)")
+
+        reader = engine.connect()
+        reader.begin()
+        first = reader.execute("SELECT count(*) AS c FROM log").rows[0][0]
+
+        def write() -> None:
+            conn = engine.connect()
+            for i in range(10):
+                conn.execute("INSERT INTO log VALUES (?)", (i,))
+            conn.close()
+
+        thread = threading.Thread(target=write)
+        thread.start()
+        thread.join()
+        # the open snapshot still sees the world as of BEGIN
+        assert reader.execute(
+            "SELECT count(*) AS c FROM log").rows[0][0] == first
+        reader.commit()
+        assert reader.execute(
+            "SELECT count(*) AS c FROM log").rows[0][0] == first + 10
+        engine.close()
+
+
+class TestUniqueIndexUnderConcurrency:
+    def test_unique_index_never_corrupts(self):
+        engine = Engine()
+        setup = engine.connect()
+        setup.execute("CREATE TABLE reg (k int, who int)")
+        setup.execute("CREATE UNIQUE INDEX reg_k ON reg (k)")
+        keys = list(range(25))
+
+        def claim(who: int) -> int:
+            conn = engine.connect()
+            won = 0
+            for key in keys:
+                try:
+                    def apply(c, key=key, who=who):
+                        c.execute("INSERT INTO reg VALUES (?, ?)",
+                                  (key, who))
+                    _commit_with_retry(conn, apply)
+                    won += 1
+                except IntegrityError:
+                    pass        # someone else claimed the key
+            conn.close()
+            return won
+
+        with ThreadPoolExecutor(max_workers=3) as pool:
+            futures = [pool.submit(claim, who) for who in range(3)]
+            total_claimed = sum(future.result() for future in futures)
+
+        rows = setup.execute("SELECT k, who FROM reg").rows
+        assert total_claimed == len(keys)
+        assert sorted(k for k, _ in rows) == keys       # each key once
+        index = setup.catalog.get_index("reg_k")
+        for key, who in rows:
+            assert index.lookup(key) == [(key, who)]
+        engine.close()
+
+
+class TestSharedPlanCacheUnderConcurrency:
+    def test_concurrent_executions_of_one_cached_plan(self):
+        """Many threads hammering the same SQL text must each get a
+        private physical-plan instance (the pool), never shared operator
+        state: results stay correct and complete."""
+        engine = Engine()
+        setup = engine.connect()
+        setup.execute("CREATE TABLE t (x int)")
+        setup.insert("t", [(i,) for i in range(500)])
+        sql = "SELECT x FROM t WHERE x < 250"
+        expected = sorted(setup.execute(sql).rows)
+
+        def run() -> bool:
+            conn = engine.connect(batch_size=32)
+            ok = all(sorted(conn.execute(sql).rows) == expected
+                     for _ in range(20))
+            conn.close()
+            return ok
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            results = [future.result()
+                       for future in [pool.submit(run) for _ in range(6)]]
+        assert all(results)
+        engine.close()
+
+    def test_interleaved_streaming_of_one_cached_plan(self):
+        """Single-threaded, but two cursors stream the same cached plan
+        at once — the instance pool must hand out distinct operator
+        trees."""
+        engine = Engine()
+        conn = engine.connect(batch_size=4)
+        conn.execute("CREATE TABLE t (x int)")
+        conn.insert("t", [(i,) for i in range(64)])
+        sql = "SELECT x FROM t"
+        a = conn.cursor().execute(sql)
+        b = conn.cursor().execute(sql)
+        first_a = a.fetchmany(3)
+        first_b = b.fetchmany(5)
+        assert first_a == [(0,), (1,), (2,)]
+        assert first_b == [(0,), (1,), (2,), (3,), (4,)]
+        assert len(a.fetchall()) == 61
+        assert len(b.fetchall()) == 59
+        engine.close()

@@ -1,0 +1,191 @@
+"""The streaming Result object: lazy batches, Relation compatibility,
+DB-API metadata, provenance witnesses, and the plan-once executemany."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import InterfaceError, Relation, Result, connect
+
+
+@pytest.fixture
+def conn():
+    connection = connect(batch_size=4)    # small batches: force streaming
+    cur = connection.cursor()
+    cur.execute("CREATE TABLE r (a int, b int)")
+    cur.executemany("INSERT INTO r VALUES (?, ?)",
+                    [(1, 1), (2, 1), (3, 2)])
+    cur.execute("CREATE TABLE s (c int, d int)")
+    cur.executemany("INSERT INTO s VALUES (?, ?)",
+                    [(1, 3), (2, 4), (4, 5)])
+    return connection
+
+
+class TestStreaming:
+    def test_result_is_a_relation(self, conn):
+        result = conn.execute("SELECT a FROM r")
+        assert isinstance(result, Result)
+        assert isinstance(result, Relation)
+        assert result.schema.names == ("a",)
+
+    def test_batches_stream_lazily(self, conn):
+        conn.insert("r", [(i, 0) for i in range(100)])
+        result = conn.execute("SELECT a FROM r")
+        assert result.streaming            # first batch only so far
+        it = iter(result)
+        for _ in range(5):
+            next(it)
+        assert result.streaming            # still not drained
+        assert len(result.rows) == 103     # .rows drains the rest
+        assert not result.streaming
+
+    def test_close_abandons_remaining_rows(self, conn):
+        conn.insert("r", [(i, 0) for i in range(100)])
+        result = conn.execute("SELECT a FROM r")
+        buffered = len(result.fetch(6))
+        result.close()
+        assert not result.streaming
+        assert len(result.rows) < 103      # the tail was never pulled
+        assert len(result.rows) >= buffered
+
+    def test_context_manager_closes(self, conn):
+        with conn.execute("SELECT a FROM r") as result:
+            assert result.fetch(1)
+        assert not result.streaming
+
+    def test_iteration_and_reiteration(self, conn):
+        result = conn.execute("SELECT a FROM r ORDER BY a")
+        assert list(result) == [(1,), (2,), (3,)]
+        assert list(result) == [(1,), (2,), (3,)]   # buffered: repeatable
+
+    def test_relation_helpers_still_work(self, conn):
+        result = conn.execute("SELECT a, b FROM r")
+        assert result.bag_equal(Relation.from_columns(
+            ("a", "b"), [(1, 1), (2, 1), (3, 2)]))
+        assert "a | b" in result.pretty().splitlines()[0]
+
+    def test_execution_errors_surface_at_execute(self, conn):
+        from repro import ExecutionError
+        # scalar sublink with >1 row fails at runtime; the eager first
+        # batch means execute() itself raises, not a later fetch
+        with pytest.raises(ExecutionError):
+            conn.execute("SELECT (SELECT c FROM s) AS v FROM r")
+
+    def test_dbapi_metadata(self, conn):
+        result = conn.execute("SELECT a, b FROM r")
+        assert [entry[0] for entry in result.description] == ["a", "b"]
+        assert result.rowcount == 3
+        assert {"a", "b"} == set(result.to_dicts()[0])
+
+    def test_one_shot_helpers_return_completed_results(self, conn):
+        result = conn.sql("SELECT a FROM r")
+        assert isinstance(result, Result)
+        assert not result.streaming        # benchmarks time a full drain
+
+
+class TestCursorStreaming:
+    def test_fetch_interfaces_pull_incrementally(self, conn):
+        conn.insert("r", [(i, 9) for i in range(20)])
+        cur = conn.cursor()
+        cur.execute("SELECT a FROM r WHERE b = 9")
+        assert cur.fetchone() == (0,)
+        assert cur.result.streaming
+        assert len(cur.fetchmany(3)) == 3
+        assert len(cur.fetchall()) == 16
+        assert cur.fetchone() is None
+
+    def test_new_execute_discards_pending_stream(self, conn):
+        conn.insert("r", [(i, 9) for i in range(50)])
+        cur = conn.cursor()
+        cur.execute("SELECT a FROM r")
+        first = cur.result
+        cur.execute("SELECT c FROM s")
+        assert not first.streaming         # closed, not leaked
+        assert len(cur.fetchall()) == 3
+
+
+class TestExecutemanyPlansOnce:
+    def test_insert_executemany_parses_once(self, conn):
+        parses = 0
+        original = type(conn)._parse
+
+        def counting(self, sql):
+            nonlocal parses
+            parses += 1
+            return original(self, sql)
+
+        type(conn)._parse = counting
+        try:
+            cur = conn.cursor()
+            cur.executemany("INSERT INTO r VALUES (?, ?)",
+                            [(10, 1), (11, 1), (12, 1), (13, 1)])
+        finally:
+            type(conn)._parse = original
+        assert parses == 1                 # the regression gate
+        assert cur.rowcount == 4
+
+    def test_select_executemany_hits_plan_cache(self, conn):
+        cur = conn.cursor()
+        hits_before = conn.plan_cache.hits
+        misses_before = conn.plan_cache.misses
+        cur.executemany("SELECT a FROM r WHERE a = ?",
+                        [(1,), (2,), (3,), (1,)])
+        assert conn.plan_cache.misses == misses_before + 1  # planned once
+        assert conn.plan_cache.hits >= hits_before + 3      # reused after
+        assert cur.rowcount == 4           # one row per binding
+
+    def test_prepared_executemany_single_transaction(self, conn):
+        ps = conn.prepare("INSERT INTO s VALUES (?, ?)")
+        assert ps.executemany([(7, 7), (8, 8), (9, 9)]) == 3
+        assert (8, 8) in conn.execute("SELECT * FROM s").rows
+
+
+class TestProvenanceAccessors:
+    def test_provenance_columns_split(self, conn):
+        result = conn.execute(
+            "SELECT PROVENANCE a FROM r WHERE a = ANY (SELECT c FROM s)")
+        assert result.is_provenance
+        assert result.regular_columns == ("a",)
+        assert result.provenance_columns == (
+            "prov_r_a", "prov_r_b", "prov_s_c", "prov_s_d")
+
+    def test_plain_result_has_no_witnesses(self, conn):
+        result = conn.execute("SELECT a FROM r")
+        assert not result.is_provenance
+        with pytest.raises(InterfaceError, match="no provenance"):
+            result.witnesses()
+
+    def test_witnesses_group_contributing_inputs(self, conn):
+        result = conn.execute(
+            "SELECT PROVENANCE a FROM r WHERE a = ANY (SELECT c FROM s)")
+        witnesses = result.witnesses()
+        by_tuple = {w.tuple: w for w in witnesses}
+        assert set(by_tuple) == {(1,), (2,)}
+        one = by_tuple[(1,)]
+        assert len(one) == 1               # one contributing combination
+        combo = one.inputs[0]
+        assert [c.table for c in combo] == ["r", "s"]
+        assert combo[0].row == (1, 1)      # the r tuple
+        assert combo[1].row == (1, 3)      # the witnessing s tuple
+        assert result.witnesses(0) in witnesses
+
+    def test_witness_index_out_of_range(self, conn):
+        result = conn.execute("SELECT PROVENANCE a FROM r WHERE a = 1")
+        with pytest.raises(InterfaceError, match="out of range"):
+            result.witnesses(9)
+
+    def test_multiple_witness_combinations(self, conn):
+        conn.execute("INSERT INTO s VALUES (1, 99)")
+        result = conn.execute(
+            "SELECT PROVENANCE a FROM r "
+            "WHERE a = ANY (SELECT c FROM s)")
+        one = result.witnesses()[0]
+        assert one.tuple == (1,)
+        assert len(one) == 2               # two s tuples witness a=1
+        s_rows = {combo[1].row for combo in one.inputs}
+        assert s_rows == {(1, 3), (1, 99)}
+
+    def test_strategy_recorded(self, conn):
+        result = conn.sql("SELECT PROVENANCE (gen) a FROM r WHERE a = 1")
+        assert result.strategy == "gen"
+        assert result.is_provenance

@@ -180,16 +180,22 @@ class TestSoftKeywords:
 
 class TestIndexMaintenance:
     def test_insert_and_delete_maintain_indexes(self):
+        # Committed DML swaps in fresh copy-on-write index objects
+        # (pinned snapshots keep the old ones), so the maintained index
+        # is re-fetched from the catalog after each statement.
         conn = connect()
         _populate(conn, rows=10)
         conn.execute("CREATE INDEX t_x ON t (x)")
         index = conn.catalog.get_index("t_x")
         conn.execute("INSERT INTO t VALUES (100, 0)")
+        assert index.lookup(100) == []     # pre-write object: unchanged
+        index = conn.catalog.get_index("t_x")
         assert index.lookup(100) == [(100, 0)]
         conn.execute("DELETE FROM t WHERE x = 100")
+        index = conn.catalog.get_index("t_x")
         assert index.lookup(100) == []
         conn.execute("DELETE FROM t")
-        assert len(index) == 0
+        assert len(conn.catalog.get_index("t_x")) == 0
 
     def test_direct_mutation_detected_at_scan_time(self):
         """Bulk loaders mutate relations directly; index lookups must
