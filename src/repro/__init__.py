@@ -75,6 +75,7 @@ from .errors import (
     RewriteError,
     SchemaError,
     SQLSyntaxError,
+    StorageError,
     TransactionError,
     UnsupportedFeatureError,
     Warning,
@@ -106,6 +107,7 @@ __all__ = [
     "IntegrityError", "InterfaceError", "InternalError",
     "NotSupportedError", "OperationalError", "ProgrammingError",
     "ReproError", "RewriteError", "SQLSyntaxError", "SchemaError",
-    "TransactionError", "UnsupportedFeatureError", "Warning",
+    "StorageError", "TransactionError", "UnsupportedFeatureError",
+    "Warning",
     "__version__",
 ]

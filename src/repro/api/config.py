@@ -57,6 +57,20 @@ class SessionConfig:
         False: the first statement implicitly opens a transaction that
         stays open until ``commit()`` / ``rollback()`` (DB-API style).
         Sessions can flip :attr:`Connection.autocommit` at runtime.
+    ``durability``
+        How eagerly a durable engine (``Engine(path=...)``) persists
+        commits.  ``"commit"`` (the default): every commit appends its
+        write-set to the WAL and fsyncs before returning —
+        committed-means-durable, even across power loss.
+        ``"checkpoint"``: commits append to the WAL without fsync (the
+        OS flushes when it likes; ``CHECKPOINT`` and a clean close
+        fsync), trading the fsync per commit for a bounded-loss window.
+        ``"off"``: commits are not logged at all — only an explicit
+        ``CHECKPOINT`` (or the shell's ``\\save``) writes anything.
+        Engine-level: the WAL's policy is fixed when the database
+        directory opens, so ``engine.connect()`` rejects a session
+        override that disagrees with it.  Ignored by purely in-memory
+        engines.
     """
 
     default_strategy: str = "auto"
@@ -68,6 +82,7 @@ class SessionConfig:
     batch_size: int = 1024
     use_indexes: bool = True
     autocommit: bool = True
+    durability: str = "commit"
 
     def __post_init__(self) -> None:
         self.validate()
@@ -85,6 +100,10 @@ class SessionConfig:
         if self.batch_size < 1:
             raise InterfaceError(
                 f"batch_size must be >= 1, got {self.batch_size}")
+        if self.durability not in ("off", "commit", "checkpoint"):
+            raise InterfaceError(
+                f"unknown durability {self.durability!r}; expected one "
+                f"of ['off', 'commit', 'checkpoint']")
         if self.default_strategy != strategies.AUTO and \
                 not strategies.is_registered(self.default_strategy):
             raise InterfaceError(

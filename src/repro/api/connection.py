@@ -62,9 +62,9 @@ from ..relation import Relation
 from ..schema import Attribute, Schema
 from ..sql.analyzer import Analyzer
 from ..sql.ast import (
-    AnalyzeStmt, BeginStmt, CommitStmt, CreateIndexStmt, CreateTableStmt,
-    CreateViewStmt, DeleteStmt, DropStmt, InsertStmt, RollbackStmt,
-    SelectStmt, Statement,
+    AnalyzeStmt, BeginStmt, CheckpointStmt, CommitStmt, CreateIndexStmt,
+    CreateTableStmt, CreateViewStmt, DeleteStmt, DropStmt, InsertStmt,
+    RollbackStmt, SelectStmt, Statement,
 )
 from ..sql.parser import parse_statement, parse_statements
 from .config import SessionConfig
@@ -82,17 +82,32 @@ class Connection:
 
     def __init__(self, config: SessionConfig | None = None,
                  catalog: Catalog | None = None,
-                 engine: Engine | None = None):
+                 engine: Engine | None = None,
+                 path: str | None = None):
         if engine is not None:
             if catalog is not None and catalog is not engine.catalog:
                 raise InterfaceError(
                     "pass either an engine or a catalog, not both")
+            if path is not None:
+                raise InterfaceError(
+                    "pass either an engine or a path, not both — open "
+                    "the durable engine first and connect() to it")
             self._engine = engine
             self._private_engine = False
             self.config = config or engine.config
+            if engine.storage is not None and \
+                    self.config.durability != engine.storage.durability:
+                # the WAL's fsync policy was fixed when the directory
+                # opened; a session believing in a different guarantee
+                # is a bug waiting for a power cut
+                raise InterfaceError(
+                    f"durability is fixed at engine open "
+                    f"({engine.storage.durability!r}); pass it to "
+                    f"Engine(path=..., config=...) instead of a "
+                    f"session")
         else:
             self.config = config or SessionConfig()
-            self._engine = Engine(self.config, catalog)
+            self._engine = Engine(self.config, catalog, path=path)
             self._private_engine = True
         self.last_stats: ExecutionStats | None = None
         #: autocommit (the default): every statement is its own
@@ -661,6 +676,9 @@ class Connection:
         if isinstance(statement, RollbackStmt):
             self.rollback()
             return None
+        if isinstance(statement, CheckpointStmt):
+            self._engine.checkpoint()
+            return None
         return self._write(
             lambda txn: self._apply_statement(txn, statement, values))
 
@@ -729,12 +747,19 @@ class Connection:
 
 
 def connect(config: SessionConfig | None = None,
-            catalog: Catalog | None = None, **options: Any) -> Connection:
+            catalog: Catalog | None = None, path: str | None = None,
+            **options: Any) -> Connection:
     """Open a session on a new private engine.
 
     Keyword *options* are :class:`SessionConfig` fields, as a shorthand::
 
         conn = connect(default_strategy="left", plan_cache_size=64)
+
+    *path* opens (or creates, or crash-recovers) a **durable** database
+    directory — snapshot plus write-ahead log::
+
+        conn = connect(path="/data/mydb")     # open-or-recover
+        conn.execute("CHECKPOINT")            # compact WAL -> snapshot
 
     To share one engine between sessions (threads), create an
     :class:`~repro.api.engine.Engine` and call its ``connect()`` instead.
@@ -744,7 +769,7 @@ def connect(config: SessionConfig | None = None,
             config = config.with_options(**options)
         else:
             config = SessionConfig(**options)
-    return Connection(config, catalog)
+    return Connection(config, catalog, path=path)
 
 
 def _constant(expr: Expr, params: tuple = ()) -> Any:

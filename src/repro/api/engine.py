@@ -142,11 +142,28 @@ class Engine:
     inherit (each :meth:`connect` call may override fields); *catalog*
     adopts an existing catalog (the TPC-H loaders and tests build one up
     front).
+
+    *path* makes the engine **durable**: the directory is created or
+    recovered (snapshot + committed WAL suffix; a torn WAL tail —
+    a crash mid-commit — is discarded), every commit appends its
+    write-set to the WAL per ``config.durability``, and
+    :meth:`checkpoint` (SQL: ``CHECKPOINT``) compacts the log into a
+    fresh snapshot.
     """
 
     def __init__(self, config: SessionConfig | None = None,
-                 catalog: Catalog | None = None):
+                 catalog: Catalog | None = None,
+                 path: "str | None" = None):
         self.config = config or SessionConfig()
+        self.storage = None
+        if path is not None:
+            if catalog is not None:
+                raise InterfaceError(
+                    "pass either a catalog or a path, not both — a "
+                    "durable engine recovers its catalog from disk")
+            from ..storage.store import DurableStore
+            self.storage, catalog = DurableStore.open(
+                path, self.config.durability)
         self.catalog = catalog if catalog is not None else Catalog()
         self.plan_cache = PlanCache(self.config.plan_cache_size)
         self.lock = RWLock()
@@ -174,7 +191,8 @@ class Engine:
         if config is None:
             config = self.config
         # each session gets its own copy, so runtime mutation of one
-        # session's config never leaks into its siblings
+        # session's config never leaks into its siblings (Connection
+        # validates durability against the opened store)
         config = config.with_options(**options)
         return Connection(config, engine=self)
 
@@ -192,7 +210,8 @@ class Engine:
         return len(self._sessions)
 
     def close(self) -> None:
-        """Close the engine and every session still open on it."""
+        """Close the engine and every session still open on it (a
+        durable engine flushes and closes its WAL)."""
         if self._closed:
             return
         self._closed = True
@@ -200,6 +219,40 @@ class Engine:
             session.close()
         self._sessions.clear()
         self.plan_cache.clear()
+        if self.storage is not None:
+            # under the write lock, so the WAL fd is never yanked out
+            # from under a commit's in-flight append
+            with self.lock.write():
+                self.storage.close()
+
+    # -- durability -----------------------------------------------------------
+
+    @property
+    def path(self) -> "str | None":
+        """The database directory of a durable engine, or None."""
+        return None if self.storage is None else str(self.storage.path)
+
+    def checkpoint(self) -> str:
+        """Compact the WAL into a fresh snapshot (SQL: ``CHECKPOINT``).
+
+        Runs under the write lock, so the image is a committed-state
+        cut; returns the database directory.  Raises
+        :class:`~repro.errors.StorageError` on an in-memory engine —
+        there is nowhere to persist to (``Engine(path=...)`` /
+        ``connect(path=...)`` attach one).
+        """
+        if self.storage is None:
+            from ..errors import StorageError
+            raise StorageError(
+                "engine has no durable storage; open the database with "
+                "Engine(path=...) or connect(path=...)")
+        with self.lock.write():
+            # re-checked under the lock: a close() racing this call
+            # must not see its WAL resurrected by the checkpoint
+            if self._closed:
+                raise InterfaceError("engine is closed")
+            self.storage.checkpoint(self.catalog)
+        return str(self.storage.path)
 
     # -- snapshots and transactions -------------------------------------------
 

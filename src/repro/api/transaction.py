@@ -25,6 +25,11 @@ snapshot: a table whose ``Relation`` object differs from the snapshot's
 was written (privatized); names present on one side only were created or
 dropped.  Explicit op tracking is only needed for the drop-then-recreate
 corner, which must behave as DDL (plan invalidation), not as a data swap.
+
+On a durable engine (``Engine(path=...)``) the validated write-set is
+additionally appended to the write-ahead log — and, in ``"commit"``
+durability, fsynced — before the in-memory apply, so every published
+commit is recoverable (:mod:`repro.storage.wal`).
 """
 
 from __future__ import annotations
@@ -55,6 +60,13 @@ class Transaction:
         self._base_catalog_version = self.catalog.version
         self._base_stats_version = self.catalog.stats_version
         self._recreated: set[str] = set()   # dropped-then-recreated names
+        # Row-level write-set, tracked only when commits are WAL-logged:
+        # table -> (deleted rows, inserted rows).  Lets the commit log a
+        # big table's small DML in O(delta) instead of re-diffing the
+        # whole table under the write lock.
+        storage = engine.storage
+        self._track_wal = storage is not None and storage.logs_commits
+        self._wal_deltas: dict[str, tuple[list, list]] = {}
         self._finished = False
 
     # -- state ----------------------------------------------------------------
@@ -121,6 +133,9 @@ class Transaction:
                     index.remove(row)
             raise
         stored.rows = new_rows      # rebind: open streams keep the old list
+        if self._track_wal:
+            self._wal_deltas.setdefault(
+                name.lower(), ([], []))[1].extend(added)
         return len(added)
 
     def delete_rows(self, name: str, removed: list[tuple]) -> None:
@@ -128,6 +143,9 @@ class Transaction:
         table's rows in place."""
         self._check_active()
         self.catalog.note_delete(name, removed)
+        if self._track_wal:
+            self._wal_deltas.setdefault(
+                name.lower(), ([], []))[0].extend(removed)
 
     def create_table(self, name: str, schema, rows=()) -> None:
         self._check_active()
@@ -166,6 +184,17 @@ class Transaction:
 # ---------------------------------------------------------------------------
 # Commit: validate, then apply — caller holds the engine's write lock.
 # ---------------------------------------------------------------------------
+
+def same_index_def(left, right) -> bool:
+    """Whether two same-named index objects define the same index.
+
+    The commit diff cannot use object identity alone — privatizing a
+    written table *clones* its indexes — so an index counts as changed
+    only when its definition does.  Shared with the WAL writer, which
+    must log exactly the drops/creates the live apply performs.
+    """
+    return (left.table == right.table and left.column == right.column
+            and left.kind == right.kind and left.unique == right.unique)
 
 def apply_commit(txn: Transaction, live: Catalog) -> None:
     """First-committer-wins validation followed by an apply step that
@@ -235,9 +264,10 @@ def apply_commit(txn: Transaction, live: Catalog) -> None:
     new_indexes = []      # (index object or rebuilt copy, bump-only flag)
     gone_indexes = []     # names to drop from the live catalog
     for name, index in private._indexes.items():
-        if name in txn._base_indexes:
-            continue
-        if name in live._indexes:
+        base = txn._base_indexes.get(name)
+        if base is not None and same_index_def(base, index):
+            continue    # pre-existing index, or its copy-on-write clone
+        if base is None and name in live._indexes:
             raise TransactionError(
                 f"could not serialize access: index {name!r} was "
                 f"concurrently created")
@@ -259,20 +289,52 @@ def apply_commit(txn: Transaction, live: Catalog) -> None:
                     f"could not serialize access: {exc}") from exc
         new_indexes.append((index, False))
     for name, index in txn._base_indexes.items():
-        if name in private._indexes:
-            continue
+        survivor = private._indexes.get(name)
+        if survivor is not None and same_index_def(survivor, index):
+            continue    # kept (possibly as a clone), not dropped/replaced
         if index.table in touched or index.table in dropped:
             gone_indexes.append((name, True))   # removed via swap / drop
             continue
-        if name not in live._indexes:
+        live_index = live._indexes.get(name)
+        if live_index is None:
             raise TransactionError(
                 f"could not serialize access: index {name!r} was "
                 f"concurrently dropped")
+        if not same_index_def(live_index, index):
+            # definition, not just presence: a concurrent transaction
+            # replaced the index — dropping the *name* would clobber
+            # its committed definition (first-committer-wins).  A mere
+            # clone (concurrent DML on the table) keeps the definition
+            # and may be dropped.
+            raise TransactionError(
+                f"could not serialize access: index {name!r} was "
+                f"concurrently replaced")
         gone_indexes.append((name, False))
 
+    # -- write-ahead log ----------------------------------------------------
+    # The validated write-set is logged (and, per the durability mode,
+    # fsynced) *before* the first shared-state mutation: an append or
+    # fsync failure aborts the commit with the live catalog untouched,
+    # so the log may run ahead of memory but never behind it.
+    storage = txn.engine.storage
+    if storage is not None and storage.logs_commits:
+        from ..storage.wal import collect_commit_ops, encode_commit_ops
+        ops = collect_commit_ops(txn, created, dropped, written,
+                                 new_views, gone_views,
+                                 new_indexes, gone_indexes)
+        if ops:
+            storage.append_commit(encode_commit_ops(ops))
+
     # -- apply (no failure paths from here on) ------------------------------
+    # Index drops run before installs so that a replaced index name
+    # (DROP INDEX i; CREATE INDEX i ON other...) frees its entry first.
     for key in dropped:
         live.drop(key)
+    for name, swapped in gone_indexes:
+        if swapped:
+            live.bump_ddl()
+        else:
+            live.drop_index(name)
     for key in created:
         live.install_table(key, final_tables[key],
                            private.indexes_on(key))
@@ -282,11 +344,6 @@ def apply_commit(txn: Transaction, live: Catalog) -> None:
         live.create_view(name, query)
     for name in gone_views:
         live.drop_view(name)
-    for name, swapped in gone_indexes:
-        if swapped:
-            live.bump_ddl()
-        else:
-            live.drop_index(name)
     for index, swapped in new_indexes:
         if swapped:
             live.bump_ddl()

@@ -49,10 +49,12 @@ def main(argv: list[str] | None = None) -> int:
              "on the synthetic provenance workload, if the Unn plan "
              "stops hash-joining, if IndexNestedLoopJoin is not at "
              "least 2x faster than NestedLoopJoin on the indexed "
-             "point-lookup join workload, or if K sessions sharing one "
+             "point-lookup join workload, if K sessions sharing one "
              "Engine do not deliver at least 2x the aggregate throughput "
              "of K sequential single-connection runs on the read-heavy "
-             "mix")
+             "mix, or if reopening a checkpointed database from its "
+             "snapshot is not at least 2x faster than rebuilding it "
+             "from CSV + re-ANALYZE")
     parser.add_argument(
         "--repeats", type=int, default=20, metavar="N",
         help="repeated executions for --smoke (default 20)")
@@ -103,8 +105,13 @@ def main(argv: list[str] | None = None) -> int:
             print("FAIL: shared-Engine concurrent throughput below the "
                   "2x floor over sequential single-connection runs")
             return 1
-        print("ok: plan cache, pipelined engine, index joins and the "
-              "shared Engine deliver the expected speedups")
+        if result.reopen_speedup < 2.0:
+            print("FAIL: snapshot reopen speedup over CSV rebuild + "
+                  "re-ANALYZE below the 2x floor")
+            return 1
+        print("ok: plan cache, pipelined engine, index joins, the "
+              "shared Engine and snapshot reopen deliver the expected "
+              "speedups")
         return 0
 
     if args.figure is None:

@@ -28,6 +28,16 @@ Four checks, all run by CI as regression gates:
   sequential baseline — is what the engine-wide plan cache plus
   lock-free snapshot reads buy a multi-session deployment.
 
+* **Durability** — the payoff of the binary snapshot: a database
+  (typed table, two secondary indexes, ANALYZE statistics) is
+  checkpointed to a database directory and also exported as CSV; the
+  gated ratio compares reopening from the snapshot
+  (``connect(path=...)`` — columnar decode + bulk index rebuild +
+  stored statistics) against rebuilding the same state cold from the
+  CSV (parse + insert + CREATE INDEX + re-ANALYZE).  Reopen must stay
+  at least 2x faster, or restarts of a production deployment would be
+  better served by CSV reload than by the storage subsystem.
+
 * **Indexes** — an indexed point-lookup workload (prepared
   ``k = ?`` lookups against a unique hash index versus the same session
   with ``use_indexes=False``, which plans the filtered sequential scan)
@@ -41,6 +51,9 @@ Four checks, all run by CI as regression gates:
 
 from __future__ import annotations
 
+import os
+import shutil
+import tempfile
 import threading
 import time
 from collections import Counter
@@ -81,6 +94,10 @@ _CONCURRENCY_THREADS = 4
 _CONCURRENCY_ROUNDS = 1
 _CONCURRENCY_DISTINCT = 20
 
+#: Durability workload: rows in the checkpointed/reloaded table.  Big
+#: enough that per-row costs dominate fixed open/parse overheads.
+_DURABLE_ROWS = 12000
+
 
 @dataclass
 class SmokeResult:
@@ -106,6 +123,9 @@ class SmokeResult:
     concurrency_queries: int      # total statements per side
     sequential_seconds: float     # K cold single-connection runs, serial
     concurrent_seconds: float     # K threads sharing one Engine
+    durable_rows: int             # rows in the durability workload
+    csv_reload_seconds: float     # cold CSV rebuild + index + ANALYZE
+    snapshot_open_seconds: float  # connect(path=...) on the checkpoint
 
     @property
     def speedup(self) -> float:
@@ -143,6 +163,13 @@ class SmokeResult:
             return float("inf")
         return self.sequential_seconds / self.concurrent_seconds
 
+    @property
+    def reopen_speedup(self) -> float:
+        """Snapshot reopen vs rebuilding from CSV + re-ANALYZE."""
+        if self.snapshot_open_seconds == 0:
+            return float("inf")
+        return self.csv_reload_seconds / self.snapshot_open_seconds
+
     def to_dict(self) -> dict:
         """JSON-friendly form (uploaded as a CI artifact so BENCH_*
         trajectories are comparable across PRs)."""
@@ -152,6 +179,7 @@ class SmokeResult:
         data["index_lookup_speedup"] = self.index_lookup_speedup
         data["index_join_speedup"] = self.index_join_speedup
         data["concurrency_speedup"] = self.concurrency_speedup
+        data["reopen_speedup"] = self.reopen_speedup
         return data
 
 
@@ -388,6 +416,76 @@ def _run_concurrency(threads: int = _CONCURRENCY_THREADS,
     return threads, total, sequential_seconds, concurrent_seconds
 
 
+_DURABLE_DDL = "CREATE TABLE events (id int, grp int, val float, note text)"
+_DURABLE_INDEXES = (
+    "CREATE UNIQUE INDEX events_id ON events (id)",
+    "CREATE INDEX events_grp ON events (grp) USING sorted",
+)
+
+
+def _durable_rows(count: int) -> list[tuple]:
+    return [(i, i % 53, (i % 97) * 0.5, f"note-{i % 11}")
+            for i in range(count)]
+
+
+def _run_durability(rows_n: int = _DURABLE_ROWS
+                    ) -> tuple[int, float, float]:
+    """Checkpointed-snapshot reopen vs cold CSV rebuild (best of 3)."""
+    from ..io import dump_csv, load_csv
+
+    base = tempfile.mkdtemp(prefix="repro-smoke-")
+    try:
+        dbdir = os.path.join(base, "db")
+        csv_path = os.path.join(base, "events.csv")
+        seed = connect(path=dbdir)
+        seed.execute(_DURABLE_DDL)
+        seed.insert("events", _durable_rows(rows_n))
+        for ddl in _DURABLE_INDEXES:
+            seed.execute(ddl)
+        seed.execute("ANALYZE")
+        dump_csv(seed.catalog.get("events"), csv_path)
+        seed.execute("CHECKPOINT")
+        expected = Counter(seed.execute("SELECT * FROM events").rows)
+        seed.close()
+
+        def rebuild_from_csv():
+            conn = connect()
+            conn.execute(_DURABLE_DDL)
+            load_csv(Database(conn), "events", csv_path)
+            for ddl in _DURABLE_INDEXES:
+                conn.execute(ddl)
+            conn.execute("ANALYZE")
+            return conn
+
+        def reopen_snapshot():
+            return connect(path=dbdir)
+
+        timings: dict[str, float] = {}
+        for label, build in (("csv", rebuild_from_csv),
+                             ("snapshot", reopen_snapshot)):
+            best = float("inf")
+            for _ in range(3):
+                start = time.perf_counter()
+                conn = build()
+                best = min(best, time.perf_counter() - start)
+                if Counter(conn.execute(
+                        "SELECT * FROM events").rows) != expected:
+                    raise AssertionError(
+                        f"{label} rebuild disagrees with the "
+                        f"checkpointed database")
+                if sorted(conn.catalog.index_names()) != \
+                        ["events_grp", "events_id"]:
+                    raise AssertionError(f"{label} rebuild lost indexes")
+                if conn.catalog.stats.get("events") is None:
+                    raise AssertionError(
+                        f"{label} rebuild lost statistics")
+                conn.close()
+            timings[label] = best
+        return rows_n, timings["csv"], timings["snapshot"]
+    finally:
+        shutil.rmtree(base, ignore_errors=True)
+
+
 def _run_indexes(repeats: int,
                  lookups: int = _INDEX_LOOKUPS
                  ) -> tuple[int, float, float, int, float, float]:
@@ -415,6 +513,8 @@ def run_smoke(repeats: int = 20, engine_repeats: int = 5) -> SmokeResult:
         _run_indexes(engine_repeats)
     (concurrency_threads, concurrency_queries, sequential_seconds,
      concurrent_seconds) = _run_concurrency()
+    durable_rows, csv_reload_seconds, snapshot_open_seconds = \
+        _run_durability()
     return SmokeResult(
         repeats=repeats,
         legacy_seconds=legacy_seconds,
@@ -436,6 +536,9 @@ def run_smoke(repeats: int = 20, engine_repeats: int = 5) -> SmokeResult:
         concurrency_queries=concurrency_queries,
         sequential_seconds=sequential_seconds,
         concurrent_seconds=concurrent_seconds,
+        durable_rows=durable_rows,
+        csv_reload_seconds=csv_reload_seconds,
+        snapshot_open_seconds=snapshot_open_seconds,
     )
 
 
@@ -479,4 +582,11 @@ def format_smoke(result: SmokeResult) -> str:
         f"shared-engine total      "
         f"{result.concurrent_seconds * 1000:8.3f} ms",
         f"concurrency speedup      {result.concurrency_speedup:8.1f}x",
+        "-- durability (snapshot reopen vs CSV rebuild) --",
+        f"table rows               {result.durable_rows}",
+        f"CSV rebuild + ANALYZE    "
+        f"{result.csv_reload_seconds * 1000:8.3f} ms",
+        f"snapshot reopen          "
+        f"{result.snapshot_open_seconds * 1000:8.3f} ms",
+        f"reopen speedup           {result.reopen_speedup:8.1f}x",
     ])

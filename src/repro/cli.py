@@ -15,6 +15,9 @@ command                effect
 ``\\cache``             show plan-cache statistics
 ``\\tpch [scale]``      load a TPC-H instance into the session
 ``\\i <file>``          run a SQL script
+``\\save [dir]``        checkpoint the durable database (or export the
+                       in-memory session as a database directory)
+``\\open <dir>``        open (or crash-recover) a durable database
 ``\\q``                 quit
 =====================  ===================================================
 
@@ -32,6 +35,14 @@ transaction (the prompt shows ``repro*>`` while one is open),
 ``COMMIT`` publishes it atomically and ``ROLLBACK`` discards it —
 restoring tables, indexes and statistics to their pre-``BEGIN`` state.
 
+Durability: ``\\open <dir>`` switches the session onto a durable engine
+over that database directory (created, opened, or crash-recovered —
+snapshot plus committed WAL suffix); from then on every commit is
+write-ahead-logged per the session's ``durability`` config, and
+``CHECKPOINT`` (or ``\\save``) compacts the log into a fresh snapshot.
+``\\save <dir>`` from an in-memory session exports the current catalog
+as a database directory that ``\\open`` can load later.
+
 Everything else is executed as SQL (``SELECT PROVENANCE ...`` included)
 through the session's plan cache, so repeating a query skips planning.
 Start with ``python -m repro --strategy left`` to pick the default
@@ -41,6 +52,7 @@ strategy up front; names resolve through the strategy registry.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import time
 
@@ -107,9 +119,19 @@ class Shell:
             from .tpch import install_views, load_tpch
             scale = float(args[0]) if args else 0.0001
             generated = load_tpch(scale=scale)
-            for table in generated.catalog.names():
-                self.conn.catalog.register(
-                    table, generated.catalog.get(table), replace=True)
+            engine = self.conn.engine
+            with engine.lock.write():
+                for table in generated.catalog.names():
+                    self.conn.catalog.register(
+                        table, generated.catalog.get(table),
+                        replace=True)
+                if engine.storage is not None:
+                    # register() bypasses the transactional WAL path;
+                    # checkpointing inside the same lock hold (the
+                    # write lock is reentrant) makes the bulk load
+                    # durable *before* the WAL-logged view commits
+                    # below can reference the new tables
+                    engine.checkpoint()
             install_views(self.conn)
             print(f"loaded TPC-H at scale {scale}", file=out)
         elif command == "\\i":
@@ -119,11 +141,64 @@ class Shell:
                 with open(args[0]) as handle:
                     self.conn.execute_script(handle.read())
                 print(f"ran {args[0]}", file=out)
+        elif command == "\\save":
+            self._save(args[0] if args else None, out)
+        elif command == "\\open":
+            if not args:
+                print("usage: \\open <dir>", file=out)
+            else:
+                self._open(args[0], out)
         else:
             print(f"unknown command {command}; try \\d, \\strategy, "
                   f"\\explain, \\stats, \\timing, \\cache, \\tpch, \\i, "
-                  f"\\q", file=out)
+                  f"\\save, \\open, \\q", file=out)
         return True
+
+    def _save(self, path: str | None, out) -> None:
+        """Checkpoint the durable engine, or export the in-memory
+        catalog as a database directory."""
+        engine = self.conn.engine
+        try:
+            if path is None or (engine.storage is not None
+                                and os.path.realpath(engine.storage.path)
+                                == os.path.realpath(path)):
+                if engine.storage is None:
+                    print("this session is in-memory; usage: "
+                          "\\save <dir> (or \\open <dir> first)",
+                          file=out)
+                    return
+                print(f"checkpointed {engine.checkpoint()}", file=out)
+                return
+            from .storage.store import save_database
+            target = save_database(path, engine.snapshot())
+            print(f"saved {target}", file=out)
+        except ReproError as exc:
+            print(f"error: {exc}", file=out)
+
+    def _open(self, path: str, out) -> None:
+        """Switch the session onto a durable engine over *path*
+        (creating or crash-recovering the database directory)."""
+        from .api import Connection
+        old = self.conn
+        if old.in_transaction:
+            print("a transaction is in progress; COMMIT or ROLLBACK "
+                  "before \\open", file=out)
+            return
+        storage = old.engine.storage
+        if storage is not None and \
+                os.path.realpath(storage.path) == os.path.realpath(path):
+            print(f"{path} is already open", file=out)
+            return
+        try:
+            conn = Connection(old.config, path=path)
+        except ReproError as exc:
+            print(f"error: {exc}", file=out)
+            return
+        self.db = Database(conn)
+        self.conn = conn
+        old.close()
+        names = conn.catalog.names()
+        print(f"opened {path} ({len(names)} table(s))", file=out)
 
     def _list_tables(self, out) -> None:
         catalog = self.conn.catalog
@@ -187,7 +262,7 @@ class Shell:
             if isinstance(result, Relation):
                 print(result.pretty(), file=out)
                 print(f"({len(result.rows)} rows)", file=out)
-            elif head in ("BEGIN", "COMMIT", "ROLLBACK"):
+            elif head in ("BEGIN", "COMMIT", "ROLLBACK", "CHECKPOINT"):
                 print(head, file=out)     # psql-style command tags
             else:
                 print("ok", file=out)

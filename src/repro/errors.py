@@ -148,3 +148,10 @@ class TransactionError(OperationalError):
     """A transaction could not proceed — e.g. a snapshot-isolation commit
     found that a concurrently committed transaction already changed a
     table this one wrote (first-committer-wins)."""
+
+
+class StorageError(OperationalError):
+    """Durable storage failed: a snapshot or WAL file is missing its
+    magic, a record's CRC32 does not match its payload, a value carries
+    an unknown type tag, or the engine was asked to persist without a
+    database directory attached."""

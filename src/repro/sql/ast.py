@@ -170,6 +170,13 @@ class RollbackStmt:
     """``ROLLBACK [TRANSACTION | WORK]`` — discard the open transaction."""
 
 
+@dataclass
+class CheckpointStmt:
+    """``CHECKPOINT`` — compact the durable engine's write-ahead log
+    into a fresh snapshot (requires ``Engine(path=...)``)."""
+
+
 Statement = (SelectStmt | CreateTableStmt | CreateViewStmt
              | CreateIndexStmt | AnalyzeStmt | InsertStmt | DropStmt
-             | DeleteStmt | BeginStmt | CommitStmt | RollbackStmt)
+             | DeleteStmt | BeginStmt | CommitStmt | RollbackStmt
+             | CheckpointStmt)

@@ -35,7 +35,7 @@ KEYWORDS = {
     "end", "cast", "asc", "desc", "insert", "into", "values", "create",
     "table", "view", "drop", "delete", "update", "set", "index",
     "unique", "using", "analyze", "begin", "commit", "rollback",
-    "transaction", "work",
+    "transaction", "work", "checkpoint",
 }
 
 _MULTI_OPERATORS = ("<>", "<=", ">=", "!=", "||")

@@ -31,10 +31,10 @@ from ..expressions.ast import (
     or_all,
 )
 from .ast import (
-    AnalyzeStmt, BeginStmt, CommitStmt, CreateIndexStmt, CreateTableStmt,
-    CreateViewStmt, DeleteStmt, DropStmt, InsertStmt, JoinExpr, OrderItem,
-    RollbackStmt, SelectItem, SelectStmt, Star, Statement, SubqueryRef,
-    TableRef,
+    AnalyzeStmt, BeginStmt, CheckpointStmt, CommitStmt, CreateIndexStmt,
+    CreateTableStmt, CreateViewStmt, DeleteStmt, DropStmt, InsertStmt,
+    JoinExpr, OrderItem, RollbackStmt, SelectItem, SelectStmt, Star,
+    Statement, SubqueryRef, TableRef,
 )
 from .lexer import Token, TokenKind, tokenize
 
@@ -46,7 +46,8 @@ _COMPARISON_OPS = {"=", "<>", "<", "<=", ">", ">="}
 #: parsing after the index/statistics DDL was added, and a column named
 #: ``commit`` keeps parsing after the transaction statements were).
 _SOFT_KEYWORDS = ("index", "unique", "using", "analyze", "begin",
-                  "commit", "rollback", "transaction", "work")
+                  "commit", "rollback", "transaction", "work",
+                  "checkpoint")
 
 
 class _Parser:
@@ -136,6 +137,9 @@ class _Parser:
             return self._parse_analyze()
         if self.current.is_keyword("begin", "commit", "rollback"):
             return self._parse_transaction()
+        if self.current.is_keyword("checkpoint"):
+            self.advance()
+            return CheckpointStmt()
         raise self.error("expected a statement")
 
     def _parse_transaction(self) -> Statement:

@@ -1,11 +1,44 @@
-"""Storage-side access structures.
+"""Storage: secondary indexes and the durable persistence subsystem.
 
-Currently: secondary indexes (:mod:`repro.storage.index`) created with
-``CREATE INDEX`` and consulted by the cost-based physical lowering
-(:class:`~repro.engine.physical.IndexScan`,
-:class:`~repro.engine.physical.IndexNestedLoopJoin`).
+* :mod:`repro.storage.index` — secondary indexes created with
+  ``CREATE INDEX`` and consulted by the cost-based physical lowering
+  (:class:`~repro.engine.physical.IndexScan`,
+  :class:`~repro.engine.physical.IndexNestedLoopJoin`).
+* :mod:`repro.storage.codec` — the on-disk value/row codec and the
+  CRC32-framed record format shared by snapshot and WAL.
+* :mod:`repro.storage.snapshot` — atomic binary snapshots of the whole
+  catalog (tables, views, index definitions, statistics).
+* :mod:`repro.storage.wal` — the write-ahead log of committed
+  write-sets, replayed on open.
+* :mod:`repro.storage.store` — :class:`DurableStore`, the database
+  directory (open-or-recover, fsync-on-commit, checkpointing) behind
+  ``Engine(path=...)``.
+
+The durable modules import :mod:`repro.catalog` (which itself imports
+:mod:`repro.storage.index`), so they are exported lazily to keep the
+package import acyclic.
 """
 
 from .index import HashIndex, SecondaryIndex, SortedIndex, build_index
 
-__all__ = ["HashIndex", "SecondaryIndex", "SortedIndex", "build_index"]
+__all__ = [
+    "DurableStore", "HashIndex", "SecondaryIndex", "SortedIndex",
+    "build_index", "load_snapshot", "save_database", "write_snapshot",
+]
+
+_LAZY = {
+    "DurableStore": ("repro.storage.store", "DurableStore"),
+    "save_database": ("repro.storage.store", "save_database"),
+    "load_snapshot": ("repro.storage.snapshot", "load_snapshot"),
+    "write_snapshot": ("repro.storage.snapshot", "write_snapshot"),
+}
+
+
+def __getattr__(name: str):
+    try:
+        module_name, attr = _LAZY[name]
+    except KeyError:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}") from None
+    import importlib
+    return getattr(importlib.import_module(module_name), attr)

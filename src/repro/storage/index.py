@@ -185,6 +185,34 @@ class HashIndex(SecondaryIndex):
     def sample_key(self) -> Any:
         return next(iter(self._buckets), None)
 
+    def build(self, rows: Sequence[tuple]) -> None:
+        """Bulk (re)build: one pass into fresh buckets, instead of
+        per-row :meth:`insert` calls — the path snapshot recovery and
+        bulk deletes take."""
+        buckets: dict[Any, list[tuple]] = {}
+        position = self.position
+        unique = self.unique
+        try:
+            for row in rows:
+                key = row[position]
+                if key is None:
+                    continue
+                bucket = buckets.get(key)
+                if bucket is None:
+                    buckets[key] = [row]
+                elif unique:
+                    raise IntegrityError(
+                        f"duplicate value {key!r} violates unique index "
+                        f"{self.name!r} on {self.table}({self.column})")
+                else:
+                    bucket.append(row)
+        except TypeError:
+            raise CatalogError(
+                f"unhashable key in {self.kind} index {self.name!r} on "
+                f"{self.table}({self.column})") from None
+        self._buckets = buckets
+        self._row_count = len(rows)
+
     def _adopt(self, source: "HashIndex") -> None:
         self._buckets = {key: list(rows)
                          for key, rows in source._buckets.items()}
@@ -237,6 +265,30 @@ class SortedIndex(SecondaryIndex):
 
     def sample_key(self) -> Any:
         return self._entries[0][0] if self._entries else None
+
+    def build(self, rows: Sequence[tuple]) -> None:
+        """Bulk (re)build: collect-and-sort (stable, so equal keys keep
+        row order like repeated ``insort_right`` would) instead of a
+        per-row ``insort``, which shifts O(n) entries per insert."""
+        position = self.position
+        entries = [(row[position], row) for row in rows
+                   if row[position] is not None]
+        try:
+            entries.sort(key=_entry_key)
+        except TypeError:
+            raise CatalogError(
+                f"keys of sorted index {self.name!r} on "
+                f"{self.table}({self.column}) are not mutually "
+                f"comparable") from None
+        if self.unique:
+            for i in range(1, len(entries)):
+                if entries[i - 1][0] == entries[i][0]:
+                    raise IntegrityError(
+                        f"duplicate value {entries[i][0]!r} violates "
+                        f"unique index {self.name!r} on "
+                        f"{self.table}({self.column})")
+        self._entries = entries
+        self._row_count = len(rows)
 
     def _adopt(self, source: "SortedIndex") -> None:
         self._entries = list(source._entries)

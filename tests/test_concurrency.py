@@ -10,6 +10,15 @@ The invariants:
   against one UNIQUE index end with table and index in exact agreement
   and no duplicate keys, however the conflicts and integrity errors
   interleaved.
+
+Synchronization is **event-based**, never wall-clock: a
+:class:`threading.Barrier` releases readers and writers together (so
+readers actually observe mid-commit windows instead of racing a warmup),
+and readers run until a done-event says every writer committed — not for
+a fixed iteration count that a loaded CI box could finish before the
+first write lands.  Writer retries are bounded by commit *progress*
+(first-committer-wins guarantees some transaction wins every round, so
+a loser retries at most once per concurrent commit), not by time.
 """
 
 from __future__ import annotations
@@ -24,10 +33,14 @@ from repro import Engine, IntegrityError, TransactionError
 READERS = 4
 WRITERS = 3
 WRITES_PER_WRITER = 15
-READS_PER_READER = 40
+#: Ceiling on serialization-conflict retries per transaction.  Losing a
+#: first-committer-wins race requires some *other* transaction to have
+#: committed, so the retries of one transaction are bounded by the total
+#: number of commits in the run — this is that bound, not a timing guess.
+MAX_RETRIES = WRITERS * WRITES_PER_WRITER + READERS + 8
 
 
-def _commit_with_retry(conn, apply, attempts: int = 50) -> None:
+def _commit_with_retry(conn, apply, attempts: int = MAX_RETRIES) -> None:
     """Run *apply* in a transaction, retrying serialization conflicts
     (first-committer-wins makes losers retry, like any SI database)."""
     for _ in range(attempts):
@@ -41,7 +54,9 @@ def _commit_with_retry(conn, apply, attempts: int = 50) -> None:
         except BaseException:
             conn.rollback()
             raise
-    raise AssertionError("writer starved: too many commit conflicts")
+    raise AssertionError(
+        "writer retried more often than the total number of commits in "
+        "the run — conflicts are not making progress")
 
 
 class TestBalancedInvariant:
@@ -49,25 +64,39 @@ class TestBalancedInvariant:
         engine = Engine()
         setup = engine.connect()
         setup.execute("CREATE TABLE acc (tag int, v int)")
-        stop = threading.Event()
+        start = threading.Barrier(READERS + WRITERS)
+        writers_done = threading.Event()
+        done_lock = threading.Lock()
+        writers_finished = [0]
         violations: list = []
+        reads = [0] * READERS
 
         def writer(seed: int) -> None:
             conn = engine.connect()
-            for i in range(WRITES_PER_WRITER):
-                tag = seed * 1000 + i
+            start.wait()
+            try:
+                for i in range(WRITES_PER_WRITER):
+                    tag = seed * 1000 + i
 
-                def apply(c, tag=tag):
-                    c.execute("INSERT INTO acc VALUES (?, ?)", (tag, 7))
-                    c.execute("INSERT INTO acc VALUES (?, ?)", (tag, -7))
-                _commit_with_retry(conn, apply)
-            conn.close()
+                    def apply(c, tag=tag):
+                        c.execute("INSERT INTO acc VALUES (?, ?)",
+                                  (tag, 7))
+                        c.execute("INSERT INTO acc VALUES (?, ?)",
+                                  (tag, -7))
+                    _commit_with_retry(conn, apply)
+            finally:
+                # the last writer to finish releases the readers
+                with done_lock:
+                    writers_finished[0] += 1
+                    if writers_finished[0] == WRITERS:
+                        writers_done.set()
+                conn.close()
 
-        def reader() -> None:
+        def reader(slot: int) -> None:
             conn = engine.connect()
-            for _ in range(READS_PER_READER):
-                if stop.is_set():
-                    break
+            start.wait()
+
+            def observe() -> None:
                 total = conn.execute(
                     "SELECT sum(v) AS s FROM acc").rows[0][0]
                 if total not in (None, 0):
@@ -78,19 +107,23 @@ class TestBalancedInvariant:
                     "HAVING count(*) <> 2").rows
                 if odd:
                     violations.append(("unpaired", odd))
+                reads[slot] += 1
+
+            while not writers_done.is_set():
+                observe()
+            observe()       # at least one read sees the final state
             conn.close()
 
         with ThreadPoolExecutor(max_workers=READERS + WRITERS) as pool:
-            writer_futures = [pool.submit(writer, seed)
-                              for seed in range(WRITERS)]
-            reader_futures = [pool.submit(reader) for _ in range(READERS)]
-            for future in writer_futures:
-                future.result()
-            stop.set()
-            for future in reader_futures:
+            futures = [pool.submit(writer, seed)
+                       for seed in range(WRITERS)]
+            futures += [pool.submit(reader, slot)
+                        for slot in range(READERS)]
+            for future in futures:
                 future.result()
 
         assert violations == []
+        assert all(count >= 1 for count in reads)
         final = setup.execute("SELECT count(*) AS c FROM acc").rows[0][0]
         assert final == WRITERS * WRITES_PER_WRITER * 2
         engine.close()
@@ -130,9 +163,11 @@ class TestUniqueIndexUnderConcurrency:
         setup.execute("CREATE TABLE reg (k int, who int)")
         setup.execute("CREATE UNIQUE INDEX reg_k ON reg (k)")
         keys = list(range(25))
+        start = threading.Barrier(3)     # all claimers race from rest
 
         def claim(who: int) -> int:
             conn = engine.connect()
+            start.wait()
             won = 0
             for key in keys:
                 try:
