@@ -1,0 +1,65 @@
+"""Serving over the network: boot the wire server in-process, connect
+with the async client, and run a provenance query over TCP.
+
+The server speaks the PostgreSQL v3 wire protocol, so everything below
+also works from stock ``psql``::
+
+    PYTHONPATH=src python -m repro.serve --port 5433 &
+    psql -h 127.0.0.1 -p 5433 -U repro
+
+Run with::
+
+    PYTHONPATH=src python examples/serve_and_query.py
+"""
+
+import asyncio
+
+from repro.client import connect
+from repro.server import Server, ServerConfig
+
+
+async def main() -> None:
+    # Port 0 picks a free ephemeral port; a real deployment would use
+    # ``python -m repro.serve`` with --users / --database routing.
+    config = ServerConfig(
+        port=0,
+        users={"repro": None, "alice": "s3cret"},   # None = trust
+        max_connections=16,
+    )
+    async with Server(config) as server:
+        print(f"serving on 127.0.0.1:{server.port}")
+
+        conn = await connect("127.0.0.1", server.port,
+                             user="alice", password="s3cret")
+
+        # -- simple protocol: several statements in one round trip -----
+        results = await conn.query(
+            "CREATE TABLE r (a int, b int); "
+            "INSERT INTO r VALUES (1, 10); "
+            "INSERT INTO r VALUES (2, 20); "
+            "INSERT INTO r VALUES (3, 20)")
+        print("tags:", [r.tag for r in results])
+
+        # -- extended protocol: $n parameters, server-side prepare -----
+        result = await conn.execute(
+            "SELECT a, b FROM r WHERE b = $1", (20,))
+        print("b = 20 ->", result.rows)
+
+        # -- transactions over the wire --------------------------------
+        await conn.begin()
+        await conn.execute("INSERT INTO r VALUES (4, 40)")
+        await conn.rollback()
+
+        # -- provenance, streamed in batches through a portal ----------
+        statement = await conn.prepare(
+            "SELECT PROVENANCE a FROM r WHERE b >= $1")
+        print("columns:", [name for name, _ in statement.description])
+        async for row in statement.stream((10,), batch=2):
+            print("  row:", row)
+        await statement.close()
+
+        await conn.close()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

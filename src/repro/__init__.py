@@ -39,6 +39,11 @@ transactions under snapshot isolation::
         conn.execute("INSERT INTO r VALUES (9, 9)")
         # invisible to other sessions until commit
 
+Over the network: ``python -m repro.serve`` boots an asyncio server
+speaking the PostgreSQL v3 wire protocol (``psql`` connects directly),
+and :mod:`repro.client` provides async and blocking client connections —
+see :mod:`repro.server`.
+
 Prepared statements and cursors share the engine's LRU plan cache keyed
 by ``(sql, strategy, session knobs, catalog version, stats version)``;
 rewrite strategies — the built-in four included — resolve through the
@@ -58,8 +63,10 @@ from .db import Database
 from .engine import ExecutionStats, Executor
 from .errors import (
     AnalyzerError,
+    AuthenticationError,
     BindError,
     CatalogError,
+    ConnectionLimitError,
     DatabaseError,
     DataError,
     Error,
@@ -71,9 +78,11 @@ from .errors import (
     NotSupportedError,
     OperationalError,
     ProgrammingError,
+    ProtocolError,
     ReproError,
     RewriteError,
     SchemaError,
+    ServerShutdownError,
     SQLSyntaxError,
     StorageError,
     TransactionError,
@@ -102,11 +111,13 @@ __all__ = [
     "Result", "RewriteResult", "SQLType", "Schema", "SessionConfig",
     "Transaction", "Witness", "connect",
     "apilevel", "paramstyle", "threadsafety",
-    "AnalyzerError", "BindError", "CatalogError", "DataError",
+    "AnalyzerError", "AuthenticationError", "BindError", "CatalogError",
+    "ConnectionLimitError", "DataError",
     "DatabaseError", "Error", "ExecutionError", "ExpressionError",
     "IntegrityError", "InterfaceError", "InternalError",
     "NotSupportedError", "OperationalError", "ProgrammingError",
-    "ReproError", "RewriteError", "SQLSyntaxError", "SchemaError",
+    "ProtocolError", "ReproError", "RewriteError", "SQLSyntaxError",
+    "SchemaError", "ServerShutdownError",
     "StorageError", "TransactionError", "UnsupportedFeatureError",
     "Warning",
     "__version__",

@@ -42,6 +42,8 @@ state.
 
 from __future__ import annotations
 
+import threading
+import weakref
 from contextlib import contextmanager
 from typing import Any, Iterable, Sequence
 
@@ -117,6 +119,16 @@ class Connection:
         self._txn: Transaction | None = None
         self._txn_cache: PlanCache | None = None
         self._closed = False
+        # guards transitions of the transaction state (_txn) so that
+        # close() from another thread — e.g. a server tearing down a
+        # dead client while its statement thread is still running —
+        # serializes against begin/commit/rollback instead of racing
+        # them into a double rollback
+        self._state_lock = threading.Lock()
+        # live streaming Results minted by this session; close() sweeps
+        # them so abandoned streams release their leased plan instances
+        # (weak: a GC'd Result's generator finalizer already releases)
+        self._live_results: "weakref.WeakSet" = weakref.WeakSet()
         self._engine.register(self)
 
     # -- shared state ---------------------------------------------------------
@@ -145,16 +157,26 @@ class Connection:
 
     def close(self) -> None:
         """Close the session: roll back any open transaction (releasing
-        its snapshot) and deregister from the engine.  Idempotent —
-        double-close is a no-op.  A private engine closes with its only
-        session; a shared engine (and its plan cache) lives on."""
-        if self._closed:
-            return
-        self._closed = True
-        txn, self._txn = self._txn, None
-        self._txn_cache = None
-        if txn is not None:
-            txn.rollback()
+        its snapshot) and deregister from the engine.  Idempotent and
+        thread-safe — concurrent close() calls (or a close racing a
+        commit/rollback on another thread) run the teardown exactly
+        once.  A private engine closes with its only session; a shared
+        engine (and its plan cache) lives on.
+
+        A statement already executing on another thread keeps running
+        against its pinned snapshot; only the *next* call on this
+        session observes the closed state.
+        """
+        with self._state_lock:
+            if self._closed:
+                return
+            self._closed = True
+            txn, self._txn = self._txn, None
+            self._txn_cache = None
+            if txn is not None:
+                txn.rollback()
+        for result in list(self._live_results):
+            result.close()
         self._engine.release(self)
         if self._private_engine:
             self._engine.close()
@@ -183,11 +205,13 @@ class Connection:
         Until commit/rollback, every read sees the catalog as of this
         moment plus the transaction's own writes; writes stay private.
         """
-        self._check_open()
-        if self._txn is not None:
-            raise ProgrammingError("a transaction is already in progress")
-        self._txn = self._engine.begin()
-        self._txn_cache = None
+        with self._state_lock:
+            self._check_open()
+            if self._txn is not None:
+                raise ProgrammingError(
+                    "a transaction is already in progress")
+            self._txn = self._engine.begin()
+            self._txn_cache = None
 
     def commit(self) -> None:
         """Publish the open transaction's changes atomically (SQL:
@@ -196,22 +220,24 @@ class Connection:
         committed transaction changed a table this one wrote (state is
         rolled back).  Without an open transaction this is a no-op
         (DB-API compatibility for autocommit sessions)."""
-        self._check_open()
-        txn, self._txn = self._txn, None
-        self._txn_cache = None
-        if txn is not None:
-            txn.commit()
+        with self._state_lock:
+            self._check_open()
+            txn, self._txn = self._txn, None
+            self._txn_cache = None
+            if txn is not None:
+                txn.commit()
 
     def rollback(self) -> None:
         """Discard the open transaction: tables, indexes and statistics
         all revert to their pre-``BEGIN`` state (they were never touched
         — writes went to private copies).  Without an open transaction
         this is a no-op."""
-        self._check_open()
-        txn, self._txn = self._txn, None
-        self._txn_cache = None
-        if txn is not None:
-            txn.rollback()
+        with self._state_lock:
+            self._check_open()
+            txn, self._txn = self._txn, None
+            self._txn_cache = None
+            if txn is not None:
+                txn.rollback()
 
     @contextmanager
     def transaction(self):
@@ -555,8 +581,10 @@ class Connection:
                 cached.release_physical(instance)
 
         self._finish_stats(executor)    # counters update live as batches
-        return Result(instance.schema, batches(),  # are consumed
-                      strategy=cached.strategy, accesses=cached.accesses)
+        result = Result(instance.schema, batches(),  # are consumed
+                        strategy=cached.strategy, accesses=cached.accesses)
+        self._live_results.add(result)
+        return result
 
     def _execute_uncached(self, plan: Operator, param_count: int,
                           params: Sequence[Any], catalog: Catalog,

@@ -169,6 +169,10 @@ class Engine:
         self.lock = RWLock()
         self._sessions: "weakref.WeakSet[Connection]" = weakref.WeakSet()
         self._closed = False
+        # serializes close() against concurrent close()/checkpoint()
+        # callers — close must run its teardown exactly once even when
+        # several threads (server shutdown, a finalizer, user code) race
+        self._close_lock = threading.Lock()
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -211,17 +215,24 @@ class Engine:
 
     def close(self) -> None:
         """Close the engine and every session still open on it (a
-        durable engine flushes and closes its WAL)."""
-        if self._closed:
-            return
-        self._closed = True
+        durable engine flushes and closes its WAL).
+
+        Idempotent and thread-safe: concurrent close() calls run the
+        teardown exactly once, and closing while other sessions are
+        mid-statement is safe — open transactions are rolled back under
+        each session's state lock, readers keep streaming from their
+        pinned snapshots, and the WAL is closed under the write lock so
+        it is never yanked out from under an in-flight commit.
+        """
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         for session in list(self._sessions):
             session.close()
         self._sessions.clear()
         self.plan_cache.clear()
         if self.storage is not None:
-            # under the write lock, so the WAL fd is never yanked out
-            # from under a commit's in-flight append
             with self.lock.write():
                 self.storage.close()
 

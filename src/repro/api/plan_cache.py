@@ -65,6 +65,11 @@ class CachedPlan:
     #: across executions of this plan (keyed by expression node identity
     #: — valid only for ``plan``).
     compiled: dict[int, Any] = field(default_factory=dict)
+    #: physical instances currently leased (acquired, not yet returned).
+    #: Observable through :meth:`PlanCache.leased_instances` — a non-zero
+    #: steady-state value means some execution path abandoned a streaming
+    #: result without closing it.
+    leased: int = 0
     _pool: list[PhysicalPlan] = field(default_factory=list, repr=False)
     _pool_lock: threading.Lock = field(default_factory=threading.Lock,
                                        repr=False)
@@ -84,6 +89,7 @@ class CachedPlan:
         """Lease an exclusive physical instance, lowering a fresh one via
         *lower* when every pooled instance is in use."""
         with self._pool_lock:
+            self.leased += 1
             if self._pool:
                 return self._pool.pop()
         instance = lower()
@@ -94,6 +100,7 @@ class CachedPlan:
     def release_physical(self, instance: PhysicalPlan) -> None:
         """Return a leased instance to the pool (dropped when full)."""
         with self._pool_lock:
+            self.leased -= 1
             if len(self._pool) < _POOL_CAP:
                 self._pool.append(instance)
 
@@ -149,6 +156,17 @@ class PlanCache:
         """Drop every entry (counters are kept)."""
         with self._lock:
             self._entries.clear()
+
+    def leased_instances(self) -> int:
+        """Physical instances currently leased across all cached plans.
+
+        Zero at quiescence; a persistent positive value is a leak — a
+        streaming :class:`~repro.api.result.Result` was abandoned
+        without :meth:`~repro.api.result.Result.close` (e.g. a network
+        client vanished mid-stream and the server failed to clean up).
+        """
+        with self._lock:
+            return sum(entry.leased for entry in self._entries.values())
 
     def stats(self) -> dict[str, int]:
         """Counters for monitoring: hits, misses, current size, capacity."""

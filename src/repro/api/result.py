@@ -75,8 +75,10 @@ class Result(Relation):
     """A (possibly still streaming) query result; see the module
     docstring."""
 
+    # __weakref__ lets sessions track live streaming results without
+    # keeping abandoned ones alive (Connection.close sweeps the set)
     __slots__ = ("_batches", "_exhausted", "_on_close", "_accesses",
-                 "_strategy")
+                 "_strategy", "__weakref__")
 
     def __init__(self, schema: Schema, batches: Iterator[list] | None = None,
                  rows: list | None = None,

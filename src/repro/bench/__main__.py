@@ -56,12 +56,25 @@ def main(argv: list[str] | None = None) -> int:
              "snapshot is not at least 2x faster than rebuilding it "
              "from CSV + re-ANALYZE")
     parser.add_argument(
+        "--serve", action="store_true",
+        help="run the network-serving load benchmark: boot the wire "
+             "server on an ephemeral port, drive it with --clients "
+             "concurrent repro.client connections, and report q/s plus "
+             "p50/p99 latency; exits non-zero if served throughput "
+             "drops below 0.5x the in-process baseline")
+    parser.add_argument(
+        "--clients", type=int, default=16, metavar="N",
+        help="concurrent client connections for --serve (default 16)")
+    parser.add_argument(
+        "--duration", type=float, default=2.0, metavar="SECONDS",
+        help="measured load window for --serve (default 2.0)")
+    parser.add_argument(
         "--repeats", type=int, default=20, metavar="N",
         help="repeated executions for --smoke (default 20)")
     parser.add_argument(
         "--json", metavar="PATH", default=None,
-        help="with --smoke, also write the results as JSON to PATH "
-             "(uploaded as a CI artifact)")
+        help="with --smoke or --serve, also write the results as JSON "
+             "to PATH (uploaded as a CI artifact)")
     parser.add_argument(
         "--instances", type=int, default=3,
         metavar="N", help="random query instances per point (default 3)")
@@ -72,6 +85,29 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--verbose", action="store_true",
                         help="print each point as it is measured")
     args = parser.parse_args(argv)
+
+    if args.serve:
+        if args.clients < 1:
+            parser.error("--clients must be >= 1")
+        if args.duration <= 0:
+            parser.error("--duration must be > 0")
+        from .serve import format_serve, run_serve_bench
+        result = run_serve_bench(clients=args.clients,
+                                 duration=args.duration)
+        print("== serving load benchmark ==")
+        print(format_serve(result))
+        if args.json:
+            import json
+            with open(args.json, "w") as handle:
+                json.dump(result.to_dict(), handle, indent=2)
+            print(f"wrote {args.json}")
+        if result.ratio < 0.5:
+            print("FAIL: served throughput below 0.5x of the "
+                  "in-process baseline")
+            return 1
+        print("ok: the network layer keeps at least half of "
+              "in-process throughput")
+        return 0
 
     if args.smoke:
         if args.repeats < 1:

@@ -18,8 +18,17 @@ command                effect
 ``\\save [dir]``        checkpoint the durable database (or export the
                        in-memory session as a database directory)
 ``\\open <dir>``        open (or crash-recover) a durable database
+``\\connect h:p [u]``   attach to a wire server (``python -m repro.serve``)
+``\\disconnect``        detach from the server, back to the local session
 ``\\q``                 quit
 =====================  ===================================================
+
+While ``\\connect host:port [user[:password] [database]]`` is attached,
+SQL goes to the remote server over the PostgreSQL wire protocol through
+:class:`repro.client.SyncConnection` — transactions, errors and command
+tags behave exactly as against a local session, and the prompt shows the
+remote address.  Catalog meta commands (``\\d``, ``\\stats``, ...) keep
+operating on the *local* session and say so.
 
 SQL-level plan inspection mirrors PostgreSQL: ``EXPLAIN <select>``
 prints the physical plan — with the cost model's estimated rows and
@@ -72,6 +81,9 @@ class Shell:
             self.db = db or Database()
         self.conn = self.db.connection
         self.timing = False
+        #: wire connection while ``\connect``-ed to a server, else None
+        self.remote = None
+        self.remote_name = ""
 
     @property
     def strategy(self) -> str:
@@ -90,7 +102,13 @@ class Shell:
         parts = line.split()
         command, args = parts[0], parts[1:]
         if command in ("\\q", "\\quit"):
+            self._disconnect(out, quiet=True)
             return False
+        if self.remote is not None and command in (
+                "\\d", "\\strategy", "\\explain", "\\stats", "\\cache",
+                "\\tpch", "\\save", "\\open", "\\i"):
+            print(f"(note: {command} operates on the local session, "
+                  f"not {self.remote_name})", file=out)
         if command == "\\d":
             if args:
                 self._describe(args[0], out)
@@ -148,11 +166,61 @@ class Shell:
                 print("usage: \\open <dir>", file=out)
             else:
                 self._open(args[0], out)
+        elif command == "\\connect":
+            if not args:
+                print("usage: \\connect host:port [user[:password] "
+                      "[database]]", file=out)
+            else:
+                self._connect(args, out)
+        elif command == "\\disconnect":
+            self._disconnect(out)
         else:
             print(f"unknown command {command}; try \\d, \\strategy, "
                   f"\\explain, \\stats, \\timing, \\cache, \\tpch, \\i, "
-                  f"\\save, \\open, \\q", file=out)
+                  f"\\save, \\open, \\connect, \\disconnect, \\q",
+                  file=out)
         return True
+
+    def _connect(self, args: list, out) -> None:
+        """Attach the shell to a wire server; SQL then goes remote."""
+        from .client import SyncConnection
+        target = args[0]
+        host, sep, port = target.rpartition(":")
+        if not sep or not port.isdigit():
+            print("usage: \\connect host:port [user[:password] "
+                  "[database]]", file=out)
+            return
+        spec = args[1] if len(args) > 1 else "repro"
+        user, has_password, password = spec.partition(":")
+        database = args[2] if len(args) > 2 else None
+        try:
+            remote = SyncConnection(
+                host or "127.0.0.1", int(port), user=user,
+                password=password if has_password else None,
+                database=database)
+        except (ReproError, OSError) as exc:
+            print(f"error: {exc}", file=out)
+            return
+        self._disconnect(out, quiet=True)
+        self.remote = remote
+        self.remote_name = f"{host or '127.0.0.1'}:{port}"
+        version = remote.parameters.get("server_version", "?")
+        print(f"connected to {self.remote_name} as {user} "
+              f"(server {version})", file=out)
+
+    def _disconnect(self, out, quiet: bool = False) -> None:
+        """Detach from the server; SQL goes to the local session again."""
+        remote, self.remote = self.remote, None
+        self.remote_name = ""
+        if remote is not None:
+            try:
+                remote.close()
+            except (ReproError, OSError):
+                pass
+            if not quiet:
+                print("disconnected; back to the local session", file=out)
+        elif not quiet:
+            print("not connected to a server", file=out)
 
     def _save(self, path: str | None, out) -> None:
         """Checkpoint the durable engine, or export the in-memory
@@ -245,6 +313,9 @@ class Shell:
     # -- SQL ----------------------------------------------------------------------
 
     def run_sql(self, text: str, out) -> None:
+        if self.remote is not None:
+            self._run_remote_sql(text, out)
+            return
         started = time.perf_counter()
         try:
             from .relation import Relation
@@ -272,6 +343,42 @@ class Shell:
         if self.timing:
             elapsed = (time.perf_counter() - started) * 1000
             print(f"time: {elapsed:.1f} ms", file=out)
+
+    def _run_remote_sql(self, text: str, out) -> None:
+        """Send *text* to the attached server via the simple query
+        protocol and render the per-statement results psql-style."""
+        started = time.perf_counter()
+        try:
+            results = self.remote.query(text)
+        except ReproError as exc:
+            print(f"error: {exc}", file=out)
+            if self.remote is not None and self.remote.closed:
+                self._disconnect(out)
+            return
+        except OSError as exc:
+            print(f"connection lost: {exc}", file=out)
+            self._disconnect(out)
+            return
+        for result in results:
+            if result.description is not None:
+                self._print_table(result, out)
+            print(result.tag or "ok", file=out)
+        if self.timing:
+            elapsed = (time.perf_counter() - started) * 1000
+            print(f"time: {elapsed:.1f} ms", file=out)
+
+    @staticmethod
+    def _print_table(result, out) -> None:
+        cells = [[("" if value is None else str(value))
+                  for value in row] for row in result.rows]
+        widths = [max([len(name)] + [len(row[i]) for row in cells])
+                  for i, name in enumerate(result.columns)]
+        print(" | ".join(name.ljust(width) for name, width
+                         in zip(result.columns, widths)), file=out)
+        print("-+-".join("-" * width for width in widths), file=out)
+        for row in cells:
+            print(" | ".join(cell.ljust(width) for cell, width
+                             in zip(row, widths)), file=out)
 
     def run_line(self, line: str, out) -> bool:
         """Process one input line; returns False to quit."""
@@ -307,8 +414,13 @@ def main(argv: list[str] | None = None) -> int:
     buffer: list[str] = []
     while True:
         # a psql-style "*" marks an open transaction
-        mark = "*" if shell.conn.in_transaction else ""
-        prompt = f"repro{mark}> " if not buffer else "  ...> "
+        if shell.remote is not None:
+            mark = "*" if shell.remote.transaction_status in "TE" else ""
+            base = shell.remote_name
+        else:
+            mark = "*" if shell.conn.in_transaction else ""
+            base = "repro"
+        prompt = f"{base}{mark}> " if not buffer else "  ...> "
         try:
             line = input(prompt)
         except EOFError:

@@ -1,0 +1,34 @@
+"""Pure-asyncio client for the repro wire server.
+
+Async::
+
+    from repro.client import connect
+
+    conn = await connect("127.0.0.1", 5433, user="repro")
+    result = await conn.execute("SELECT * FROM r WHERE a > $1", (1,))
+    print(result.columns, result.rows)
+    await conn.close()
+
+Blocking (private event loop on a daemon thread)::
+
+    from repro.client import SyncConnection
+
+    with SyncConnection("127.0.0.1", 5433, user="repro") as conn:
+        print(conn.execute("SELECT 1 + 1").rows)
+
+Server errors re-raise as the matching :mod:`repro.errors` exception,
+so network and in-process code share one error-handling path.
+"""
+
+from .connection import (
+    AsyncConnection, AsyncPreparedStatement, ClientResult, connect,
+)
+from .sync import SyncConnection
+
+__all__ = [
+    "AsyncConnection",
+    "AsyncPreparedStatement",
+    "ClientResult",
+    "SyncConnection",
+    "connect",
+]

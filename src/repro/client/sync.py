@@ -1,0 +1,87 @@
+"""Blocking facade over the asyncio client.
+
+A :class:`SyncConnection` owns a private event loop on a daemon thread
+and forwards every call with ``run_coroutine_threadsafe``, giving
+synchronous callers — the interactive shell's ``\\connect`` mode, quick
+scripts — the same wire connection without touching asyncio themselves.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+
+from .connection import AsyncConnection, ClientResult, connect
+
+
+class SyncConnection:
+    """A blocking wrapper around one :class:`AsyncConnection`."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 5433, *,
+                 user: str = "repro", password: "str | None" = None,
+                 database: "str | None" = None, timeout: float = 10.0):
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever,
+            name="repro-client", daemon=True)
+        self._thread.start()
+        try:
+            self._conn: AsyncConnection = self._call(connect(
+                host, port, user=user, password=password,
+                database=database, timeout=timeout))
+        except BaseException:
+            self._shutdown_loop()
+            raise
+
+    def _call(self, coro):
+        return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
+
+    def _shutdown_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join()
+        self._loop.close()
+
+    # -- statements -----------------------------------------------------------
+
+    def execute(self, sql: str, params: tuple = ()) -> ClientResult:
+        return self._call(self._conn.execute(sql, params))
+
+    def query(self, sql: str) -> "list[ClientResult]":
+        return self._call(self._conn.query(sql))
+
+    def begin(self) -> None:
+        self._call(self._conn.begin())
+
+    def commit(self) -> None:
+        self._call(self._conn.commit())
+
+    def rollback(self) -> None:
+        self._call(self._conn.rollback())
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def transaction_status(self) -> str:
+        return self._conn.transaction_status
+
+    @property
+    def parameters(self) -> dict:
+        return self._conn.parameters
+
+    @property
+    def closed(self) -> bool:
+        return self._conn.closed
+
+    def close(self) -> None:
+        """Terminate the session and stop the client thread; idempotent."""
+        if self._thread.is_alive():
+            try:
+                self._call(self._conn.close())
+            finally:
+                self._shutdown_loop()
+
+    def __enter__(self) -> "SyncConnection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

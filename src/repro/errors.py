@@ -155,3 +155,25 @@ class StorageError(OperationalError):
     magic, a record's CRC32 does not match its payload, a value carries
     an unknown type tag, or the engine was asked to persist without a
     database directory attached."""
+
+
+class ProtocolError(OperationalError):
+    """The network wire protocol was violated: a malformed or truncated
+    message, an unknown message type, a length field that disagrees with
+    its payload, or a message arriving in the wrong protocol phase."""
+
+
+class AuthenticationError(OperationalError):
+    """A network client failed to authenticate: unknown user or
+    database, wrong password, or an unsupported authentication
+    exchange."""
+
+
+class ConnectionLimitError(OperationalError):
+    """The server refused a new connection because its admission limit
+    (``max_connections``) is reached."""
+
+
+class ServerShutdownError(OperationalError):
+    """The server is shutting down and terminated this session after
+    draining its in-flight work."""

@@ -1,0 +1,101 @@
+"""Command-line server launcher: ``python -m repro.serve``.
+
+Examples::
+
+    # in-memory database "repro", trust auth, port 5433
+    python -m repro.serve
+
+    # durable database over ./data, password-protected user
+    python -m repro.serve --database main=./data --user alice:secret
+
+    psql -h 127.0.0.1 -p 5433 -U alice main
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import logging
+import sys
+
+from .server import ServerConfig, serve
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.serve",
+        description="Serve repro databases over the PostgreSQL wire "
+                    "protocol.")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="interface to bind (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=5433,
+                        help="TCP port (default 5433; 0 picks a free one)")
+    parser.add_argument(
+        "--database", action="append", metavar="NAME[=PATH]", default=[],
+        help="serve a database: NAME alone is in-memory, NAME=PATH opens "
+             "a durable engine over PATH (repeatable; default: in-memory "
+             "'repro')")
+    parser.add_argument(
+        "--user", action="append", metavar="NAME[:PASSWORD]", default=[],
+        help="allow a user: NAME alone is trust auth, NAME:PASSWORD "
+             "demands that cleartext password (repeatable; default: "
+             "trust 'repro')")
+    parser.add_argument("--max-connections", type=int, default=64,
+                        help="admission-control limit (default 64)")
+    parser.add_argument("--workers", type=int, default=8,
+                        help="engine worker threads (default 8)")
+    parser.add_argument("--shutdown-timeout", type=float, default=10.0,
+                        help="seconds to drain in-flight statements on "
+                             "shutdown (default 10)")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="log connections and errors")
+    return parser
+
+
+def build_config(args: argparse.Namespace) -> ServerConfig:
+    users: dict = {}
+    for spec in args.user:
+        name, sep, password = spec.partition(":")
+        users[name] = password if sep else None
+    databases: dict = {}
+    for spec in args.database:
+        name, sep, path = spec.partition("=")
+        databases[name] = path if sep else None
+    kwargs = dict(host=args.host, port=args.port,
+                  max_connections=args.max_connections,
+                  worker_threads=args.workers,
+                  shutdown_timeout=args.shutdown_timeout)
+    if users:
+        kwargs["users"] = users
+    if databases:
+        kwargs["databases"] = databases
+    return ServerConfig(**kwargs)
+
+
+async def _run(config: ServerConfig) -> None:
+    server = await serve(config)
+    print(f"repro server listening on {config.host}:{server.port} "
+          f"(databases: {', '.join(sorted(config.databases))})",
+          file=sys.stderr)
+    try:
+        await server.serve_forever()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await server.stop()
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    logging.basicConfig(
+        level=logging.INFO if args.verbose else logging.WARNING,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s")
+    try:
+        asyncio.run(_run(build_config(args)))
+    except KeyboardInterrupt:
+        print("shutting down", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

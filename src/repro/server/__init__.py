@@ -1,0 +1,34 @@
+"""Network serving layer: a PostgreSQL-wire front end over shared
+:class:`~repro.api.Engine` cores.
+
+- :mod:`repro.server.protocol` — the pure wire codec (framing, message
+  types, text-format values, SQLSTATE mapping);
+- :mod:`repro.server.auth` — :class:`ServerConfig`: users, database
+  routing, admission control;
+- :mod:`repro.server.backend` — :class:`BackendSession`: the per-
+  connection state machine mapping wire messages onto an engine session;
+- :mod:`repro.server.server` — :class:`Server`: the asyncio TCP server.
+
+Start one from Python::
+
+    from repro.server import Server, ServerConfig
+
+    async def main():
+        async with Server(ServerConfig(port=5433)) as server:
+            await server.serve_forever()
+
+or from the command line: ``python -m repro.serve --port 5433``.
+"""
+
+from .auth import DEFAULT_DATABASE, DEFAULT_USER, ServerConfig
+from .backend import BackendSession
+from .server import Server, serve
+
+__all__ = [
+    "BackendSession",
+    "DEFAULT_DATABASE",
+    "DEFAULT_USER",
+    "Server",
+    "ServerConfig",
+    "serve",
+]

@@ -1,0 +1,494 @@
+"""Per-client backend session: wire messages onto an Engine session.
+
+One :class:`BackendSession` exists per authenticated client connection.
+Its methods are synchronous — the asyncio server runs them on the worker
+thread pool — and return iterators of encoded wire messages, so large
+results stream out in bounded chunks instead of materializing a whole
+response.
+
+It owns:
+
+* the engine session (:class:`~repro.api.Connection`) this client's
+  statements run on, with its transaction state;
+* the extended-protocol namespaces: prepared statements (Parse) and
+  portals (Bind), including the ``$n`` -> ``?`` placeholder translation
+  that lets PostgreSQL-style drivers prepare against the engine's
+  ``qmark`` parameter style;
+* the *failed transaction* state machine: after an error inside an
+  explicit transaction, every statement except COMMIT / ROLLBACK is
+  refused with SQLSTATE 25P02 until the transaction block ends —
+  matching PostgreSQL, and proven by the error-recovery integration
+  tests.
+
+:meth:`close` tears everything down — every open portal's streaming
+:class:`~repro.api.result.Result` is closed first, so a client that
+vanishes mid-stream releases its pinned snapshot and its leased physical
+plan instance (the disconnect leak test pins exactly this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..api.connection import Connection
+from ..api.result import Result
+from ..errors import OperationalError, ProtocolError, TransactionError
+from ..schema import Schema
+from ..sql.ast import (
+    AnalyzeStmt, BeginStmt, CheckpointStmt, CommitStmt, CreateIndexStmt,
+    CreateTableStmt, CreateViewStmt, DeleteStmt, DropStmt, InsertStmt,
+    RollbackStmt, SelectStmt, Statement,
+)
+from ..sql.parser import parse_statement, parse_statements
+from . import protocol
+
+#: Rows per streamed chunk when the client did not bound Execute.
+STREAM_CHUNK = 256
+
+
+def translate_placeholders(sql: str) -> tuple[str, tuple[int, ...] | None]:
+    """Rewrite PostgreSQL ``$n`` parameters to the engine's ``?`` style.
+
+    Returns the rewritten SQL plus the 1-based parameter number for each
+    ``?`` in appearance order (None when the text used no ``$n`` at
+    all).  Quoted strings/identifiers and ``--`` / ``/* */`` comments
+    are skipped, so a literal ``'$1'`` survives untouched.
+    """
+    out = []
+    order: list[int] = []
+    i, n = 0, len(sql)
+    while i < n:
+        ch = sql[i]
+        if ch == "'" or ch == '"':
+            quote = ch
+            out.append(ch)
+            i += 1
+            while i < n:
+                out.append(sql[i])
+                if sql[i] == quote:
+                    if i + 1 < n and sql[i + 1] == quote:  # '' escape
+                        out.append(quote)
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                i += 1
+            continue
+        if ch == "-" and sql[i:i + 2] == "--":
+            end = sql.find("\n", i)
+            end = n if end < 0 else end + 1
+            out.append(sql[i:end])
+            i = end
+            continue
+        if ch == "/" and sql[i:i + 2] == "/*":
+            end = sql.find("*/", i)
+            end = n if end < 0 else end + 2
+            out.append(sql[i:end])
+            i = end
+            continue
+        if ch == "$" and i + 1 < n and sql[i + 1].isdigit():
+            j = i + 1
+            while j < n and sql[j].isdigit():
+                j += 1
+            order.append(int(sql[i + 1:j]))
+            out.append("?")
+            i = j
+            continue
+        out.append(ch)
+        i += 1
+    if not order:
+        return sql, None
+    expected = set(range(1, max(order) + 1))
+    if set(order) != expected:
+        missing = min(expected - set(order))
+        raise ProtocolError(f"there is no parameter ${missing}")
+    return "".join(out), tuple(order)
+
+
+def command_tag(statement: Statement, rowcount: int | None) -> str:
+    """The CommandComplete tag for an executed statement."""
+    if isinstance(statement, SelectStmt):
+        return f"SELECT {rowcount or 0}"
+    if isinstance(statement, InsertStmt):
+        return f"INSERT 0 {rowcount or 0}"
+    if isinstance(statement, DeleteStmt):
+        return f"DELETE {rowcount or 0}"
+    if isinstance(statement, BeginStmt):
+        return "BEGIN"
+    if isinstance(statement, CommitStmt):
+        return "COMMIT"
+    if isinstance(statement, RollbackStmt):
+        return "ROLLBACK"
+    if isinstance(statement, CreateTableStmt):
+        return "CREATE TABLE"
+    if isinstance(statement, CreateViewStmt):
+        return "CREATE VIEW"
+    if isinstance(statement, CreateIndexStmt):
+        return "CREATE INDEX"
+    if isinstance(statement, AnalyzeStmt):
+        return "ANALYZE"
+    if isinstance(statement, CheckpointStmt):
+        return "CHECKPOINT"
+    if isinstance(statement, DropStmt):
+        return f"DROP {statement.kind.upper()}"
+    return "OK"
+
+
+@dataclass
+class PreparedEntry:
+    """One server-side prepared statement (Parse target)."""
+
+    name: str
+    sql: str                                  # as sent (possibly $n style)
+    translated: str                           # engine (?-style) text
+    order: tuple[int, ...] | None             # $n per ?, appearance order
+    prepared: object | None                   # PreparedStatement; None=empty
+    param_oids: tuple[int, ...] = ()          # declared (padded) OIDs
+
+    @property
+    def n_params(self) -> int:
+        if self.prepared is None:
+            return 0
+        if self.order is not None:
+            return max(self.order)
+        return self.prepared.param_count
+
+    def bind_values(self, wire_params, formats) -> tuple:
+        """Decode text-format wire parameters and reorder them from
+        ``$n`` numbering to the engine's appearance-order ``?`` slots."""
+        if len(wire_params) != self.n_params:
+            raise ProtocolError(
+                f'bind message supplies {len(wire_params)} parameter(s), '
+                f'but prepared statement "{self.name}" requires '
+                f'{self.n_params}')
+        if any(code == 1 for code in formats):
+            raise ProtocolError("binary parameter format is not supported")
+        oids = self.param_oids
+        decoded = tuple(
+            protocol.decode_text(
+                value, oids[i] if i < len(oids) else 0)
+            for i, value in enumerate(wire_params))
+        if self.order is None:
+            return decoded
+        return tuple(decoded[n - 1] for n in self.order)
+
+
+@dataclass
+class Portal:
+    """One bound portal: a prepared statement plus parameter values,
+    executed lazily and streamed via Execute / PortalSuspended."""
+
+    name: str
+    entry: PreparedEntry
+    values: tuple
+    result: Result | None = None
+    position: int = 0
+    tag: str | None = None
+    completed: bool = False
+
+    def close(self) -> None:
+        if self.result is not None:
+            self.result.close()
+            self.result = None
+
+
+class BackendSession:
+    """Protocol-level session state for one client; see the module
+    docstring."""
+
+    def __init__(self, conn: Connection, user: str, database: str):
+        self.conn = conn
+        self.user = user
+        self.database = database
+        self.statements: dict[str, PreparedEntry] = {}
+        self.portals: dict[str, Portal] = {}
+        self.failed_txn = False
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Tear the session down (idempotent): close every portal's
+        streaming result — releasing pinned snapshots and leased plan
+        instances — then the engine session itself."""
+        if self._closed:
+            return
+        self._closed = True
+        portals, self.portals = self.portals, {}
+        for portal in portals.values():
+            portal.close()
+        self.statements.clear()
+        self.conn.close()
+
+    # -- shared helpers -------------------------------------------------------
+
+    @property
+    def transaction_status(self) -> str:
+        """The ReadyForQuery status byte: I idle, T in transaction,
+        E failed transaction."""
+        if self.failed_txn:
+            return "E"
+        return "T" if self.conn.in_transaction else "I"
+
+    def note_error(self) -> None:
+        """Record a statement failure: inside an explicit transaction
+        the block is now aborted (PostgreSQL semantics)."""
+        if self.conn.in_transaction:
+            self.failed_txn = True
+
+    def _check_failed(self, statement: Statement) -> None:
+        """In a failed transaction only COMMIT/ROLLBACK may run."""
+        if self.failed_txn and not isinstance(
+                statement, (CommitStmt, RollbackStmt)):
+            exc = TransactionError(
+                "current transaction is aborted, commands ignored until "
+                "end of transaction block")
+            exc.sqlstate = "25P02"
+            raise exc
+
+    def _finish_txn_control(self, statement: Statement) -> str:
+        """Run COMMIT/ROLLBACK honouring the aborted-block state: a
+        COMMIT of a failed transaction rolls back (tag ROLLBACK)."""
+        if isinstance(statement, CommitStmt) and self.failed_txn:
+            self.conn.rollback()
+            self.failed_txn = False
+            return "ROLLBACK"
+        if isinstance(statement, CommitStmt):
+            self.conn.commit()
+            return "COMMIT"
+        self.conn.rollback()
+        self.failed_txn = False
+        return "ROLLBACK"
+
+    # -- simple query ('Q') ---------------------------------------------------
+
+    def run_simple(self, sql: str) -> Iterator[bytes]:
+        """Execute a simple-protocol query string (possibly several
+        ``;``-separated statements), yielding encoded response chunks.
+
+        An error aborts the remainder of the string — the caller turns
+        the raised exception into an ErrorResponse, as PostgreSQL does.
+        """
+        if not sql.strip():
+            yield protocol.EmptyQueryResponse().encode()
+            return
+        statements = parse_statements(sql)
+        for statement in statements:
+            yield from self._run_statement(statement)
+
+    def _run_statement(self, statement: Statement) -> Iterator[bytes]:
+        self._check_failed(statement)
+        if isinstance(statement, (CommitStmt, RollbackStmt)):
+            tag = self._finish_txn_control(statement)
+            yield protocol.CommandComplete(tag).encode()
+            return
+        outcome = self.conn._run_statement(statement, ())
+        if isinstance(outcome, Result):
+            yield protocol.describe_schema(outcome.schema).encode()
+            yield from self._stream_rows(outcome, outcome.schema,
+                                         tag_stmt=statement)
+        else:
+            yield protocol.CommandComplete(
+                command_tag(statement, outcome)).encode()
+
+    def _stream_rows(self, result: Result, schema: Schema,
+                     tag_stmt: Statement) -> Iterator[bytes]:
+        """DataRow chunks followed by CommandComplete; the result is
+        closed however the generator exits, so an abandoned stream (a
+        dropped client) never leaks the engine-side tail."""
+        sent = 0
+        try:
+            chunk = bytearray()
+            for row in result:
+                chunk += protocol.DataRow(tuple(
+                    protocol.encode_text(value) for value in row)).encode()
+                sent += 1
+                if len(chunk) >= 1 << 16 or sent % STREAM_CHUNK == 0:
+                    yield bytes(chunk)
+                    chunk = bytearray()
+            chunk += protocol.CommandComplete(
+                command_tag(tag_stmt, sent)).encode()
+            yield bytes(chunk)
+        finally:
+            result.close()
+
+    # -- extended protocol ----------------------------------------------------
+
+    def parse(self, message: protocol.Parse) -> list[bytes]:
+        """Parse: plan the statement (eagerly, so errors surface here)
+        and store it under its name."""
+        translated, order = translate_placeholders(message.sql)
+        if not translated.strip():
+            entry = PreparedEntry(message.name, message.sql, translated,
+                                  order=None, prepared=None)
+        else:
+            prepared = self.conn.prepare(translated)
+            n_params = max(order) if order else prepared.param_count
+            oids = tuple(message.param_oids[:n_params]) + (0,) * max(
+                0, n_params - len(message.param_oids))
+            entry = PreparedEntry(message.name, message.sql, translated,
+                                  order, prepared, oids)
+        if message.name == "":
+            self.statements.pop("", None)     # unnamed: silently replaced
+        elif message.name in self.statements:
+            raise ProtocolError(
+                f'prepared statement "{message.name}" already exists')
+        self.statements[message.name] = entry
+        return [protocol.ParseComplete().encode()]
+
+    def _statement_entry(self, name: str) -> PreparedEntry:
+        entry = self.statements.get(name)
+        if entry is None:
+            exc = OperationalError(
+                f'prepared statement "{name}" does not exist')
+            exc.sqlstate = "26000"
+            raise exc
+        return entry
+
+    def _portal(self, name: str) -> Portal:
+        portal = self.portals.get(name)
+        if portal is None:
+            exc = OperationalError(f'portal "{name}" does not exist')
+            exc.sqlstate = "34000"
+            raise exc
+        return portal
+
+    def bind(self, message: protocol.Bind) -> list[bytes]:
+        entry = self._statement_entry(message.statement)
+        if any(code == 1 for code in message.result_formats):
+            raise ProtocolError("binary result format is not supported")
+        values = () if entry.prepared is None else entry.bind_values(
+            message.params, message.param_formats)
+        if message.portal == "":
+            old = self.portals.pop("", None)  # unnamed: silently replaced
+            if old is not None:
+                old.close()
+        elif message.portal in self.portals:
+            raise ProtocolError(
+                f'portal "{message.portal}" already exists')
+        self.portals[message.portal] = Portal(message.portal, entry, values)
+        return [protocol.BindComplete().encode()]
+
+    def _entry_schema(self, entry: PreparedEntry) -> Schema | None:
+        """The result schema of a prepared SELECT, without executing
+        (provenance columns included — they are ordinary columns of the
+        rewritten plan)."""
+        prepared = entry.prepared
+        if prepared is None or not prepared.is_select:
+            return None
+        cached = self.conn._get_plan(
+            entry.translated, None, statement=prepared._statement)
+        return cached.plan.schema
+
+    def describe_statement(self, name: str) -> list[bytes]:
+        entry = self._statement_entry(name)
+        messages = [protocol.ParameterDescription(tuple(
+            oid or protocol.OID_UNKNOWN
+            for oid in entry.param_oids)).encode()]
+        schema = self._entry_schema(entry)
+        if schema is None:
+            messages.append(protocol.NoData().encode())
+        else:
+            messages.append(protocol.describe_schema(schema).encode())
+        return messages
+
+    def describe_portal(self, name: str) -> list[bytes]:
+        portal = self._portal(name)
+        schema = self._entry_schema(portal.entry)
+        if schema is None:
+            return [protocol.NoData().encode()]
+        return [protocol.describe_schema(schema).encode()]
+
+    def execute(self, message: protocol.Execute) -> Iterator[bytes]:
+        """Execute a portal, honouring ``max_rows`` with PortalSuspended
+        so clients can stream a result across several Execute rounds."""
+        portal = self._portal(message.portal)
+        if portal.entry.prepared is None:         # empty statement: no-op
+            yield protocol.EmptyQueryResponse().encode()
+            return
+        statement = portal.entry.prepared._statement
+        self._check_failed(statement)
+        if portal.completed:
+            yield protocol.CommandComplete(portal.tag or "SELECT 0").encode()
+            return
+        if isinstance(statement, (CommitStmt, RollbackStmt)):
+            portal.tag = self._finish_txn_control(statement)
+            portal.completed = True
+            yield protocol.CommandComplete(portal.tag).encode()
+            return
+        if not isinstance(statement, SelectStmt):
+            outcome = portal.entry.prepared.execute(portal.values)
+            portal.tag = command_tag(
+                statement, outcome if isinstance(outcome, int) else 0)
+            portal.completed = True
+            yield protocol.CommandComplete(portal.tag).encode()
+            return
+        if portal.result is None:
+            portal.result = portal.entry.prepared.execute(portal.values)
+        yield from self._execute_select(portal, statement,
+                                        message.max_rows)
+
+    def _execute_select(self, portal: Portal, statement: SelectStmt,
+                        max_rows: int) -> Iterator[bytes]:
+        result = portal.result
+        remaining = max_rows if max_rows > 0 else None
+        sent_this_round = 0
+        while True:
+            want = STREAM_CHUNK if remaining is None \
+                else min(STREAM_CHUNK, remaining - sent_this_round)
+            if want == 0:
+                yield protocol.PortalSuspended().encode()
+                return
+            rows = result.fetch(want, portal.position)
+            chunk = bytearray()
+            for row in rows:
+                chunk += protocol.DataRow(tuple(
+                    protocol.encode_text(value) for value in row)).encode()
+            portal.position += len(rows)
+            sent_this_round += len(rows)
+            if len(rows) < want:                      # exhausted
+                portal.completed = True
+                portal.tag = command_tag(statement, portal.position)
+                portal.close()
+                chunk += protocol.CommandComplete(portal.tag).encode()
+                yield bytes(chunk)
+                return
+            yield bytes(chunk)
+
+    def close_statement(self, name: str) -> list[bytes]:
+        entry = self.statements.pop(name, None)
+        if entry is not None:
+            # portals bound to it stay valid in PostgreSQL; we keep the
+            # same behaviour since each Portal holds its own reference
+            if entry.prepared is not None:
+                entry.prepared.close()
+        return [protocol.CloseComplete().encode()]
+
+    def close_portal(self, name: str) -> list[bytes]:
+        portal = self.portals.pop(name, None)
+        if portal is not None:
+            portal.close()
+        return [protocol.CloseComplete().encode()]
+
+    def sync(self) -> None:
+        """Sync closes the unnamed portal (Postgres ends the implicit
+        transaction here; the engine's autocommit already did)."""
+        portal = self.portals.pop("", None)
+        if portal is not None:
+            portal.close()
+
+
+def parse_single(sql: str) -> Statement:
+    """Parse exactly one statement (used by tests and tools)."""
+    return parse_statement(sql)
+
+
+__all__ = [
+    "BackendSession", "Portal", "PreparedEntry", "STREAM_CHUNK",
+    "command_tag", "parse_statements", "translate_placeholders",
+]

@@ -1,0 +1,150 @@
+"""Close-path hardening: ``Engine.close`` and ``Connection.close`` are
+idempotent and safe to race from many threads.
+
+The serving layer tears sessions down from executor threads while the
+asyncio loop (or another client) may be closing the engine — these tests
+pin the invariants that makes safe:
+
+* double/concurrent ``close()`` runs the teardown exactly once;
+* closing mid-transaction from another thread never corrupts the
+  session state machine (the transaction is rolled back);
+* closing the engine while another thread streams a ``Result`` leaves
+  no leased plan instances behind.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.api import Engine
+from repro.errors import InterfaceError
+
+
+class TestIdempotentClose:
+    def test_engine_double_close(self):
+        engine = Engine()
+        engine.close()
+        engine.close()
+        assert engine.closed
+
+    def test_connection_double_close(self):
+        engine = Engine()
+        conn = engine.connect()
+        conn.close()
+        conn.close()
+        assert conn.closed
+        engine.close()
+
+    def test_concurrent_engine_close_runs_once(self):
+        engine = Engine()
+        conns = [engine.connect() for _ in range(4)]
+        barrier = threading.Barrier(8)
+        errors: list = []
+
+        def hammer():
+            barrier.wait()
+            try:
+                engine.close()
+            except Exception as exc:   # noqa: BLE001 - collected for assert
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert not errors
+        assert engine.closed
+        assert all(conn.closed for conn in conns)
+
+    def test_concurrent_connection_close(self):
+        engine = Engine()
+        conn = engine.connect()
+        conn.execute("CREATE TABLE t (a int)")
+        conn.begin()
+        conn.execute("INSERT INTO t VALUES (1)")
+        barrier = threading.Barrier(8)
+        errors: list = []
+
+        def hammer():
+            barrier.wait()
+            try:
+                conn.close()
+            except Exception as exc:   # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=10)
+        assert not errors
+        assert conn.closed
+        # the open transaction was rolled back, not committed
+        with engine.connect() as probe:
+            assert probe.execute("SELECT count(*) FROM t").rows == [(0,)]
+        engine.close()
+
+    def test_closed_connection_refuses_work(self):
+        engine = Engine()
+        conn = engine.connect()
+        conn.close()
+        with pytest.raises(InterfaceError):
+            conn.execute("SELECT 1")
+        engine.close()
+
+
+class TestCloseDuringStreaming:
+    def _populated(self) -> Engine:
+        engine = Engine()
+        with engine.connect() as conn:
+            conn.execute("CREATE TABLE big (k int)")
+            insert = conn.prepare("INSERT INTO big VALUES (?)")
+            with conn.transaction():
+                for k in range(500):
+                    insert.execute((k,))
+        return engine
+
+    def test_session_close_releases_streaming_result(self):
+        engine = self._populated()
+        conn = engine.connect()
+        result = conn.execute("SELECT k FROM big")
+        assert len(result.fetch(10)) == 10      # partially consumed
+        conn.close()
+        assert engine.plan_cache.leased_instances() == 0
+        engine.close()
+
+    def test_engine_close_races_streaming_reader(self):
+        engine = self._populated()
+        started = threading.Event()
+        outcome: dict = {}
+
+        def reader():
+            conn = engine.connect()
+            try:
+                result = conn.execute("SELECT k FROM big")
+                started.set()
+                outcome["rows"] = len(result.rows)
+            except Exception as exc:   # noqa: BLE001
+                started.set()
+                outcome["error"] = exc
+            finally:
+                try:
+                    conn.close()
+                except Exception:      # noqa: BLE001
+                    pass
+
+        thread = threading.Thread(target=reader)
+        thread.start()
+        assert started.wait(10)
+        engine.close()
+        thread.join(timeout=10)
+        # either the read completed before the close won, or it failed
+        # cleanly — never a deadlock or a partial row count
+        if "rows" in outcome:
+            assert outcome["rows"] == 500
+        else:
+            assert isinstance(outcome["error"], Exception)
+        assert engine.plan_cache.leased_instances() == 0
