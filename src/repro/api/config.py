@@ -38,13 +38,17 @@ class SessionConfig:
         caching entirely.
     ``engine``
         Which execution engine runs statements: ``"pipelined"`` (the
-        vectorized batch pipeline over physical plans — the default) or
+        row-batch pipeline over physical plans — the default),
+        ``"vectorized"`` (the pipelined engine with columnar
+        ``ColumnBatch`` data flow and whole-column expression kernels;
+        nodes the vector compiler cannot handle fall back to row
+        operators per node, so it is always correct) or
         ``"materializing"`` (the original tree-walking interpreter, kept
         as the benchmark baseline and parity reference).
     ``batch_size``
-        Rows per batch in the pipelined engine.  Larger batches amortize
-        per-batch overhead; smaller ones bound memory between pipeline
-        breakers.  Ignored by the materializing engine.
+        Rows per batch in the pipelined and vectorized engines.  Larger
+        batches amortize per-batch overhead; smaller ones bound memory
+        between pipeline breakers.  Ignored by the materializing engine.
     ``use_indexes``
         Let the cost-based lowering plan ``IndexScan`` /
         ``IndexNestedLoopJoin`` over secondary indexes.  Disabling it

@@ -341,7 +341,13 @@ class Connection:
         from ..engine.physical import explain_physical as render
         catalog = self._read_catalog()
         plan = self._optimize_plan(self.plan(text, strategy), catalog)
-        return render(self._lower(plan, catalog))
+        lowered = self._lower(plan, catalog)
+        if self.config.engine == "vectorized":
+            # show the plan as the vectorized engine would run it, with
+            # per-node [columnar]/[rows] batch-format tags
+            from ..engine.vectorized import vectorize_plan
+            vectorize_plan(lowered)
+        return render(lowered)
 
     def estimate_rows(self, text: str, strategy: str | None = None) -> float:
         """The cost model's cardinality estimate for a SELECT — the row
@@ -358,11 +364,16 @@ class Connection:
         per-node actual rows / batches / loops / inclusive time.
 
         Runs through the plan cache (so the analyzed plan is the one a
-        normal execution would use) on the pipelined engine with stats
-        collection forced on.
+        normal execution would use) on the session's engine (the
+        pipelined engine when the session is materializing) with stats
+        collection forced on.  Under ``engine="vectorized"`` every node
+        is tagged with its batch format and a summary line counts
+        vector-kernel vs row-fallback nodes.
         """
         self._check_open()
         from ..engine.physical import explain_physical as render
+        engine = "vectorized" if self.config.engine == "vectorized" \
+            else "pipelined"
         catalog = self._read_catalog()
         cached = self._get_plan(text, strategy, catalog=catalog)
         instance = cached.acquire_physical(
@@ -371,7 +382,7 @@ class Connection:
             executor = Executor(
                 catalog, optimize=False,
                 config=self.config.with_options(
-                    engine="pipelined", collect_stats=True))
+                    engine=engine, collect_stats=True))
             relation = executor.execute_physical(
                 instance, check_arity(cached.param_count, params))
             stats = self._finish_stats(executor)
@@ -380,6 +391,11 @@ class Connection:
             lines.append(f"Result: {len(relation.rows)} row(s), "
                          f"{root.batches if root else 0} batch(es), "
                          f"batch size {self.config.batch_size}")
+            if engine == "vectorized":
+                lines.append(
+                    f"Vectorized: {stats.vectorized_nodes} columnar "
+                    f"node(s), {stats.row_fallback_nodes} row-fallback "
+                    f"node(s)")
             return "\n".join(lines)
         finally:
             cached.release_physical(instance)

@@ -121,7 +121,12 @@ class Result(Relation):
         except BaseException:
             self._finish()
             raise
-        self._buffer().extend(batch)
+        if isinstance(batch, list):
+            self._buffer().extend(batch)
+        else:
+            # the vectorized engine streams ColumnBatch objects;
+            # transposition to row tuples happens here, at the sink
+            self._buffer().extend(batch.to_rows())
         return True
 
     def _ensure(self, count: int) -> None:

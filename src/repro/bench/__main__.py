@@ -46,7 +46,9 @@ def main(argv: list[str] | None = None) -> int:
              "non-zero if the cached-plan path is not at least 2x faster "
              "than per-call Database.sql(), if the pipelined engine is "
              "not at least 1.5x faster than the materializing baseline "
-             "on the synthetic provenance workload, if the Unn plan "
+             "on the synthetic provenance workload, if the vectorized "
+             "engine is not at least 2x faster than the pipelined one "
+             "on the same workload, if the Unn plan "
              "stops hash-joining, if IndexNestedLoopJoin is not at "
              "least 2x faster than NestedLoopJoin on the indexed "
              "point-lookup join workload, if K sessions sharing one "
@@ -55,6 +57,18 @@ def main(argv: list[str] | None = None) -> int:
              "mix, or if reopening a checkpointed database from its "
              "snapshot is not at least 2x faster than rebuilding it "
              "from CSV + re-ANALYZE")
+    parser.add_argument(
+        "--engine", action="store_true",
+        help="run the engine-comparison grid: the fig8/fig9 synthetic "
+             "provenance workloads plus the uncorrelated TPC-H sublink "
+             "templates, each prepared once and re-executed on the "
+             "materializing, pipelined and vectorized engines; every "
+             "cell cross-checks result parity and the committed "
+             "BENCH_engine.json is regenerated from --json")
+    parser.add_argument(
+        "--engine-repeats", type=int, default=3, metavar="N",
+        help="repeated executions per cell and engine for --engine "
+             "(default 3, best of 3 rounds)")
     parser.add_argument(
         "--serve", action="store_true",
         help="run the network-serving load benchmark: boot the wire "
@@ -85,6 +99,26 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--verbose", action="store_true",
                         help="print each point as it is measured")
     args = parser.parse_args(argv)
+
+    if args.engine:
+        if args.engine_repeats < 1:
+            parser.error("--engine-repeats must be >= 1")
+        from .engines import format_engine_bench, run_engine_bench
+        result = run_engine_bench(repeats=args.engine_repeats,
+                                  seed=args.seed, verbose=args.verbose)
+        print("== engine comparison ==")
+        print(format_engine_bench(result))
+        if args.json:
+            import json
+            with open(args.json, "w") as handle:
+                json.dump(result.to_dict(), handle, indent=2)
+            print(f"wrote {args.json}")
+        if result.vectorized_speedup < 1.0:
+            print("FAIL: vectorized engine slower than pipelined on "
+                  "the grid geomean")
+            return 1
+        print("ok: the vectorized engine wins the grid geomean")
+        return 0
 
     if args.serve:
         if args.clients < 1:
@@ -133,6 +167,10 @@ def main(argv: list[str] | None = None) -> int:
         if result.engine_speedup < 1.5:
             print("FAIL: pipelined-engine speedup below the 1.5x floor")
             return 1
+        if result.vectorized_speedup < 2.0:
+            print("FAIL: vectorized-engine speedup over pipelined below "
+                  "the 2x floor")
+            return 1
         if result.index_join_speedup < 2.0:
             print("FAIL: IndexNestedLoopJoin speedup over NestedLoopJoin "
                   "below the 2x floor")
@@ -145,9 +183,9 @@ def main(argv: list[str] | None = None) -> int:
             print("FAIL: snapshot reopen speedup over CSV rebuild + "
                   "re-ANALYZE below the 2x floor")
             return 1
-        print("ok: plan cache, pipelined engine, index joins, the "
-              "shared Engine and snapshot reopen deliver the expected "
-              "speedups")
+        print("ok: plan cache, pipelined and vectorized engines, index "
+              "joins, the shared Engine and snapshot reopen deliver "
+              "the expected speedups")
         return 0
 
     if args.figure is None:

@@ -9,14 +9,17 @@ Four checks, all run by CI as regression gates:
   re-executed through the plan cache.  The speedup is what the plan
   cache buys on a repeated query.
 
-* **Engine** — the pipelined, vectorized engine versus the original
-  materializing interpreter on the *synthetic provenance workload* (the
-  paper's Section 4.2.2 q1 under the Unn strategy, which plans to the
-  hash equi-join of Figures 7-9).  Both run the same cached physical
-  plan shape, so the ratio isolates execution: batched pulls and
-  batch-compiled expressions against per-row tree interpretation.  The
-  check also asserts the Unn plan still picks a hash join — the paper's
-  Figures 7-9 behaviour.
+* **Engine** — all three execution engines on the *synthetic
+  provenance workload* (the paper's Section 4.2.2 q1 under the Unn
+  strategy, which plans to the hash equi-join of Figures 7-9): the
+  original materializing interpreter, the pipelined row-batch engine
+  and the columnar vectorized engine.  All run the same cached physical
+  plan shape, so the ratios isolate execution: batched pulls and
+  batch-compiled expressions against per-row tree interpretation, and
+  whole-column kernels over selection vectors against per-row batch
+  loops.  Two gates: pipelined >= 1.5x over materializing, and
+  vectorized >= 2x over pipelined.  The check also asserts the Unn
+  plan still picks a hash join — the paper's Figures 7-9 behaviour.
 
 * **Concurrency** — the shared-engine payoff: K threads, each with its
   own session from one :class:`~repro.api.engine.Engine`, run a
@@ -111,6 +114,7 @@ class SmokeResult:
     engine_repeats: int
     materializing_seconds: float  # total, materializing engine per call
     pipelined_seconds: float      # total, pipelined engine per call
+    vectorized_seconds: float     # total, vectorized engine per call
     engine_rows: int
     engine_hash_joins: int        # hash joins in the pipelined Unn run
     index_lookups: int            # point lookups per timed side
@@ -140,6 +144,13 @@ class SmokeResult:
         if self.pipelined_seconds == 0:
             return float("inf")
         return self.materializing_seconds / self.pipelined_seconds
+
+    @property
+    def vectorized_speedup(self) -> float:
+        """Vectorized engine vs the pipelined row-batch engine."""
+        if self.vectorized_seconds == 0:
+            return float("inf")
+        return self.pipelined_seconds / self.vectorized_seconds
 
     @property
     def index_lookup_speedup(self) -> float:
@@ -176,6 +187,7 @@ class SmokeResult:
         data = asdict(self)
         data["speedup"] = self.speedup
         data["engine_speedup"] = self.engine_speedup
+        data["vectorized_speedup"] = self.vectorized_speedup
         data["index_lookup_speedup"] = self.index_lookup_speedup
         data["index_join_speedup"] = self.index_join_speedup
         data["concurrency_speedup"] = self.concurrency_speedup
@@ -222,15 +234,15 @@ def _run_plan_cache(repeats: int) -> tuple[float, float, int, int]:
             conn.plan_cache.hits - hits_before, len(prepared_rows.rows))
 
 
-def _run_engines(repeats: int,
-                 size: int = _ENGINE_SIZE) -> tuple[float, float, int, int]:
+def _run_engines(repeats: int, size: int = _ENGINE_SIZE
+                 ) -> tuple[float, float, float, int, int]:
     db = load_synthetic(SyntheticConfig(size, size, seed=0))
     sql = "SELECT PROVENANCE " + q1_sql(size, size, seed=0)[len("SELECT "):]
 
     timings: dict[str, float] = {}
     results: dict[str, Counter] = {}
     hash_joins = 0
-    for engine in ("materializing", "pipelined"):
+    for engine in ("materializing", "pipelined", "vectorized"):
         conn = connect(engine=engine, catalog=db.catalog)
         statement = conn.prepare(sql, strategy="unn")
         relation = statement.execute(())    # warm: plan cached, table hot
@@ -244,12 +256,18 @@ def _run_engines(repeats: int,
         timings[engine] = min(rounds)
         if engine == "pipelined":
             hash_joins = conn.last_stats.hash_joins
+        if engine == "vectorized" \
+                and conn.last_stats.row_fallback_nodes:
+            raise AssertionError(
+                "the Unn workload no longer vectorizes end to end")
         conn.close()
-    if results["pipelined"] != results["materializing"]:
+    if not (results["vectorized"] == results["pipelined"]
+            == results["materializing"]):
         raise AssertionError(
-            "pipelined engine disagrees with the materializing engine")
+            "the three engines disagree on the Unn workload")
     return (timings["materializing"], timings["pipelined"],
-            sum(results["pipelined"].values()), hash_joins)
+            timings["vectorized"], sum(results["pipelined"].values()),
+            hash_joins)
 
 
 def _index_session():
@@ -506,8 +524,8 @@ def run_smoke(repeats: int = 20, engine_repeats: int = 5) -> SmokeResult:
             f"engine_repeats must be >= 1, got {engine_repeats}")
     legacy_seconds, prepared_seconds, cache_hits, rows = \
         _run_plan_cache(repeats)
-    materializing_seconds, pipelined_seconds, engine_rows, hash_joins = \
-        _run_engines(engine_repeats)
+    (materializing_seconds, pipelined_seconds, vectorized_seconds,
+     engine_rows, hash_joins) = _run_engines(engine_repeats)
     (index_lookups, seq_lookup_seconds, index_lookup_seconds,
      index_join_rows, nlj_seconds, inlj_seconds) = \
         _run_indexes(engine_repeats)
@@ -524,6 +542,7 @@ def run_smoke(repeats: int = 20, engine_repeats: int = 5) -> SmokeResult:
         engine_repeats=engine_repeats,
         materializing_seconds=materializing_seconds,
         pipelined_seconds=pipelined_seconds,
+        vectorized_seconds=vectorized_seconds,
         engine_rows=engine_rows,
         engine_hash_joins=hash_joins,
         index_lookups=index_lookups,
@@ -548,6 +567,8 @@ def format_smoke(result: SmokeResult) -> str:
     per_materializing = \
         result.materializing_seconds / result.engine_repeats * 1000
     per_pipelined = result.pipelined_seconds / result.engine_repeats * 1000
+    per_vectorized = \
+        result.vectorized_seconds / result.engine_repeats * 1000
     return "\n".join([
         "-- plan cache (repeated provenance query) --",
         f"repeats                  {result.repeats}",
@@ -562,7 +583,9 @@ def format_smoke(result: SmokeResult) -> str:
         f"hash joins (Unn plan)    {result.engine_hash_joins}",
         f"materializing per call   {per_materializing:8.3f} ms",
         f"pipelined per call       {per_pipelined:8.3f} ms",
+        f"vectorized per call      {per_vectorized:8.3f} ms",
         f"engine speedup           {result.engine_speedup:8.1f}x",
+        f"vectorized speedup       {result.vectorized_speedup:8.1f}x",
         "-- indexes (point lookups + probe/build join) --",
         f"point lookups            {result.index_lookups}",
         f"seqscan lookups total    {result.seq_lookup_seconds * 1000:8.3f} ms",

@@ -1,0 +1,233 @@
+"""Columnar batches: the unit of data flow in the vectorized engine.
+
+A :class:`ColumnBatch` carries one typed vector per output column plus a
+*selection vector* — the MonetDB/VectorWise execution model.  Filters
+refine the selection (an index list) instead of copying survivors, so a
+Filter → Project → HashJoin chain over one scan never re-materializes
+rows; transposition back to tuples happens only at the sink (or at a
+row-fallback bridge).
+
+Column *kinds* mirror the snapshot codec's column layouts
+(:mod:`repro.storage.codec`):
+
+=========  ====================================================
+``num``    ints and/or floats, never ``bool`` (codec INT64/FLOAT64)
+``text``   ``str`` values (codec TEXT)
+``bool``   ``bool`` values
+``any``    mixed / other / unknown (codec GENERIC)
+=========  ====================================================
+
+The kind plus the ``has_nulls`` flag let vector kernels pick a fast path
+(bare comprehensions over comparable values) with *certainty* — a column
+claiming ``num``/``has_nulls=False`` must hold only non-null non-bool
+numbers, so SQL comparison against a numeric constant can never raise or
+yield unknown.  When in doubt, ``any``/``has_nulls=True`` is always
+correct: kernels then run the generic three-valued path.
+
+The module also keeps a small engine-wide cache of columnarized base
+tables keyed by the identity of a relation's ``rows`` list.  Commits
+swap ``Relation`` objects wholesale (so a new version gets a new list
+identity), but ``Relation.insert``/``extend`` mutate the list in place —
+validity therefore checks both identity *and* length.  The snapshot
+loader seeds the cache straight from the codec's decoded column vectors,
+so reopening a durable table costs no transposition at all.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Any, Iterable, Sequence
+
+__all__ = [
+    "Column", "ColumnBatch", "column_from_values", "seed_columns",
+    "table_columns",
+]
+
+
+class Column:
+    """One typed vector: a plain list of values plus kind metadata."""
+
+    __slots__ = ("values", "kind", "has_nulls")
+
+    def __init__(self, values: list, kind: str = "any",
+                 has_nulls: bool = True):
+        self.values = values
+        self.kind = kind
+        self.has_nulls = has_nulls
+
+    def gather(self, indices: Iterable[int]) -> "Column":
+        """A dense copy of this column at *indices* (kind preserved)."""
+        values = self.values
+        return Column([values[i] for i in indices],
+                      self.kind, self.has_nulls)
+
+    def __repr__(self) -> str:
+        return (f"Column({len(self.values)} value(s), kind={self.kind!r}, "
+                f"has_nulls={self.has_nulls})")
+
+
+def column_from_values(values: list) -> Column:
+    """Build a :class:`Column`, inferring kind/``has_nulls`` in one pass."""
+    kind: str | None = None
+    has_nulls = False
+    for value in values:
+        if value is None:
+            has_nulls = True
+            continue
+        if isinstance(value, bool):
+            this = "bool"
+        elif isinstance(value, (int, float)):
+            this = "num"
+        elif isinstance(value, str):
+            this = "text"
+        else:
+            kind = "any"
+            break
+        if kind is None:
+            kind = this
+        elif kind != this:
+            kind = "any"
+            break
+    if kind == "any":
+        # the scan stopped early; nulls past the break must stay visible
+        has_nulls = True
+    return Column(values, kind if kind is not None else "any", has_nulls)
+
+
+class ColumnBatch:
+    """A batch of rows in columnar form: shared column vectors plus a
+    selection vector (``range`` straight off a scan — zero allocation —
+    or an index list after filtering).  Length/truthiness follow the
+    *selection*, so the engine's batch accounting works unchanged."""
+
+    __slots__ = ("columns", "sel")
+
+    def __init__(self, columns: list[Column], sel: "range | list[int]"):
+        self.columns = columns
+        self.sel = sel
+
+    def __len__(self) -> int:
+        return len(self.sel)
+
+    def __bool__(self) -> bool:
+        return len(self.sel) > 0
+
+    @property
+    def width(self) -> int:
+        return len(self.columns)
+
+    def to_rows(self) -> list[tuple]:
+        """Transpose the selected rows to tuples (the fallback bridge and
+        the sink's materialization)."""
+        sel = self.sel
+        columns = self.columns
+        if not columns:
+            return [() for _ in sel]
+        if isinstance(sel, range) and sel.step == 1:
+            start, stop = sel.start, sel.stop
+            if start == 0 and stop == len(columns[0].values):
+                return list(zip(*[c.values for c in columns]))
+            return list(zip(*[c.values[start:stop] for c in columns]))
+        return list(zip(*[[c.values[i] for i in sel] for c in columns]))
+
+    @classmethod
+    def from_rows(cls, rows: Sequence[tuple],
+                  width: int | None = None) -> "ColumnBatch":
+        """Columnarize a row batch (the rows → columns bridge)."""
+        if not rows:
+            return cls([Column([], "any", True)
+                        for _ in range(width or 0)], range(0))
+        if width is None:
+            width = len(rows[0])
+        if width == 0:
+            return cls([], range(len(rows)))
+        columns = [column_from_values(list(values))
+                   for values in zip(*rows)]
+        return cls(columns, range(len(rows)))
+
+    def dense(self) -> "ColumnBatch":
+        """A copy with the selection applied (``sel`` becomes a full
+        range); no-op when already dense."""
+        sel = self.sel
+        if isinstance(sel, range) and sel.start == 0 and sel.step == 1 \
+                and (not self.columns
+                     or sel.stop == len(self.columns[0].values)):
+            return self
+        return ColumnBatch([c.gather(sel) for c in self.columns],
+                           range(len(sel)))
+
+    def __repr__(self) -> str:
+        return (f"ColumnBatch({self.width} column(s), "
+                f"{len(self.sel)} selected row(s))")
+
+
+# ---------------------------------------------------------------------------
+# Base-table columnarization cache
+# ---------------------------------------------------------------------------
+#
+# Keyed by ``id(rows)``: the catalog's copy-on-write commit protocol swaps
+# Relation objects (fresh rows list => fresh id), while in-place
+# ``insert``/``extend`` grow the *same* list — hence the identity AND
+# length validation.  A shrunk-then-regrown list of identical length with
+# different content is impossible through the Relation API (deletes go
+# through wholesale swaps).
+
+_CACHE_CAP = 32
+_table_cache: "OrderedDict[int, tuple[list, int, list[Column]]]" = \
+    OrderedDict()
+_cache_lock = threading.Lock()
+
+
+def table_columns(rows: list, width: int) -> list[Column]:
+    """The columnar image of a base table's ``rows`` list, cached
+    engine-wide so repeated scans of a hot table transpose once."""
+    key = id(rows)
+    with _cache_lock:
+        entry = _table_cache.get(key)
+        if entry is not None and entry[0] is rows \
+                and entry[1] == len(rows):
+            _table_cache.move_to_end(key)
+            return entry[2]
+    if rows:
+        columns = [column_from_values(list(values))
+                   for values in zip(*rows)]
+        # rows narrower than the schema cannot happen for catalog tables;
+        # guard anyway so a short row surfaces as a normal IndexError
+        if len(columns) < width:
+            columns += [Column([None] * len(rows), "any", True)
+                        for _ in range(width - len(columns))]
+    else:
+        columns = [Column([], "any", True) for _ in range(width)]
+    with _cache_lock:
+        _table_cache[key] = (rows, len(rows), columns)
+        _table_cache.move_to_end(key)
+        while len(_table_cache) > _CACHE_CAP:
+            _table_cache.popitem(last=False)
+    return columns
+
+
+def seed_columns(rows: list,
+                 decoded: Sequence[tuple[list, str, bool]]) -> None:
+    """Seed the cache from the snapshot codec's decoded column vectors
+    (``(values, kind, has_nulls)`` per column) — a reopened durable table
+    scans columnar from its first query, with no transposition pass."""
+    columns = []
+    for values, kind, has_nulls in decoded:
+        if kind == "any":
+            # GENERIC blocks hold bools / big ints / mixed values; one
+            # inference pass may still recover a fast-path kind (bool)
+            columns.append(column_from_values(values))
+        else:
+            columns.append(Column(values, kind, has_nulls))
+    with _cache_lock:
+        _table_cache[id(rows)] = (rows, len(rows), columns)
+        _table_cache.move_to_end(id(rows))
+        while len(_table_cache) > _CACHE_CAP:
+            _table_cache.popitem(last=False)
+
+
+def clear_cache() -> None:
+    """Drop every cached columnarization (tests and benchmarks)."""
+    with _cache_lock:
+        _table_cache.clear()

@@ -7,6 +7,10 @@ engines:
 * ``"pipelined"`` (the default) — two-phase planning (logical rewrite +
   physical lowering) feeding the vectorized batch pipeline of
   :mod:`repro.engine.pipeline`;
+* ``"vectorized"`` — the pipelined engine with columnar
+  :class:`~repro.engine.columnar.ColumnBatch` data flow and whole-column
+  expression kernels (:mod:`repro.engine.vectorized`), falling back to
+  row operators per node where the vector compiler cannot help;
 * ``"materializing"`` — the original tree-walking interpreter
   (:mod:`repro.engine.materialize`), kept as the benchmark baseline and
   the parity-test reference.
@@ -28,7 +32,7 @@ from ..relation import Relation
 from .stats import ExecutionStats
 
 #: Engine names accepted by ``SessionConfig.engine`` / ``Executor``.
-ENGINES = ("pipelined", "materializing")
+ENGINES = ("pipelined", "vectorized", "materializing")
 
 
 class Executor:
@@ -64,10 +68,13 @@ class Executor:
                 catalog, self.compile_expressions, self.collect_stats,
                 self.stats, compiled_cache)
         else:
-            from .pipeline import PipelineEngine
+            if self.engine == "vectorized":
+                from .vectorized import VectorizedEngine as engine_cls
+            else:
+                from .pipeline import PipelineEngine as engine_cls
             batch_size = config.batch_size if config is not None else 1024
             use_indexes = config.use_indexes if config is not None else True
-            self._impl = PipelineEngine(
+            self._impl = engine_cls(
                 catalog, self.compile_expressions, self.collect_stats,
                 self.stats, batch_size, use_indexes=use_indexes)
 

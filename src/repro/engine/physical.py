@@ -96,6 +96,14 @@ class PhysicalOperator:
 
     __slots__ = ("engine", "frames", "sublinks", "est_rows", "est_cost")
 
+    #: The batch type ``next_batch`` produces: ``"rows"`` (list of row
+    #: tuples) or ``"columnar"`` (a ColumnBatch).  The vectorized engine
+    #: inserts bridges wherever the formats meet.
+    batch_format = "rows"
+    #: Format-conversion bridges are excluded from the vectorized vs
+    #: row-fallback node counts EXPLAIN ANALYZE reports.
+    is_bridge = False
+
     def __init__(self) -> None:
         self.engine = None
         self.frames: tuple = ()
@@ -144,7 +152,8 @@ class PhysicalPlan:
     came from (kept alive — sublink registry keys are logical-node
     identities) and the output schema for the sink relation."""
 
-    __slots__ = ("root", "logical", "schema", "subplans")
+    __slots__ = ("root", "logical", "schema", "subplans", "vectorized",
+                 "vector_counts")
 
     def __init__(self, root: PhysicalOperator, logical: Any,
                  schema: Schema, subplans: dict[int, SublinkPlan]):
@@ -152,6 +161,11 @@ class PhysicalPlan:
         self.logical = logical
         self.schema = schema
         self.subplans = subplans
+        #: Set by :func:`repro.engine.vectorized.vectorize_plan` once the
+        #: in-place columnar rewrite ran (idempotency guard); counts is
+        #: then ``(columnar_nodes, row_fallback_nodes)``.
+        self.vectorized = False
+        self.vector_counts: tuple[int, int] | None = None
 
     def nodes(self):
         """All physical nodes of the plan, sublink plans included."""
@@ -1079,8 +1093,18 @@ def explain_physical(plan: "PhysicalPlan | PhysicalOperator",
     node by node.
     """
     root = plan.root if isinstance(plan, PhysicalPlan) else plan
+    tagged = False
+    stack = [root]
+    while stack:
+        node = stack.pop()
+        if node.batch_format == "columnar":
+            tagged = True
+            break
+        stack.extend(node.children())
+        for sub in node.sublinks:
+            stack.append(sub.plan)
     lines: list[str] = []
-    _render(root, 0, lines, stats)
+    _render(root, 0, lines, stats, tagged)
     return "\n".join(lines)
 
 
@@ -1091,9 +1115,14 @@ def _format_estimate(value: float) -> str:
 
 
 def _render(node: PhysicalOperator, indent: int, lines: list[str],
-            stats) -> None:
+            stats, tagged: bool = False) -> None:
     pad = "  " * indent
     text = pad + node.label()
+    if tagged:
+        # vectorized plans show each node's batch format so a regression
+        # to the row path is visible at a glance
+        text += " [columnar]" if node.batch_format == "columnar" \
+            else " [rows]"
     estimated = node.est_rows
     if stats is not None:
         entry = stats.node_stats.get(id(node))
@@ -1113,6 +1142,6 @@ def _render(node: PhysicalOperator, indent: int, lines: list[str],
     lines.append(text)
     for sub in node.sublinks:
         lines.append(pad + "  " + sub.label)
-        _render(sub.plan, indent + 2, lines, stats)
+        _render(sub.plan, indent + 2, lines, stats, tagged)
     for child in node.children():
-        _render(child, indent + 1, lines, stats)
+        _render(child, indent + 1, lines, stats, tagged)

@@ -48,17 +48,23 @@ class PipelineEngine:
         self.params: tuple = ()
         self._subplans: dict[int, SublinkPlan] = {}
         self._initplan_cache: dict[int, list[tuple]] = {}
-        self._lowered: dict[int, PhysicalPlan] = {}
+        # keyed by id(op) but storing the tree alongside the plan: the
+        # stored reference keeps the tree alive (so its id cannot be
+        # recycled while cached) and the identity check rejects a stale
+        # entry if a tree ever ages out of liveness tracking elsewhere
+        self._lowered: dict[int, tuple[Operator, PhysicalPlan]] = {}
 
     # -- public API ----------------------------------------------------------
 
     def execute(self, op: Operator, params: Iterable[Any] = ()) -> Relation:
         """Lower *op* (cached per tree identity) and run the pipeline."""
-        plan = self._lowered.get(id(op))
-        if plan is None:
+        entry = self._lowered.get(id(op))
+        if entry is not None and entry[0] is op:
+            plan = entry[1]
+        else:
             plan = lower_plan(op, self.catalog,
                               use_indexes=self.use_indexes)
-            self._lowered[id(op)] = plan
+            self._lowered[id(op)] = (op, plan)
         return self.execute_physical(plan, params)
 
     def execute_physical(self, plan: PhysicalPlan,

@@ -54,6 +54,11 @@ class ExecutionStats:
     index_scans: int = 0
     plan_cache_hits: int = 0
     plan_cache_misses: int = 0
+    #: Filled in by the vectorized engine: how many plan nodes ran on
+    #: columnar vector kernels vs stayed on the row path (bridges not
+    #: counted either way).  Both stay 0 under the other engines.
+    vectorized_nodes: int = 0
+    row_fallback_nodes: int = 0
     operator_evals: dict[str, int] = field(default_factory=dict)
     operator_timings: dict[str, float] = field(default_factory=dict)
     node_stats: dict[int, NodeStats] = field(default_factory=dict)

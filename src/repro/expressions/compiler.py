@@ -26,6 +26,15 @@ Two compilation surfaces:
   :class:`EvalContext`/:class:`Frame` objects are allocated at all;
   otherwise a single mutable frame is reused across the batch instead of
   allocating one per row.
+* the **vector compilers** (:func:`compile_vector_predicate`,
+  :func:`compile_vector_values`) — used by the vectorized engine over
+  :class:`~repro.engine.columnar.ColumnBatch` columns: a predicate
+  compiles to whole-column kernels refining a selection vector, a scalar
+  expression to a kernel producing one value vector.  Both return None
+  for anything they cannot compile with *identical* semantics (sublinks,
+  outer columns, LIKE/CASE/casts/functions, OR) — the engine then keeps
+  that operator on the row path, so ``engine="vectorized"`` is always
+  correct, never partial.
 """
 
 from __future__ import annotations
@@ -33,8 +42,8 @@ from __future__ import annotations
 from typing import Any, Callable, Sequence
 
 from ..datatypes import (
-    _comparable, arithmetic, compare, is_true, negate, null_safe_equal,
-    tv_not,
+    NEGATED_COMPARISON, _comparable, arithmetic, compare, is_true, negate,
+    null_safe_equal, tv_not,
 )
 from ..errors import ExpressionError
 from .ast import (
@@ -478,3 +487,479 @@ def compile_batch_values(expr: Expr, index: dict[str, int],
             out.append(fn(row, ctx))
         return out
     return run
+
+
+# ---------------------------------------------------------------------------
+# Vector compilation (the vectorized engine's columnar path)
+# ---------------------------------------------------------------------------
+#
+# Vector kernels run over the column vectors of a
+# :class:`~repro.engine.columnar.ColumnBatch`:
+#
+# * a *predicate kernel* has signature ``(columns, sel, params) ->
+#   selection`` — it refines the batch's selection vector, one whole-column
+#   pass per conjunct, without touching row tuples;
+# * a *value kernel* has signature ``(columns, idxs, params) -> values`` —
+#   one output value per selected index (projections, aggregate
+#   arguments, hash keys, computed comparison operands).
+#
+# Semantics replicate the row compiler exactly, including SQL's
+# three-valued AND: the row conjunction short-circuits on a definite
+# False but keeps evaluating after an unknown, so the kernel keeps
+# NULL-valued rows in the candidate list (recording them in a ``nulls``
+# set) and only removes them after the last conjunct — a later conjunct
+# still sees them, and still raises the same errors on them.  Fast paths
+# (bare comprehensions over ``operator``-module functions) fire only when
+# the column kind *guarantees* comparability and non-nullness; every
+# other shape goes through :func:`repro.datatypes.compare` /
+# :func:`~repro.datatypes.arithmetic`, so error messages are identical
+# to the row engine's.  The one documented divergence: when several rows
+# of one batch would raise, the vector engine surfaces the first error in
+# column-major (conjunct-by-conjunct) order rather than row-major order —
+# still an :class:`~repro.errors.ExpressionError`, possibly for a
+# different offending row.
+#
+# Anything not supported compiles to ``None`` and the operator stays on
+# the row path (correct, never partial): sublinks, outer (level > 0) or
+# unknown columns, OR, LIKE, CASE, casts, function calls.
+
+#: Arithmetic fast-path dispatch for operators that cannot raise on
+#: non-null numbers (``/`` and ``%`` have zero checks; ``||`` casts).
+import operator as _operator
+
+_ARITH_OPS: dict[str, Callable[[Any, Any], Any]] = {
+    "+": _operator.add, "-": _operator.sub, "*": _operator.mul,
+}
+
+#: A predicate kernel: ``(columns, sel, params) -> list of indices``.
+VectorPredicate = Callable[..., list]
+#: A value kernel: ``(columns, idxs, params) -> list of values``.
+VectorValues = Callable[..., list]
+
+
+def compile_vector_values(expr: Expr,
+                          index: dict[str, int]) -> VectorValues | None:
+    """Compile *expr* into a value kernel, or None when unsupported."""
+    if isinstance(expr, Const):
+        value = expr.value
+        return lambda columns, idxs, params: [value] * len(idxs)
+
+    if isinstance(expr, Param):
+        position = expr.index
+        return lambda columns, idxs, params: [params[position]] * len(idxs)
+
+    if isinstance(expr, Col) and expr.level == 0 and expr.name in index:
+        position = index[expr.name]
+
+        def read(columns, idxs, params):
+            values = columns[position].values
+            return [values[i] for i in idxs]
+        return read
+
+    if isinstance(expr, Arith):
+        op = expr.op
+        if op in _ARITH_OPS \
+                and isinstance(expr.left, Col) and expr.left.level == 0 \
+                and expr.left.name in index \
+                and isinstance(expr.right, Col) and expr.right.level == 0 \
+                and expr.right.name in index:
+            left_pos = index[expr.left.name]
+            right_pos = index[expr.right.name]
+            fast = _ARITH_OPS[op]
+
+            def arith_columns(columns, idxs, params):
+                left_col = columns[left_pos]
+                right_col = columns[right_pos]
+                left_values = left_col.values
+                right_values = right_col.values
+                if left_col.kind == "num" and right_col.kind == "num" \
+                        and not left_col.has_nulls \
+                        and not right_col.has_nulls:
+                    return [fast(left_values[i], right_values[i])
+                            for i in idxs]
+                return [arithmetic(op, left_values[i], right_values[i])
+                        for i in idxs]
+            return arith_columns
+        left = compile_vector_values(expr.left, index)
+        right = compile_vector_values(expr.right, index)
+        if left is None or right is None:
+            return None
+
+        def arith_values(columns, idxs, params):
+            return [arithmetic(op, a, b)
+                    for a, b in zip(left(columns, idxs, params),
+                                    right(columns, idxs, params))]
+        return arith_values
+
+    if isinstance(expr, Neg):
+        operand = compile_vector_values(expr.operand, index)
+        if operand is None:
+            return None
+        return lambda columns, idxs, params: [
+            negate(v) for v in operand(columns, idxs, params)]
+
+    if isinstance(expr, Comparison):
+        op = expr.op
+        left = compile_vector_values(expr.left, index)
+        right = compile_vector_values(expr.right, index)
+        if left is None or right is None:
+            return None
+        return lambda columns, idxs, params: [
+            compare(op, a, b)
+            for a, b in zip(left(columns, idxs, params),
+                            right(columns, idxs, params))]
+
+    if isinstance(expr, NullSafeEq):
+        left = compile_vector_values(expr.left, index)
+        right = compile_vector_values(expr.right, index)
+        if left is None or right is None:
+            return None
+        return lambda columns, idxs, params: [
+            null_safe_equal(a, b)
+            for a, b in zip(left(columns, idxs, params),
+                            right(columns, idxs, params))]
+
+    if isinstance(expr, Not):
+        operand = compile_vector_values(expr.operand, index)
+        if operand is None:
+            return None
+        return lambda columns, idxs, params: [
+            tv_not(v) for v in operand(columns, idxs, params)]
+
+    if isinstance(expr, IsNull):
+        operand = compile_vector_values(expr.operand, index)
+        if operand is None:
+            return None
+        return lambda columns, idxs, params: [
+            v is None for v in operand(columns, idxs, params)]
+
+    # Unsupported: Sublink, BoolOp (short-circuit error semantics don't
+    # survive eager per-item vector evaluation), Like, Case, Cast,
+    # FuncCall, outer/unknown columns, aggregates.
+    return None
+
+
+def _fast_scalar(kind: str, value: Any) -> bool:
+    """True when *kind* guarantees every column value is directly
+    comparable with *value* by Python operators (no 3VL, no errors)."""
+    if kind == "num":
+        return isinstance(value, (int, float)) \
+            and not isinstance(value, bool)
+    if kind == "text":
+        return isinstance(value, str)
+    if kind == "bool":
+        return isinstance(value, bool)
+    return False
+
+
+def _operand(expr: Expr, index: dict[str, int]):
+    """Classify a comparison operand: column, scalar, or value kernel."""
+    if isinstance(expr, Const):
+        return ("const", expr.value)
+    if isinstance(expr, Neg) and isinstance(expr.operand, Const):
+        # negative literals parse as Neg(Const); fold numeric ones so
+        # ``b >= -5`` still takes the column-vs-scalar fast path
+        value = expr.operand.value
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            return ("const", -value)
+    if isinstance(expr, Param):
+        return ("param", expr.index)
+    if isinstance(expr, Col) and expr.level == 0 and expr.name in index:
+        return ("col", index[expr.name])
+    kernel = compile_vector_values(expr, index)
+    if kernel is None:
+        return None
+    return ("kernel", kernel)
+
+
+def _fetcher(tag: str, payload) -> VectorValues:
+    """A value kernel for one classified operand."""
+    if tag == "col":
+        position = payload
+
+        def read(columns, idxs, params):
+            values = columns[position].values
+            return [values[i] for i in idxs]
+        return read
+    if tag == "const":
+        return lambda columns, idxs, params: [payload] * len(idxs)
+    if tag == "param":
+        return lambda columns, idxs, params: [params[payload]] * len(idxs)
+    return payload
+
+
+def _col_scalar_step(position: int, op: str, resolve, reverse: bool):
+    """Comparison step for column-vs-scalar (or scalar-vs-column when
+    *reverse*); the hot shape of every filter in the bench workloads."""
+    apply = _COMPARE_OPS[op]
+
+    def step(columns, cand, nulls, params):
+        value = resolve(params)
+        column = columns[position]
+        values = column.values
+        if value is None:
+            # NULL comparand: unknown for every candidate row
+            nulls.update(cand)
+            return cand if isinstance(cand, list) else list(cand)
+        if _fast_scalar(column.kind, value):
+            if not column.has_nulls:
+                if reverse:
+                    return [i for i in cand if apply(value, values[i])]
+                return [i for i in cand if apply(values[i], value)]
+            out = []
+            if reverse:
+                for i in cand:
+                    v = values[i]
+                    if v is None:
+                        nulls.add(i)
+                        out.append(i)
+                    elif apply(value, v):
+                        out.append(i)
+            else:
+                for i in cand:
+                    v = values[i]
+                    if v is None:
+                        nulls.add(i)
+                        out.append(i)
+                    elif apply(v, value):
+                        out.append(i)
+            return out
+        out = []
+        if reverse:
+            for i in cand:
+                result = compare(op, value, values[i])
+                if result is True:
+                    out.append(i)
+                elif result is None:
+                    nulls.add(i)
+                    out.append(i)
+        else:
+            for i in cand:
+                result = compare(op, values[i], value)
+                if result is True:
+                    out.append(i)
+                elif result is None:
+                    nulls.add(i)
+                    out.append(i)
+        return out
+    return step
+
+
+def _col_col_step(left_pos: int, right_pos: int, op: str):
+    """Comparison step for column-vs-column (join residuals, ``a < b``)."""
+    apply = _COMPARE_OPS[op]
+
+    def step(columns, cand, nulls, params):
+        left_col = columns[left_pos]
+        right_col = columns[right_pos]
+        left_values = left_col.values
+        right_values = right_col.values
+        if left_col.kind == right_col.kind \
+                and left_col.kind in ("num", "text", "bool"):
+            if not left_col.has_nulls and not right_col.has_nulls:
+                return [i for i in cand
+                        if apply(left_values[i], right_values[i])]
+            out = []
+            for i in cand:
+                a = left_values[i]
+                b = right_values[i]
+                if a is None or b is None:
+                    nulls.add(i)
+                    out.append(i)
+                elif apply(a, b):
+                    out.append(i)
+            return out
+        out = []
+        for i in cand:
+            result = compare(op, left_values[i], right_values[i])
+            if result is True:
+                out.append(i)
+            elif result is None:
+                nulls.add(i)
+                out.append(i)
+        return out
+    return step
+
+
+def _general_comparison_step(op: str, left_fetch: VectorValues,
+                             right_fetch: VectorValues):
+    """Comparison step with at least one computed operand."""
+    def step(columns, cand, nulls, params):
+        idxs = cand if isinstance(cand, list) else list(cand)
+        left_values = left_fetch(columns, idxs, params)
+        right_values = right_fetch(columns, idxs, params)
+        out = []
+        for i, a, b in zip(idxs, left_values, right_values):
+            result = compare(op, a, b)
+            if result is True:
+                out.append(i)
+            elif result is None:
+                nulls.add(i)
+                out.append(i)
+        return out
+    return step
+
+
+def _comparison_step(op: str, left: Expr, right: Expr,
+                     index: dict[str, int]):
+    left_operand = _operand(left, index)
+    right_operand = _operand(right, index)
+    if left_operand is None or right_operand is None:
+        return None
+    left_tag, left_payload = left_operand
+    right_tag, right_payload = right_operand
+    if left_tag == "col" and right_tag == "col":
+        return _col_col_step(left_payload, right_payload, op)
+    if left_tag == "col" and right_tag in ("const", "param"):
+        resolve = (lambda params, v=right_payload: v) \
+            if right_tag == "const" \
+            else (lambda params, p=right_payload: params[p])
+        return _col_scalar_step(left_payload, op, resolve, reverse=False)
+    if right_tag == "col" and left_tag in ("const", "param"):
+        resolve = (lambda params, v=left_payload: v) \
+            if left_tag == "const" \
+            else (lambda params, p=left_payload: params[p])
+        return _col_scalar_step(right_payload, op, resolve, reverse=True)
+    return _general_comparison_step(op, _fetcher(left_tag, left_payload),
+                                    _fetcher(right_tag, right_payload))
+
+
+def _is_null_step(operand: Expr, index: dict[str, int], want_null: bool):
+    """``IS NULL`` / ``IS NOT NULL``: always two-valued, never unknown."""
+    if isinstance(operand, Col) and operand.level == 0 \
+            and operand.name in index:
+        position = index[operand.name]
+        if want_null:
+            def step(columns, cand, nulls, params):
+                values = columns[position].values
+                return [i for i in cand if values[i] is None]
+        else:
+            def step(columns, cand, nulls, params):
+                values = columns[position].values
+                return [i for i in cand if values[i] is not None]
+        return step
+    kernel = compile_vector_values(operand, index)
+    if kernel is None:
+        return None
+    if want_null:
+        def step(columns, cand, nulls, params):
+            idxs = cand if isinstance(cand, list) else list(cand)
+            values = kernel(columns, idxs, params)
+            return [i for i, v in zip(idxs, values) if v is None]
+    else:
+        def step(columns, cand, nulls, params):
+            idxs = cand if isinstance(cand, list) else list(cand)
+            values = kernel(columns, idxs, params)
+            return [i for i, v in zip(idxs, values) if v is not None]
+    return step
+
+
+def _value_step(expr: Expr, index: dict[str, int], strict: bool):
+    """A conjunct evaluated as a plain truth value.
+
+    Inside a conjunction (*strict* False) the row compiler treats any
+    value that is neither False nor None as contributing true; as the
+    whole predicate (*strict* True), WHERE semantics keep only a definite
+    True.  Both are replicated exactly.
+    """
+    kernel = compile_vector_values(expr, index)
+    if kernel is None:
+        return None
+    if strict:
+        def step(columns, cand, nulls, params):
+            idxs = cand if isinstance(cand, list) else list(cand)
+            values = kernel(columns, idxs, params)
+            return [i for i, v in zip(idxs, values) if v is True]
+        return step
+
+    def step(columns, cand, nulls, params):
+        idxs = cand if isinstance(cand, list) else list(cand)
+        values = kernel(columns, idxs, params)
+        out = []
+        for i, v in zip(idxs, values):
+            if v is False:
+                continue
+            if v is None:
+                nulls.add(i)
+            out.append(i)
+        return out
+    return step
+
+
+def _compile_step(expr: Expr, index: dict[str, int], strict: bool):
+    """One conjunct -> one selection-refining step, or None."""
+    if isinstance(expr, Not) and isinstance(expr.operand, Comparison):
+        # NOT (a < b) == a >= b under 3VL: both are unknown on NULL, and
+        # compare() raises identically for incomparable operands.
+        inner = expr.operand
+        return _comparison_step(NEGATED_COMPARISON[inner.op], inner.left,
+                                inner.right, index)
+    if isinstance(expr, Comparison):
+        return _comparison_step(expr.op, expr.left, expr.right, index)
+    if isinstance(expr, IsNull):
+        return _is_null_step(expr.operand, index, want_null=True)
+    if isinstance(expr, Not) and isinstance(expr.operand, IsNull):
+        return _is_null_step(expr.operand.operand, index, want_null=False)
+    if isinstance(expr, NullSafeEq):
+        left_operand = _operand(expr.left, index)
+        right_operand = _operand(expr.right, index)
+        if left_operand is None or right_operand is None:
+            return None
+        left_fetch = _fetcher(*left_operand)
+        right_fetch = _fetcher(*right_operand)
+
+        def step(columns, cand, nulls, params):
+            idxs = cand if isinstance(cand, list) else list(cand)
+            left_values = left_fetch(columns, idxs, params)
+            right_values = right_fetch(columns, idxs, params)
+            return [i for i, a, b in zip(idxs, left_values, right_values)
+                    if null_safe_equal(a, b)]
+        return step
+    return _value_step(expr, index, strict)
+
+
+def _flatten_and(expr: Expr) -> list[Expr]:
+    if isinstance(expr, BoolOp) and expr.op == "and":
+        items: list[Expr] = []
+        for item in expr.items:
+            items.extend(_flatten_and(item))
+        return items
+    return [expr]
+
+
+def compile_vector_predicate(expr: Expr, index: dict[str, int]
+                             ) -> VectorPredicate | None:
+    """Compile a WHERE/residual predicate into a selection-vector kernel
+    ``(columns, sel, params) -> list of surviving indices``, or None when
+    any conjunct is unsupported (the operator then stays on rows)."""
+    strict = not (isinstance(expr, BoolOp) and expr.op == "and")
+    conjuncts = _flatten_and(expr)
+    steps = []
+    for conjunct in conjuncts:
+        step = _compile_step(conjunct, index, strict)
+        if step is None:
+            return None
+        steps.append(step)
+
+    if len(steps) == 1:
+        only = steps[0]
+
+        def single(columns, sel, params):
+            nulls: set = set()
+            cand = only(columns, sel, nulls, params)
+            if nulls:
+                cand = [i for i in cand if i not in nulls]
+            return cand
+        return single
+
+    def kernel(columns, sel, params):
+        nulls: set = set()
+        cand = sel
+        for step in steps:
+            cand = step(columns, cand, nulls, params)
+            if not cand:
+                return cand if isinstance(cand, list) else list(cand)
+        if nulls:
+            cand = [i for i in cand if i not in nulls]
+        return cand
+    return kernel

@@ -325,8 +325,24 @@ def _encode_column(out: bytearray, values: list[Any]) -> None:
         out += blob
 
 
+#: Codec column kind -> the execution-engine column-kind names used by
+#: :mod:`repro.engine.columnar` (GENERIC holds bools / big ints / mixed
+#: values, so it maps to the catch-all kind with has_nulls unknown).
+_KIND_NAMES = {_COL_INT64: "num", _COL_FLOAT64: "num", _COL_TEXT: "text"}
+
+
 def _decode_column(buf: bytes, pos: int,
                    n_rows: int) -> tuple[list[Any], int]:
+    values, _, _, pos = _decode_column_full(buf, pos, n_rows)
+    return values, pos
+
+
+def _decode_column_full(
+        buf: bytes, pos: int,
+        n_rows: int) -> tuple[list[Any], str, bool, int]:
+    """Decode one column, also reporting the engine column kind and
+    whether NULLs are present (``"any"`` is always paired with True —
+    the generic layout does not track nulls separately)."""
     if pos >= len(buf):
         raise StorageError("truncated column")
     kind = buf[pos]
@@ -336,7 +352,7 @@ def _decode_column(buf: bytes, pos: int,
         for _ in range(n_rows):
             value, pos = decode_value(buf, pos)
             values.append(value)
-        return values, pos
+        return values, "any", True, pos
     if kind not in (_COL_INT64, _COL_FLOAT64, _COL_TEXT):
         raise StorageError(f"unknown column kind 0x{kind:02x}")
     if pos >= len(buf):
@@ -380,8 +396,9 @@ def _decode_column(buf: bytes, pos: int,
         fmt = "q" if kind == _COL_INT64 else "d"
         present = list(struct.unpack_from(f"<{count}{fmt}", buf, pos))
         pos += width
+    name = _KIND_NAMES[kind]
     if not has_nulls:
-        return present, pos
+        return present, name, False, pos
     values = []
     it = iter(present)
     for i in range(n_rows):
@@ -389,7 +406,7 @@ def _decode_column(buf: bytes, pos: int,
             values.append(None)
         else:
             values.append(next(it))
-    return values, pos
+    return values, name, True, pos
 
 
 def encode_columnar_rows(out: bytearray, n_columns: int,
@@ -400,16 +417,27 @@ def encode_columnar_rows(out: bytearray, n_columns: int,
         _encode_column(out, [row[position] for row in rows])
 
 
-def decode_columnar_rows(buf: bytes, pos: int,
-                         n_columns: int) -> tuple[list[tuple], int]:
+def decode_columnar_columns(
+        buf: bytes, pos: int, n_columns: int
+) -> tuple[list[tuple[list[Any], str, bool]], int, int]:
+    """Decode a columnar block *without* transposing: per column a
+    ``(values, kind, has_nulls)`` tuple ready to seed the vectorized
+    engine's column cache.  Returns ``(columns, n_rows, pos)``."""
     n_rows, pos = decode_varint(buf, pos)
     columns = []
     for _ in range(n_columns):
-        column, pos = _decode_column(buf, pos, n_rows)
-        columns.append(column)
+        values, kind, has_nulls, pos = _decode_column_full(
+            buf, pos, n_rows)
+        columns.append((values, kind, has_nulls))
+    return columns, n_rows, pos
+
+
+def decode_columnar_rows(buf: bytes, pos: int,
+                         n_columns: int) -> tuple[list[tuple], int]:
+    columns, n_rows, pos = decode_columnar_columns(buf, pos, n_columns)
     if not columns:
         return [() for _ in range(n_rows)], pos
-    return list(zip(*columns)), pos
+    return list(zip(*[values for values, _, _ in columns])), pos
 
 
 # -- schemas -----------------------------------------------------------------

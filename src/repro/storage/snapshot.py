@@ -33,13 +33,14 @@ import os
 from pathlib import Path
 
 from ..catalog import Catalog
+from ..engine.columnar import seed_columns
 from ..errors import StorageError
 from ..relation import Relation
 from .codec import (
-    decode_columnar_rows, decode_schema, decode_str, decode_table_stats,
-    decode_varint, dumps_ast, encode_columnar_rows, encode_schema,
-    encode_str, encode_table_stats, encode_varint, loads_ast,
-    read_record, write_record,
+    decode_columnar_columns, decode_schema, decode_str,
+    decode_table_stats, decode_varint, dumps_ast, encode_columnar_rows,
+    encode_schema, encode_str, encode_table_stats, encode_varint,
+    loads_ast, read_record, write_record,
 )
 
 MAGIC = b"RPRODB01"
@@ -157,10 +158,18 @@ def load_snapshot(path: str | Path) -> tuple[Catalog, int]:
             elif kind == _KIND_TABLE:
                 name, pos = decode_str(payload, 1)
                 schema, pos = decode_schema(payload, pos)
-                rows, pos = decode_columnar_rows(payload, pos,
-                                                 len(schema))
-                catalog.install_table(
-                    name, Relation.from_trusted_rows(schema, rows))
+                columns, n_rows, pos = decode_columnar_columns(
+                    payload, pos, len(schema))
+                if columns:
+                    rows = list(zip(*[values for values, _, _ in columns]))
+                else:
+                    rows = [() for _ in range(n_rows)]
+                relation = Relation.from_trusted_rows(schema, rows)
+                catalog.install_table(name, relation)
+                # hand the decoded column vectors to the vectorized
+                # engine's cache — a reopened table scans columnar from
+                # its first query, with no transposition pass
+                seed_columns(relation.rows, columns)
             elif kind == _KIND_VIEW:
                 name, pos = decode_str(payload, 1)
                 length, pos = decode_varint(payload, pos)

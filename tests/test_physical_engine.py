@@ -8,6 +8,7 @@ depend on (hash joins for Unn equi-joins, InitPlans for uncorrelated
 sublinks, streaming limits).
 """
 
+import os
 from collections import Counter
 
 import pytest
@@ -74,12 +75,18 @@ def _populate(conn) -> None:
 
 @pytest.fixture
 def engines():
-    """A (pipelined, materializing) connection pair over one catalog."""
-    pipelined = connect(engine="pipelined")
-    _populate(pipelined)
+    """A (fast, materializing) connection pair over one catalog.
+
+    The fast engine defaults to ``pipelined``; CI also runs this module
+    with ``REPRO_ENGINE=vectorized`` so the whole parity matrix covers
+    the columnar engine too.
+    """
+    fast_engine = os.environ.get("REPRO_ENGINE", "pipelined")
+    fast = connect(engine=fast_engine)
+    _populate(fast)
     materializing = connect(engine="materializing",
-                            catalog=pipelined.catalog)
-    return pipelined, materializing
+                            catalog=fast.catalog)
+    return fast, materializing
 
 
 class TestEngineParity:
