@@ -8,11 +8,25 @@ arguments each layer used to grow.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+import os
+from dataclasses import dataclass, field, replace
 from typing import Any
 
 from ..errors import InterfaceError
 from ..provenance import strategies
+
+
+def _env_int(name: str, default: int) -> int:
+    """An integer knob default taken from the environment; malformed
+    values fall back to *default* rather than breaking session setup."""
+    raw = os.environ.get(name)
+    if raw is None:
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        return default
+    return value if value >= 0 else default
 
 
 @dataclass
@@ -75,6 +89,21 @@ class SessionConfig:
         directory opens, so ``engine.connect()`` rejects a session
         override that disagrees with it.  Ignored by purely in-memory
         engines.
+    ``max_parallel_workers``
+        Upper bound on worker processes a single query may fan out to
+        through the exchange operators (:mod:`repro.engine.parallel`).
+        ``0`` (the default) disables parallel execution entirely; the
+        ``REPRO_PARALLEL`` environment variable sets the default for
+        new sessions (the CI parity jobs export ``REPRO_PARALLEL=2``).
+        Parallelism is a plan property, so the knob is part of the
+        plan-cache key.
+    ``parallel_threshold``
+        Minimum estimated input rows before the lowering pass considers
+        a Gather plan at all — below it, fork/serialize overhead always
+        loses to serial execution.  The ``REPRO_PARALLEL_THRESHOLD``
+        environment variable sets the default for new sessions (the CI
+        parity jobs lower it so small test tables exercise the
+        exchanges).
     """
 
     default_strategy: str = "auto"
@@ -87,6 +116,10 @@ class SessionConfig:
     use_indexes: bool = True
     autocommit: bool = True
     durability: str = "commit"
+    max_parallel_workers: int = field(
+        default_factory=lambda: _env_int("REPRO_PARALLEL", 0))
+    parallel_threshold: int = field(
+        default_factory=lambda: _env_int("REPRO_PARALLEL_THRESHOLD", 10000))
 
     def __post_init__(self) -> None:
         self.validate()
@@ -108,6 +141,14 @@ class SessionConfig:
             raise InterfaceError(
                 f"unknown durability {self.durability!r}; expected one "
                 f"of ['off', 'commit', 'checkpoint']")
+        if self.max_parallel_workers < 0:
+            raise InterfaceError(
+                f"max_parallel_workers must be >= 0, got "
+                f"{self.max_parallel_workers}")
+        if self.parallel_threshold < 0:
+            raise InterfaceError(
+                f"parallel_threshold must be >= 0, got "
+                f"{self.parallel_threshold}")
         if self.default_strategy != strategies.AUTO and \
                 not strategies.is_registered(self.default_strategy):
             raise InterfaceError(

@@ -412,13 +412,20 @@ class Connection:
         self._write(lambda txn: txn.run_ddl("create_view", name, statement))
 
     def create_table(self, name: str,
-                     columns: Sequence[tuple[str, str]]) -> None:
-        """Create a table from ``(column, type-name)`` pairs."""
+                     columns: Sequence[tuple[str, str]],
+                     partition_by: str | None = None,
+                     partitions: int = 0) -> None:
+        """Create a table from ``(column, type-name)`` pairs.
+
+        ``partition_by``/``partitions`` declare hash partitioning — the
+        API spelling of ``PARTITION BY HASH(col) PARTITIONS n``."""
         self._check_open()
         schema = Schema(
             Attribute(column, SQLType.parse(type_name))
             for column, type_name in columns)
-        self._write(lambda txn: txn.create_table(name, schema))
+        spec = (partition_by, partitions) if partition_by else None
+        self._write(
+            lambda txn: txn.create_table(name, schema, partition=spec))
 
     def insert(self, table: str, rows: Iterable[Sequence[Any]]) -> int:
         """Bulk-insert rows; returns the number of rows inserted.
@@ -490,8 +497,17 @@ class Connection:
         index knob — the one spelling shared by every planning surface,
         so EXPLAIN output always describes the plan execution would run."""
         from ..engine.lowering import lower_plan
-        return lower_plan(plan, catalog,
-                          use_indexes=self.config.use_indexes)
+        physical = lower_plan(plan, catalog,
+                              use_indexes=self.config.use_indexes)
+        workers = self.config.max_parallel_workers
+        if workers >= 2 or catalog.partitions():
+            from ..engine.parallel import parallelize_plan
+            engine_name = self.config.engine \
+                if self.config.engine == "vectorized" else "pipelined"
+            physical = parallelize_plan(
+                physical, catalog, workers,
+                self.config.parallel_threshold, engine_name)
+        return physical
 
     def _build_plan_full(self, statement: SelectStmt, strategy: str | None,
                          catalog: Catalog
@@ -527,6 +543,8 @@ class Connection:
         return (sql, override, self.config.default_strategy,
                 self.config.engine, self.config.optimize,
                 self.config.compile_expressions, self.config.use_indexes,
+                self.config.max_parallel_workers,
+                self.config.parallel_threshold,
                 catalog.version, catalog.stats_version)
 
     def _get_plan(self, sql: str, override: str | None = None,
@@ -733,7 +751,9 @@ class Connection:
             schema = Schema(
                 Attribute(column, SQLType.parse(type_name))
                 for column, type_name in statement.columns)
-            txn.create_table(statement.name, schema)
+            spec = (statement.partition_by, statement.partitions) \
+                if statement.partition_by else None
+            txn.create_table(statement.name, schema, partition=spec)
             return None
         if isinstance(statement, CreateViewStmt):
             txn.run_ddl("create_view", statement.name, statement.query)

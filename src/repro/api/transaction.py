@@ -147,11 +147,16 @@ class Transaction:
             self._wal_deltas.setdefault(
                 name.lower(), ([], []))[0].extend(removed)
 
-    def create_table(self, name: str, schema, rows=()) -> None:
+    def create_table(self, name: str, schema, rows=(),
+                     partition: tuple[str, int] | None = None) -> None:
+        """Create a table privately; *partition* is the optional
+        ``PARTITION BY HASH(column) PARTITIONS count`` declaration."""
         self._check_active()
         key = name.lower()
         existed_in_base = key in self._base_tables
         self.catalog.create(key, schema, rows)
+        if partition is not None:
+            self.catalog.set_partition(key, partition[0], partition[1])
         if existed_in_base:
             self._recreated.add(key)
 
@@ -338,6 +343,9 @@ def apply_commit(txn: Transaction, live: Catalog) -> None:
     for key in created:
         live.install_table(key, final_tables[key],
                            private.indexes_on(key))
+        declared = private.partition_of(key)
+        if declared is not None:
+            live.set_partition(key, declared[0], declared[1])
     for key in written:
         live.swap_table(key, final_tables[key], private.indexes_on(key))
     for name, query in new_views:

@@ -54,9 +54,12 @@ def main(argv: list[str] | None = None) -> int:
              "point-lookup join workload, if K sessions sharing one "
              "Engine do not deliver at least 2x the aggregate throughput "
              "of K sequential single-connection runs on the read-heavy "
-             "mix, or if reopening a checkpointed database from its "
+             "mix, if reopening a checkpointed database from its "
              "snapshot is not at least 2x faster than rebuilding it "
-             "from CSV + re-ANALYZE")
+             "from CSV + re-ANALYZE, if the parallel scan-aggregate "
+             "workload never fans out, or (on hosts with at least 4 "
+             "real cores) if 4 exchange workers are not at least 1.5x "
+             "faster than the serial plan on it")
     parser.add_argument(
         "--engine", action="store_true",
         help="run the engine-comparison grid: the fig8/fig9 synthetic "
@@ -69,6 +72,21 @@ def main(argv: list[str] | None = None) -> int:
         "--engine-repeats", type=int, default=3, metavar="N",
         help="repeated executions per cell and engine for --engine "
              "(default 3, best of 3 rounds)")
+    parser.add_argument(
+        "--parallel", action="store_true",
+        help="run the parallel-execution grid: the scan-aggregate "
+             "workloads intra-query parallelism targets plus the "
+             "fig8/fig9 and TPC-H provenance workloads, each measured "
+             "serially and with 2 and 4 exchange workers; every cell "
+             "cross-checks bit-identical results against the serial "
+             "baseline and the committed BENCH_parallel.json is "
+             "regenerated from --json (speedups are only meaningful "
+             "on hosts with >= 2 real cores; the host CPU count is "
+             "recorded in the JSON)")
+    parser.add_argument(
+        "--parallel-repeats", type=int, default=3, metavar="N",
+        help="repeated executions per cell and worker setting for "
+             "--parallel (default 3, best of 3 rounds)")
     parser.add_argument(
         "--serve", action="store_true",
         help="run the network-serving load benchmark: boot the wire "
@@ -118,6 +136,26 @@ def main(argv: list[str] | None = None) -> int:
                   "the grid geomean")
             return 1
         print("ok: the vectorized engine wins the grid geomean")
+        return 0
+
+    if args.parallel:
+        if args.parallel_repeats < 1:
+            parser.error("--parallel-repeats must be >= 1")
+        from .parallel import format_parallel_bench, run_parallel_bench
+        result = run_parallel_bench(repeats=args.parallel_repeats,
+                                    seed=args.seed, verbose=args.verbose)
+        print("== parallel execution ==")
+        print(format_parallel_bench(result))
+        if args.json:
+            import json
+            with open(args.json, "w") as handle:
+                json.dump(result.to_dict(), handle, indent=2)
+            print(f"wrote {args.json}")
+        if result.exchanged_cells < 1:
+            print("FAIL: no cell fanned out through a Gather")
+            return 1
+        print("ok: the exchange operators fan out and every parallel "
+              "run matched its serial baseline bit for bit")
         return 0
 
     if args.serve:
@@ -183,9 +221,17 @@ def main(argv: list[str] | None = None) -> int:
             print("FAIL: snapshot reopen speedup over CSV rebuild + "
                   "re-ANALYZE below the 2x floor")
             return 1
+        if result.parallel_fanouts < 1:
+            print("FAIL: the parallel scan-aggregate workload never "
+                  "fanned out through a Gather")
+            return 1
+        if result.parallel_cpus >= 4 and result.parallel_speedup < 1.5:
+            print("FAIL: parallel scan-aggregate speedup below the "
+                  "1.5x floor on a >= 4-core host")
+            return 1
         print("ok: plan cache, pipelined and vectorized engines, index "
-              "joins, the shared Engine and snapshot reopen deliver "
-              "the expected speedups")
+              "joins, the shared Engine, snapshot reopen and parallel "
+              "execution deliver the expected speedups")
         return 0
 
     if args.figure is None:

@@ -1,0 +1,287 @@
+"""Parallel-execution benchmark (``python -m repro.bench --parallel``).
+
+One grid, three worker settings.  Every cell is a query prepared once
+per setting and re-executed through the plan cache:
+
+* the **scanagg** workload — filtered scans and grouped aggregates over
+  a large synthetic table, once unpartitioned (Gather plans the
+  ``scan``/``repartition``/``twophase`` exchange modes) and once hash-
+  partitioned on the grouping key (partition-wise aggregation plus
+  partition pruning) — the shapes intra-query parallelism exists for;
+
+* the fig8/fig9 synthetic provenance workloads (q1/q2 across their
+  rewrite strategies) and the uncorrelated TPC-H sublink templates
+  (Q11/Q15/Q16 under Left and Move), which mostly plan to joins the
+  exchange operators do not split — their cells document that the
+  parallel planner leaves join-heavy provenance plans alone rather
+  than pessimizing them.
+
+Every cell cross-checks each worker setting's *ordered* result rows
+against the serial run — the exchange operators are required to be
+bit-identical, not merely bag-equal — and records how many Gather
+fan-outs actually happened, so a cell that silently fell back to
+serial execution is visible in the committed JSON
+(``BENCH_parallel.json``).  The host's CPU count is recorded alongside
+the timings: on a single-core container the worker processes time-slice
+one core, so parallel runs are expected to trail serial ones there and
+the numbers are only meaningful relative to ``cpus``.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+import time
+from dataclasses import dataclass
+
+from ..api import connect
+from ..synthetic import SyntheticConfig, load_synthetic, q1_sql, q2_sql
+from ..tpch import install_views, load_tpch, query_sql
+
+#: Worker settings per cell; 1 plans serially (the baseline).
+WORKER_SETTINGS = (1, 2, 4)
+#: Fan-out threshold for the grid: low enough that every eligible plan
+#: over the workloads below actually exchanges.
+PARALLEL_THRESHOLD = 256
+
+#: scanagg: rows in the synthetic scan/aggregate table.
+SCANAGG_ROWS = 30000
+SCANAGG_GROUPS = 64
+SCANAGG_PARTITIONS = 4
+
+#: Synthetic provenance points (one size per figure shape).
+FIG8_POINT = (500, 1000)
+FIG9_POINT = (1000, 1000)
+GEN_MAX_SIZE = 100
+
+TPCH_QUERIES = (11, 15, 16)
+TPCH_STRATEGIES = ("left", "move")
+TPCH_SCALE = 0.00015
+
+
+@dataclass
+class ParallelCell:
+    """One query measured serially and at each parallel setting."""
+
+    workload: str            # "scanagg", "fig8", "fig9" or "tpch"
+    case: str
+    strategy: str            # rewrite strategy, or "-" for plain SQL
+    rows: int
+    seconds: dict[str, float]     # "w1"/"w2"/"w4" -> per-call seconds
+    fanouts: dict[str, int]       # setting -> Gather fan-outs per call
+
+    @property
+    def parallel_speedup(self) -> float:
+        """Best parallel setting vs the serial baseline."""
+        best = min(seconds for key, seconds in self.seconds.items()
+                   if key != "w1")
+        if best == 0:
+            return float("inf")
+        return self.seconds["w1"] / best
+
+    def to_dict(self) -> dict:
+        return {
+            "workload": self.workload,
+            "case": self.case,
+            "strategy": self.strategy,
+            "rows": self.rows,
+            "seconds": dict(self.seconds),
+            "fanouts": dict(self.fanouts),
+            "parallel_speedup": self.parallel_speedup,
+        }
+
+
+@dataclass
+class ParallelBenchResult:
+    """The full parallel-execution grid."""
+
+    repeats: int
+    cpus: int                 # os.cpu_count() of the measuring host
+    cells: list[ParallelCell]
+
+    @property
+    def exchanged_cells(self) -> int:
+        """Cells where at least one parallel setting actually fanned
+        out (the rest prove the planner leaves serial plans alone)."""
+        return sum(1 for cell in self.cells
+                   if any(count for key, count in cell.fanouts.items()
+                          if key != "w1"))
+
+    @property
+    def scanagg_speedup(self) -> float:
+        """Geomean parallel speedup over the cells built to exchange."""
+        ratios = [cell.parallel_speedup for cell in self.cells
+                  if cell.workload == "scanagg"
+                  and cell.parallel_speedup > 0]
+        if not ratios:
+            return float("nan")
+        return math.exp(sum(math.log(r) for r in ratios) / len(ratios))
+
+    def to_dict(self) -> dict:
+        return {
+            "repeats": self.repeats,
+            "cpus": self.cpus,
+            "worker_settings": list(WORKER_SETTINGS),
+            "parallel_threshold": PARALLEL_THRESHOLD,
+            "exchanged_cells": self.exchanged_cells,
+            "scanagg_speedup": self.scanagg_speedup,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+
+def _provenance_sql(sql: str) -> str:
+    if not sql.upper().startswith("SELECT "):
+        raise ValueError(f"not a SELECT: {sql[:40]!r}")
+    return "SELECT PROVENANCE " + sql[len("SELECT "):]
+
+
+def _time_cell(catalog, sql: str, strategy: str | None, repeats: int,
+               workload: str, case: str) -> ParallelCell:
+    """Measure one query at every worker setting over a shared catalog."""
+    timings: dict[str, float] = {}
+    fanouts: dict[str, int] = {}
+    baseline: list | None = None
+    rows = 0
+    for workers in WORKER_SETTINGS:
+        key = f"w{workers}"
+        conn = connect(catalog=catalog, max_parallel_workers=workers,
+                       parallel_threshold=PARALLEL_THRESHOLD)
+        statement = conn.prepare(sql, strategy=strategy)
+        result = statement.execute(()).rows   # warm: plan + pool + blobs
+        fanouts[key] = conn.last_stats.parallel_fanouts
+        if workers == 1:
+            baseline = result
+            rows = len(result)
+        elif result != baseline:
+            raise AssertionError(
+                f"workers={workers} run of {workload}/{case}/{strategy} "
+                f"is not bit-identical to the serial baseline")
+        best = float("inf")
+        for _ in range(3):                    # best-of-3 rounds
+            start = time.perf_counter()
+            for _ in range(repeats):
+                statement.execute(()).rows    # drain the stream
+            best = min(best, time.perf_counter() - start)
+        timings[key] = best / repeats
+        conn.close()
+    return ParallelCell(workload, case, strategy or "-", rows,
+                        timings, fanouts)
+
+
+def _scanagg_catalog():
+    """The scan/aggregate workload tables: one plain copy, one
+    hash-partitioned on the grouping key."""
+    conn = connect()
+    conn.execute("CREATE TABLE events (grp int, val int)")
+    conn.execute(f"CREATE TABLE events_p (grp int, val int) "
+                 f"PARTITION BY HASH(grp) "
+                 f"PARTITIONS {SCANAGG_PARTITIONS}")
+    rows = [((i * 7919) % SCANAGG_GROUPS, i % 1000)
+            for i in range(SCANAGG_ROWS)]
+    conn.insert("events", rows)
+    conn.insert("events_p", rows)
+    conn.execute("ANALYZE")
+    return conn.catalog
+
+
+def _scanagg_cells(repeats: int, verbose: bool) -> list[ParallelCell]:
+    catalog = _scanagg_catalog()
+    cases = [
+        ("filter-scan",
+         "SELECT grp, val FROM events WHERE val < 120"),
+        ("group-agg",
+         "SELECT grp, count(*) AS n, sum(val) AS s "
+         "FROM events GROUP BY grp"),
+        ("global-agg",
+         "SELECT count(*) AS n, sum(val) AS s, max(val) AS hi "
+         "FROM events WHERE val < 900"),
+        ("partition-agg",
+         "SELECT grp, count(*) AS n, sum(val) AS s "
+         "FROM events_p GROUP BY grp"),
+        ("partition-prune",
+         "SELECT val FROM events_p WHERE grp = 11 AND val < 500"),
+    ]
+    cells = []
+    for case, sql in cases:
+        cell = _time_cell(catalog, sql, None, repeats, "scanagg", case)
+        cells.append(cell)
+        if verbose:
+            print("  " + _format_cell(cell), flush=True)
+    return cells
+
+
+def _synthetic_cells(workload: str, input_size: int, sublink_size: int,
+                     repeats: int, seed: int,
+                     verbose: bool) -> list[ParallelCell]:
+    db = load_synthetic(SyntheticConfig(input_size, sublink_size,
+                                        seed=seed))
+    cells: list[ParallelCell] = []
+    for case, sql_fn, strategies in (
+            ("q1", q1_sql, ("gen", "left", "move", "unn")),
+            ("q2", q2_sql, ("gen", "left", "move"))):
+        sql = _provenance_sql(sql_fn(input_size, sublink_size, seed=seed))
+        for strategy in strategies:
+            if strategy == "gen" \
+                    and max(input_size, sublink_size) > GEN_MAX_SIZE:
+                continue   # correlated per-row execution, O(n^2)
+            cell = _time_cell(db.catalog, sql, strategy, repeats,
+                              workload, case)
+            cells.append(cell)
+            if verbose:
+                print("  " + _format_cell(cell), flush=True)
+    return cells
+
+
+def _tpch_cells(repeats: int, seed: int,
+                verbose: bool) -> list[ParallelCell]:
+    db = load_tpch(scale=TPCH_SCALE, seed=seed)
+    install_views(db)
+    cells: list[ParallelCell] = []
+    for query in TPCH_QUERIES:
+        sql = _provenance_sql(query_sql(query, seed=seed))
+        for strategy in TPCH_STRATEGIES:
+            cell = _time_cell(db.catalog, sql, strategy, repeats,
+                              "tpch", f"Q{query}")
+            cells.append(cell)
+            if verbose:
+                print("  " + _format_cell(cell), flush=True)
+    return cells
+
+
+def run_parallel_bench(repeats: int = 3, seed: int = 0,
+                       verbose: bool = False) -> ParallelBenchResult:
+    """Run the full grid; see the module docstring."""
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
+    cells = _scanagg_cells(repeats, verbose)
+    cells += _synthetic_cells("fig8", *FIG8_POINT, repeats, seed, verbose)
+    cells += _synthetic_cells("fig9", *FIG9_POINT, repeats, seed, verbose)
+    cells += _tpch_cells(repeats, seed, verbose)
+    return ParallelBenchResult(repeats=repeats,
+                               cpus=os.cpu_count() or 1, cells=cells)
+
+
+def _format_cell(cell: ParallelCell) -> str:
+    per = {key: f"{cell.seconds.get(key, 0) * 1000:9.3f}"
+           for key in ("w1", "w2", "w4")}
+    fan = "/".join(str(cell.fanouts.get(f"w{w}", 0))
+                   for w in WORKER_SETTINGS)
+    return (f"{cell.workload:7s} {cell.case:15s} {cell.strategy:5s} "
+            f"{per['w1']} {per['w2']} {per['w4']} "
+            f"{cell.parallel_speedup:6.2f}x  [{fan}]")
+
+
+def format_parallel_bench(result: ParallelBenchResult) -> str:
+    lines = [
+        f"host cpus: {result.cpus}   (speedups need >= 2 real cores)",
+        "workload case            strat     w1 ms     w2 ms     w4 ms "
+        " best-x  [fanouts]",
+    ]
+    lines += [_format_cell(cell) for cell in result.cells]
+    lines += [
+        f"cells that exchanged                 "
+        f"{result.exchanged_cells}/{len(result.cells)}",
+        f"geomean scanagg parallel speedup     "
+        f"{result.scanagg_speedup:6.2f}x",
+    ]
+    return "\n".join(lines)

@@ -41,6 +41,15 @@ Four checks, all run by CI as regression gates:
   at least 2x faster, or restarts of a production deployment would be
   better served by CSV reload than by the storage subsystem.
 
+* **Parallel** — a scan-aggregate workload (grouped count/sum over a
+  hash-partitioned table big enough to clear the fan-out threshold)
+  executed serially and with four exchange workers.  Parity is gated
+  unconditionally — the parallel rows must be *bit-identical* to the
+  serial ones, and the plan must actually fan out through a Gather —
+  but the >= 1.5x speedup gate only applies when the host has at least
+  four real cores; on smaller hosts the worker processes time-slice
+  the same cores and the ratio is recorded without being gated.
+
 * **Indexes** — an indexed point-lookup workload (prepared
   ``k = ?`` lookups against a unique hash index versus the same session
   with ``use_indexes=False``, which plans the filtered sequential scan)
@@ -101,6 +110,13 @@ _CONCURRENCY_DISTINCT = 20
 #: enough that per-row costs dominate fixed open/parse overheads.
 _DURABLE_ROWS = 12000
 
+#: Parallel workload: rows in the partitioned scan-aggregate table.
+#: Big enough that per-row aggregation dominates the exchange overhead
+#: (task dispatch + partial-result pickling) on a multi-core host.
+_PARALLEL_ROWS = 60000
+_PARALLEL_GROUPS = 64
+_PARALLEL_WORKERS = 4
+
 
 @dataclass
 class SmokeResult:
@@ -130,6 +146,11 @@ class SmokeResult:
     durable_rows: int             # rows in the durability workload
     csv_reload_seconds: float     # cold CSV rebuild + index + ANALYZE
     snapshot_open_seconds: float  # connect(path=...) on the checkpoint
+    parallel_rows: int            # rows in the parallel workload table
+    parallel_cpus: int            # os.cpu_count() of the measuring host
+    parallel_fanouts: int         # Gather fan-outs in the parallel run
+    serial_agg_seconds: float     # total, max_parallel_workers=0
+    parallel_agg_seconds: float   # total, four exchange workers
 
     @property
     def speedup(self) -> float:
@@ -181,6 +202,14 @@ class SmokeResult:
             return float("inf")
         return self.csv_reload_seconds / self.snapshot_open_seconds
 
+    @property
+    def parallel_speedup(self) -> float:
+        """Four exchange workers vs serial on the scan-aggregate
+        workload (gated only on hosts with >= 4 real cores)."""
+        if self.parallel_agg_seconds == 0:
+            return float("inf")
+        return self.serial_agg_seconds / self.parallel_agg_seconds
+
     def to_dict(self) -> dict:
         """JSON-friendly form (uploaded as a CI artifact so BENCH_*
         trajectories are comparable across PRs)."""
@@ -192,6 +221,7 @@ class SmokeResult:
         data["index_join_speedup"] = self.index_join_speedup
         data["concurrency_speedup"] = self.concurrency_speedup
         data["reopen_speedup"] = self.reopen_speedup
+        data["parallel_speedup"] = self.parallel_speedup
         return data
 
 
@@ -504,6 +534,48 @@ def _run_durability(rows_n: int = _DURABLE_ROWS
         shutil.rmtree(base, ignore_errors=True)
 
 
+def _run_parallel(rows_n: int = _PARALLEL_ROWS,
+                  repeats: int = 3) -> tuple[int, int, int, float, float]:
+    """Grouped scan-aggregate over a hash-partitioned table: serial vs
+    four exchange workers on a shared catalog (best of 3).  Parallel
+    rows must be bit-identical to serial; the plan must fan out."""
+    seed = connect()
+    seed.execute(f"CREATE TABLE events (grp int, val int) "
+                 f"PARTITION BY HASH(grp) "
+                 f"PARTITIONS {_PARALLEL_WORKERS}")
+    seed.insert("events", [((i * 7919) % _PARALLEL_GROUPS, i % 1000)
+                           for i in range(rows_n)])
+    seed.execute("ANALYZE")
+    catalog = seed.catalog
+    seed.close()
+
+    sql = ("SELECT grp, count(*) AS n, sum(val) AS s "
+           "FROM events GROUP BY grp")
+    timings: dict[str, float] = {}
+    results: dict[str, list] = {}
+    fanouts = 0
+    for label, workers in (("serial", 0), ("parallel", _PARALLEL_WORKERS)):
+        conn = connect(catalog=catalog, max_parallel_workers=workers,
+                       parallel_threshold=1000)
+        statement = conn.prepare(sql)
+        results[label] = statement.execute(()).rows   # warm pool + blobs
+        if label == "parallel":
+            fanouts = conn.last_stats.parallel_fanouts
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            for _ in range(repeats):
+                statement.execute(()).rows   # drain the stream
+            best = min(best, time.perf_counter() - start)
+        timings[label] = best
+        conn.close()
+    if results["parallel"] != results["serial"]:
+        raise AssertionError(
+            "parallel scan-aggregate is not bit-identical to serial")
+    return (rows_n, os.cpu_count() or 1, fanouts,
+            timings["serial"], timings["parallel"])
+
+
 def _run_indexes(repeats: int,
                  lookups: int = _INDEX_LOOKUPS
                  ) -> tuple[int, float, float, int, float, float]:
@@ -533,6 +605,8 @@ def run_smoke(repeats: int = 20, engine_repeats: int = 5) -> SmokeResult:
      concurrent_seconds) = _run_concurrency()
     durable_rows, csv_reload_seconds, snapshot_open_seconds = \
         _run_durability()
+    (parallel_rows, parallel_cpus, parallel_fanouts,
+     serial_agg_seconds, parallel_agg_seconds) = _run_parallel()
     return SmokeResult(
         repeats=repeats,
         legacy_seconds=legacy_seconds,
@@ -558,6 +632,11 @@ def run_smoke(repeats: int = 20, engine_repeats: int = 5) -> SmokeResult:
         durable_rows=durable_rows,
         csv_reload_seconds=csv_reload_seconds,
         snapshot_open_seconds=snapshot_open_seconds,
+        parallel_rows=parallel_rows,
+        parallel_cpus=parallel_cpus,
+        parallel_fanouts=parallel_fanouts,
+        serial_agg_seconds=serial_agg_seconds,
+        parallel_agg_seconds=parallel_agg_seconds,
     )
 
 
@@ -612,4 +691,15 @@ def format_smoke(result: SmokeResult) -> str:
         f"snapshot reopen          "
         f"{result.snapshot_open_seconds * 1000:8.3f} ms",
         f"reopen speedup           {result.reopen_speedup:8.1f}x",
+        "-- parallel (scan-aggregate, 4 exchange workers) --",
+        f"table rows               {result.parallel_rows}",
+        f"host cpus                {result.parallel_cpus}",
+        f"Gather fan-outs          {result.parallel_fanouts}",
+        f"serial total             "
+        f"{result.serial_agg_seconds * 1000:8.3f} ms",
+        f"parallel total           "
+        f"{result.parallel_agg_seconds * 1000:8.3f} ms",
+        f"parallel speedup         {result.parallel_speedup:8.1f}x"
+        + ("" if result.parallel_cpus >= 4
+           else "  (not gated: < 4 cores)"),
     ])

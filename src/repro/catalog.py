@@ -48,6 +48,11 @@ class Catalog:
         # object is swapped wholesale (committed DML) — the counter
         # snapshot-isolated transactions validate against at commit
         self._data_versions: dict[str, int] = {}
+        # hash-partitioning declarations: table -> (column, count).
+        # The partition spec is planner-visible metadata (the parallel
+        # lowering pass keys on it), so changes are DDL: they bump the
+        # generation counter and re-key cached plans.
+        self._partitions: dict[str, tuple[str, int]] = {}
         self.stats = StatsRegistry()
 
     # -- versioning -----------------------------------------------------------
@@ -138,6 +143,10 @@ class Catalog:
             rebuilt.append((index, replacement))
         self._tables[key] = relation
         self.stats.discard(key)
+        spec = self._partitions.get(key)
+        if spec is not None and spec[0] not in relation.schema:
+            del self._partitions[key]   # partition column went with the
+            # table definition that declared it
         for index in dropped:
             self.drop_index(index.name)
         for old, new in rebuilt:
@@ -154,6 +163,7 @@ class Catalog:
             raise CatalogError(f"table {name!r} does not exist")
         del self._tables[key]
         self.stats.discard(key)
+        self._partitions.pop(key, None)
         for index in self._indexes_by_table.pop(key, ()):
             del self._indexes[index.name]
         self._bump()
@@ -232,6 +242,7 @@ class Catalog:
             for table, indexes in self._indexes_by_table.items()}
         copy._version = self._version
         copy._data_versions = dict(self._data_versions)
+        copy._partitions = dict(self._partitions)
         copy.stats = self.stats.snapshot()
         return copy
 
@@ -243,6 +254,33 @@ class Catalog:
             raise CatalogError(
                 f"table {name!r} does not exist; known tables: "
                 f"{self.names()}") from None
+
+    # -- hash partitioning -----------------------------------------------------
+
+    def set_partition(self, name: str, column: str, count: int) -> None:
+        """Declare *name* hash-partitioned on *column* into *count*
+        partitions.  DDL — bumps the generation counter so cached plans
+        re-lower with (or without) partition-aware operators."""
+        key = name.lower()
+        relation = self.get(key)
+        column = column.lower()
+        if column not in relation.schema:
+            raise CatalogError(
+                f"table {name!r} has no column {column!r}; columns: "
+                f"{list(relation.schema.names)}")
+        if count < 1:
+            raise CatalogError(
+                f"partition count must be >= 1, got {count}")
+        self._partitions[key] = (column, count)
+        self._bump()
+
+    def partition_of(self, name: str) -> tuple[str, int] | None:
+        """``(column, count)`` for a hash-partitioned table, else None."""
+        return self._partitions.get(name.lower())
+
+    def partitions(self) -> dict[str, tuple[str, int]]:
+        """A copy of every partition declaration (snapshot capture)."""
+        return dict(self._partitions)
 
     # -- views ----------------------------------------------------------------
 

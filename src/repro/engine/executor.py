@@ -74,9 +74,15 @@ class Executor:
                 from .pipeline import PipelineEngine as engine_cls
             batch_size = config.batch_size if config is not None else 1024
             use_indexes = config.use_indexes if config is not None else True
+            workers = config.max_parallel_workers \
+                if config is not None else 0
+            threshold = config.parallel_threshold \
+                if config is not None else 10000
             self._impl = engine_cls(
                 catalog, self.compile_expressions, self.collect_stats,
-                self.stats, batch_size, use_indexes=use_indexes)
+                self.stats, batch_size, use_indexes=use_indexes,
+                max_parallel_workers=workers,
+                parallel_threshold=threshold)
 
     # -- public API ----------------------------------------------------------
 

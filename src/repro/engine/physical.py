@@ -1131,7 +1131,8 @@ def _render(node: PhysicalOperator, indent: int, lines: list[str],
         if entry is not None:
             text += (f"  ({prefix}rows={entry.rows} "
                      f"batches={entry.batches} "
-                     f"loops={entry.loops} time={entry.time_ms:.3f}ms)")
+                     f"loops={entry.loops} time={entry.time_ms:.3f}ms "
+                     f"self={entry.self_ms:.3f}ms)")
         else:
             text += f"  ({prefix}never executed)"
     elif estimated is not None:
@@ -1140,6 +1141,13 @@ def _render(node: PhysicalOperator, indent: int, lines: list[str],
             text += f", cost {_format_estimate(node.est_cost)}"
         text += ")"
     lines.append(text)
+    if stats is not None:
+        # exchange operators report their last fan-out per worker
+        worker_stats = getattr(node, "worker_stats", None)
+        if worker_stats:
+            for worker, rows, seconds in worker_stats:
+                lines.append(pad + f"  Worker {worker}: rows={rows} "
+                             f"time={seconds * 1e3:.3f}ms")
     for sub in node.sublinks:
         lines.append(pad + "  " + sub.label)
         _render(sub.plan, indent + 2, lines, stats, tagged)

@@ -36,16 +36,25 @@ Frames = tuple
 class PipelineEngine:
     """Executes physical plans over a catalog in row batches."""
 
+    #: Worker-side fragment compilation mode advertised to
+    #: :func:`~repro.engine.parallel.parallelize_plan`.
+    engine_name = "pipelined"
+
     def __init__(self, catalog: Catalog, compile_expressions: bool,
                  collect_stats: bool, stats: ExecutionStats,
-                 batch_size: int = 1024, use_indexes: bool = True):
+                 batch_size: int = 1024, use_indexes: bool = True,
+                 max_parallel_workers: int = 0,
+                 parallel_threshold: int = 10000):
         self.catalog = catalog
         self.compile_expressions = compile_expressions
         self.collect_stats = collect_stats
         self.stats = stats
         self.batch_size = batch_size
         self.use_indexes = use_indexes
+        self.max_parallel_workers = max_parallel_workers
+        self.parallel_threshold = parallel_threshold
         self.params: tuple = ()
+        self._pull_stack: list = []
         self._subplans: dict[int, SublinkPlan] = {}
         self._initplan_cache: dict[int, list[tuple]] = {}
         # keyed by id(op) but storing the tree alongside the plan: the
@@ -64,6 +73,11 @@ class PipelineEngine:
         else:
             plan = lower_plan(op, self.catalog,
                               use_indexes=self.use_indexes)
+            if self.max_parallel_workers >= 2 or self.catalog.partitions():
+                from .parallel import parallelize_plan
+                plan = parallelize_plan(
+                    plan, self.catalog, self.max_parallel_workers,
+                    self.parallel_threshold, self.engine_name)
             self._lowered[id(op)] = (op, plan)
         return self.execute_physical(plan, params)
 
@@ -157,13 +171,27 @@ class PipelineEngine:
 
     def pull(self, node: PhysicalOperator) -> list | None:
         """One ``next_batch`` call on *node*, with row/batch accounting
-        and (under ``collect_stats``) inclusive wall-clock timing."""
+        and (under ``collect_stats``) wall-clock timing.
+
+        Timing keeps a stack of in-flight pulls: a node's elapsed time
+        accumulates inclusively on its own entry and is also charged to
+        the enclosing pull's ``child_ns``, so every node ends up with an
+        inclusive total *and* the part attributable to nodes it pulled —
+        ``EXPLAIN ANALYZE`` derives self time from the difference."""
         stats = self.stats
         if self.collect_stats:
-            started = perf_counter_ns()
-            batch = node.next_batch()
             entry = stats.node(node)
-            entry.time_ns += perf_counter_ns() - started
+            stack = self._pull_stack
+            stack.append(entry)
+            started = perf_counter_ns()
+            try:
+                batch = node.next_batch()
+            finally:
+                elapsed = perf_counter_ns() - started
+                stack.pop()
+                entry.time_ns += elapsed
+                if stack:
+                    stack[-1].child_ns += elapsed
             if batch:
                 entry.rows += len(batch)
                 entry.batches += 1
@@ -177,7 +205,7 @@ class PipelineEngine:
         return batch
 
     def _finish_timings(self, plan: PhysicalPlan) -> None:
-        """Aggregate per-node inclusive times by operator class name."""
+        """Aggregate per-node self times by operator class name."""
         self.stats.operator_timings = {}
         for node in plan.nodes():
             entry = self.stats.node_stats.get(id(node))

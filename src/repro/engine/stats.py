@@ -18,16 +18,26 @@ class NodeStats:
     ``time_ns`` is *inclusive* wall-clock time (children included), as in
     PostgreSQL's ``EXPLAIN ANALYZE``; a node that is re-opened per outer
     row (a correlated SubPlan) accumulates across invocations.
+    ``child_ns`` is the portion of ``time_ns`` spent inside the node's
+    direct children, so ``time_ns - child_ns`` is the node's own (self)
+    time — ``EXPLAIN ANALYZE`` reports both, and the per-operator
+    aggregation uses self time so a pipeline's total is not counted once
+    per enclosing operator.
     """
 
     rows: int = 0
     batches: int = 0
     time_ns: int = 0
+    child_ns: int = 0
     loops: int = 0
 
     @property
     def time_ms(self) -> float:
         return self.time_ns / 1e6
+
+    @property
+    def self_ms(self) -> float:
+        return max(self.time_ns - self.child_ns, 0) / 1e6
 
 
 @dataclass
@@ -40,8 +50,10 @@ class ExecutionStats:
 
     ``node_stats`` maps ``id(physical node)`` to :class:`NodeStats` and is
     only populated by the pipelined engine when ``collect_stats`` is on;
-    ``operator_timings`` aggregates the same inclusive wall-clock times by
-    operator class name (milliseconds).
+    ``operator_timings`` aggregates per-node *self* times (inclusive time
+    minus time spent in direct children) by operator class name, in
+    milliseconds — summing the map approximates total execution time
+    instead of multiply counting every pipeline under its ancestors.
     """
 
     rows_produced: int = 0
@@ -59,6 +71,13 @@ class ExecutionStats:
     #: counted either way).  Both stay 0 under the other engines.
     vectorized_nodes: int = 0
     row_fallback_nodes: int = 0
+    #: Filled in by the Gather exchange operator: fan-outs that actually
+    #: ran on the worker pool, the widest fan-out of this execution, and
+    #: Gathers that fell back to their serial subtree (pool unavailable
+    #: or the live input shrank below the parallel threshold).
+    parallel_fanouts: int = 0
+    parallel_workers: int = 0
+    parallel_fallbacks: int = 0
     operator_evals: dict[str, int] = field(default_factory=dict)
     operator_timings: dict[str, float] = field(default_factory=dict)
     node_stats: dict[int, NodeStats] = field(default_factory=dict)
@@ -77,6 +96,6 @@ class ExecutionStats:
         return entry
 
     def record_timing(self, name: str, entry: NodeStats) -> None:
-        """Fold one node's inclusive time into ``operator_timings``."""
+        """Fold one node's *self* time into ``operator_timings``."""
         self.operator_timings[name] = \
-            self.operator_timings.get(name, 0.0) + entry.time_ms
+            self.operator_timings.get(name, 0.0) + entry.self_ms

@@ -5,8 +5,11 @@ replacing row operators with columnar counterparts wherever the vector
 compiler (:mod:`repro.expressions.compiler`) can compile the node's
 expressions: scans read straight into cached column vectors, filters
 refine a selection vector with whole-column kernels, projections remap or
-compute column vectors, hash joins build and probe on key vectors, and
-aggregates consume value vectors.  Anything the vector compiler rejects
+compute column vectors, hash joins build and probe on key vectors,
+nested-loop joins (including LEFT outer NULL padding) filter candidate
+index pairs with predicate kernels, sorts order a selection vector by
+computed key vectors, and aggregates consume value vectors.  Anything
+the vector compiler rejects
 (sublinks, outer columns, OR, LIKE/CASE/casts/functions) keeps its row
 operator; a :class:`RowsFromColumns` bridge transposes at the boundary,
 so ``engine="vectorized"`` is always correct, never partial.
@@ -38,8 +41,9 @@ from ..expressions.printer import format_expr
 from ..relation import Relation
 from .columnar import Column, ColumnBatch, column_from_values, table_columns
 from .physical import (
-    Filter, HashAggregate, HashJoin, PhysicalOperator, PhysicalPlan,
-    Project, SeqScan, SetOperation, StreamingLimit, ValuesScan,
+    Filter, HashAggregate, HashJoin, NestedLoopJoin, PhysicalOperator,
+    PhysicalPlan, Project, SeqScan, SetOperation, SortNode,
+    StreamingLimit, ValuesScan,
 )
 from .pipeline import PipelineEngine
 
@@ -606,6 +610,238 @@ class VHashAggregate(VectorOperator):
         return f"HashAggregate group={list(self.group)} [{aggs}]"
 
 
+class VNestedLoopJoin(VectorOperator):
+    """Vectorized theta/cross join: the right input accumulates into
+    dense column vectors; each left batch forms the candidate cross
+    product as index pairs and (for theta joins) runs the predicate
+    kernel once over the whole candidate set.  LEFT padding reuses
+    :class:`VHashJoin`'s sentinel trick — one all-NULL row appended to
+    the dense right vectors pairs with unmatched left rows, so NULL
+    padding never forms row tuples either."""
+
+    __slots__ = ("left", "right", "condition", "kernel", "kind",
+                 "right_width", "_right_cols", "_nright")
+
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
+                 condition: Expr | None, kernel, kind: JoinKind,
+                 right_width: int):
+        super().__init__()
+        self.left = left
+        self.right = right
+        self.condition = condition
+        self.kernel = kernel
+        self.kind = kind
+        self.right_width = right_width
+        self._right_cols: list[Column] | None = None
+        self._nright = 0
+
+    def children(self):
+        return (self.left, self.right)
+
+    def _reset(self) -> None:
+        self._right_cols = None
+        if self.condition is not None:
+            self.engine.stats.nested_loop_joins += 1
+
+    def _release(self) -> None:
+        self._right_cols = None
+
+    def _materialize_right(self) -> None:
+        engine = self.engine
+        width = self.right_width
+        values: list[list] = [[] for _ in range(width)]
+        kinds: list[str | None] = [None] * width
+        nulls = [False] * width
+        n = 0
+        while True:
+            batch = engine.pull(self.right)
+            if batch is None:
+                break
+            columns = batch.columns
+            sel = batch.sel
+            for c in range(width):
+                column = columns[c]
+                column_values = column.values
+                values[c].extend([column_values[i] for i in sel])
+                if kinds[c] is None:
+                    kinds[c] = column.kind
+                elif kinds[c] != column.kind:
+                    kinds[c] = "any"
+                if column.has_nulls:
+                    nulls[c] = True
+            n += len(sel)
+        if self.kind == JoinKind.LEFT:
+            for c in range(width):
+                values[c].append(None)
+                nulls[c] = True
+        self._nright = n
+        self._right_cols = [Column(values[c], kinds[c] or "any", nulls[c])
+                            for c in range(width)]
+
+    def next_batch(self):
+        if self._right_cols is None:
+            self._materialize_right()
+        engine = self.engine
+        pad_left = self.kind == JoinKind.LEFT
+        n = self._nright
+        sentinel = n
+        kernel = self.kernel
+        while True:
+            batch = engine.pull(self.left)
+            if batch is None:
+                return None
+            columns = batch.columns
+            sel = batch.sel
+            out_left: list[int] = []
+            out_right: list[int] = []
+            if kernel is None:
+                if n:
+                    inner = range(n)
+                    for i in sel:
+                        out_left.extend([i] * n)
+                        out_right.extend(inner)
+                elif pad_left:
+                    out_left.extend(sel)
+                    out_right.extend([sentinel] * len(sel))
+            elif n or pad_left:
+                cand_left: list[int] = []
+                cand_right: list[int] = []
+                inner = range(n)
+                for i in sel:
+                    cand_left.extend([i] * n)
+                    cand_right.extend(inner)
+                kept: list[int] = []
+                if cand_left:
+                    combined = [column.gather(cand_left)
+                                for column in columns]
+                    combined += [column.gather(cand_right)
+                                 for column in self._right_cols]
+                    kept = kernel(combined, range(len(cand_left)),
+                                  engine.params)
+                pointer = 0
+                total = len(kept)
+                for offset, i in enumerate(sel):
+                    end = (offset + 1) * n
+                    matched = False
+                    while pointer < total and kept[pointer] < end:
+                        p = kept[pointer]
+                        out_left.append(cand_left[p])
+                        out_right.append(cand_right[p])
+                        matched = True
+                        pointer += 1
+                    if pad_left and not matched:
+                        out_left.append(i)
+                        out_right.append(sentinel)
+            if not out_left:
+                continue
+            out_columns = [column.gather(out_left) for column in columns]
+            out_columns += [column.gather(out_right)
+                            for column in self._right_cols]
+            return ColumnBatch(out_columns, range(len(out_left)))
+
+    def label(self) -> str:
+        if self.condition is None:
+            return f"NestedLoopJoin {self.kind.value} (cross product)"
+        return (f"NestedLoopJoin {self.kind.value} "
+                f"on {format_expr(self.condition)}")
+
+
+class VSort(VectorOperator):
+    """Vectorized blocking sort: accumulates the input into dense column
+    vectors, computes one key vector per sort key, and sorts a
+    *selection* order — output batches are selections over the collected
+    columns, so no row tuple is ever formed.  Key semantics (stable
+    multi-key, NULLs first ascending / last descending) are shared with
+    the row engine's ``sort_rows``."""
+
+    __slots__ = ("child", "keys", "index", "kernels", "_columns",
+                 "_order", "_pos")
+
+    def __init__(self, child: PhysicalOperator, keys: tuple,
+                 index: dict[str, int], kernels: list):
+        super().__init__()
+        self.child = child
+        self.keys = keys
+        self.index = index
+        self.kernels = kernels
+        self._columns: list[Column] | None = None
+        self._order: list[int] = []
+        self._pos = 0
+
+    def children(self):
+        return (self.child,)
+
+    def _reset(self) -> None:
+        self._columns = None
+        self._order = []
+        self._pos = 0
+
+    def _release(self) -> None:
+        self._columns = None
+        self._order = []
+
+    def _collect(self) -> None:
+        from .materialize import _asc_key, _desc_key
+        engine = self.engine
+        values: list[list] | None = None
+        kinds: list[str | None] = []
+        nulls: list[bool] = []
+        key_vectors: list[list] = [[] for _ in self.kernels]
+        while True:
+            batch = engine.pull(self.child)
+            if batch is None:
+                break
+            columns = batch.columns
+            sel = batch.sel
+            if values is None:
+                width = len(columns)
+                values = [[] for _ in range(width)]
+                kinds = [None] * width
+                nulls = [False] * width
+            for k, kernel in enumerate(self.kernels):
+                key_vectors[k].extend(
+                    kernel(columns, sel, engine.params))
+            for c, column in enumerate(columns):
+                column_values = column.values
+                values[c].extend([column_values[i] for i in sel])
+                if kinds[c] is None:
+                    kinds[c] = column.kind
+                elif kinds[c] != column.kind:
+                    kinds[c] = "any"
+                if column.has_nulls:
+                    nulls[c] = True
+        if values is None:
+            self._columns = []
+            self._order = []
+            return
+        order = list(range(len(values[0]) if values else 0))
+        for key, vector in zip(reversed(self.keys),
+                               reversed(key_vectors)):
+            if key.ascending:
+                order.sort(key=lambda i, v=vector: _asc_key(v[i]))
+            else:
+                order.sort(key=lambda i, v=vector: _desc_key(v[i]))
+        self._columns = [Column(values[c], kinds[c] or "any", nulls[c])
+                         for c in range(len(values))]
+        self._order = order
+
+    def next_batch(self):
+        if self._columns is None:
+            self._collect()
+            self._pos = 0
+        if self._pos >= len(self._order):
+            return None
+        chunk = self._order[self._pos:self._pos + self.engine.batch_size]
+        self._pos += len(chunk)
+        return ColumnBatch(self._columns, chunk)
+
+    def label(self) -> str:
+        keys = ", ".join(
+            f"{format_expr(k.expr)} {'ASC' if k.ascending else 'DESC'}"
+            for k in self.keys)
+        return f"Sort [{keys}]"
+
+
 class VUnionAll(VectorOperator):
     """Streaming bag union: left batches, then right batches, passed
     through in columnar form."""
@@ -813,6 +1049,46 @@ def _vectorize(node: PhysicalOperator):
         node.child = _bridge_to_rows(node.child, vchild, ccompute)
         return None, False
 
+    if isinstance(node, NestedLoopJoin) and not node.sublinks:
+        vleft, lcompute = _vectorize(node.left)
+        vright, rcompute = _vectorize(node.right)
+        supported = vleft is not None or vright is not None
+        kernel = None
+        if supported and node.condition is not None:
+            kernel = compile_vector_predicate(node.condition, node.index)
+            supported = kernel is not None
+        if supported:
+            left = vleft if vleft is not None \
+                else ColumnsFromRows(node.left)
+            right = vright if vright is not None \
+                else ColumnsFromRows(node.right)
+            vector = VNestedLoopJoin(
+                left, right, node.condition, kernel, node.kind,
+                node.right_width)
+            _copy_est(vector, node)
+            return vector, True
+        node.left = _bridge_to_rows(node.left, vleft, lcompute)
+        node.right = _bridge_to_rows(node.right, vright, rcompute)
+        return None, False
+
+    if isinstance(node, SortNode) and not node.sublinks:
+        vchild, ccompute = _vectorize(node.child)
+        if vchild is not None:
+            kernels: list = []
+            supported = True
+            for key in node.keys:
+                kernel = compile_vector_values(key.expr, node.index)
+                if kernel is None:
+                    supported = False
+                    break
+                kernels.append(kernel)
+            if supported:
+                vector = VSort(vchild, node.keys, node.index, kernels)
+                _copy_est(vector, node)
+                return vector, True
+        node.child = _bridge_to_rows(node.child, vchild, ccompute)
+        return None, False
+
     if isinstance(node, StreamingLimit) and not node.sublinks:
         vchild, ccompute = _vectorize(node.child)
         if vchild is not None:
@@ -833,9 +1109,10 @@ def _vectorize(node: PhysicalOperator):
         node.right = _bridge_to_rows(node.right, vright, rcompute)
         return None, False
 
-    # Row-only operators (index scans, nested-loop joins, sorts, the
-    # materializing set operations, anything carrying sublinks): keep the
-    # node, but let worthwhile columnar subtrees feed it through bridges.
+    # Row-only operators (index scans, index nested-loop joins, the
+    # materializing set operations, exchange operators, anything carrying
+    # sublinks): keep the node, but let worthwhile columnar subtrees feed
+    # it through bridges.
     for attr in ("child", "left", "right"):
         try:
             child = getattr(node, attr)
@@ -888,6 +1165,8 @@ class VectorizedEngine(PipelineEngine):
     plans — and sublink subplans, which always stay on rows — run
     unchanged.
     """
+
+    engine_name = "vectorized"
 
     def _prepare(self, plan: PhysicalPlan) -> None:
         if not plan.vectorized:

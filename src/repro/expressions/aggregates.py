@@ -14,12 +14,29 @@ from ..errors import ExpressionError
 
 
 class Accumulator:
-    """Base class: one aggregate computation over one group."""
+    """Base class: one aggregate computation over one group.
+
+    Besides the ``add``/``result`` protocol, *combinable* accumulators
+    support two-phase (partial -> final) aggregation: ``state()``
+    exports the partial state a worker computed over its slice of a
+    group, ``merge(state)`` folds such a state into this accumulator.
+    ``DISTINCT`` accumulators are not combinable (their dedup set is not
+    mergeable without shipping it wholesale), so the parallel lowering
+    pass keeps them serial.
+    """
+
+    combinable = True
 
     def add(self, value: Any) -> None:
         raise NotImplementedError
 
     def result(self) -> Any:
+        raise NotImplementedError
+
+    def state(self) -> Any:
+        raise NotImplementedError
+
+    def merge(self, state: Any) -> None:
         raise NotImplementedError
 
 
@@ -34,6 +51,12 @@ class _Count(Accumulator):
     def result(self) -> int:
         return self.n
 
+    def state(self) -> int:
+        return self.n
+
+    def merge(self, state: int) -> None:
+        self.n += state
+
 
 class _CountStar(Accumulator):
     def __init__(self) -> None:
@@ -44,6 +67,12 @@ class _CountStar(Accumulator):
 
     def result(self) -> int:
         return self.n
+
+    def state(self) -> int:
+        return self.n
+
+    def merge(self, state: int) -> None:
+        self.n += state
 
 
 class _Sum(Accumulator):
@@ -57,6 +86,14 @@ class _Sum(Accumulator):
 
     def result(self) -> Any:
         return self.total
+
+    def state(self) -> Any:
+        return self.total
+
+    def merge(self, state: Any) -> None:
+        if state is None:
+            return
+        self.total = state if self.total is None else self.total + state
 
 
 class _Avg(Accumulator):
@@ -73,6 +110,14 @@ class _Avg(Accumulator):
     def result(self) -> Any:
         return self.total / self.n if self.n else None
 
+    def state(self) -> tuple:
+        return (self.total, self.n)
+
+    def merge(self, state: tuple) -> None:
+        total, n = state
+        self.total += total
+        self.n += n
+
 
 class _Min(Accumulator):
     def __init__(self) -> None:
@@ -86,6 +131,13 @@ class _Min(Accumulator):
 
     def result(self) -> Any:
         return self.best
+
+    def state(self) -> Any:
+        return self.best
+
+    def merge(self, state: Any) -> None:
+        if state is not None and (self.best is None or state < self.best):
+            self.best = state
 
 
 class _Max(Accumulator):
@@ -101,9 +153,18 @@ class _Max(Accumulator):
     def result(self) -> Any:
         return self.best
 
+    def state(self) -> Any:
+        return self.best
+
+    def merge(self, state: Any) -> None:
+        if state is not None and (self.best is None or state > self.best):
+            self.best = state
+
 
 class _Distinct(Accumulator):
     """Wraps another accumulator, feeding it each distinct value once."""
+
+    combinable = False
 
     def __init__(self, inner: Accumulator) -> None:
         self.inner = inner

@@ -92,10 +92,13 @@ class SelectStmt:
 
 @dataclass
 class CreateTableStmt:
-    """``CREATE TABLE name (col type, ...)``."""
+    """``CREATE TABLE name (col type, ...)
+    [PARTITION BY HASH(col) PARTITIONS n]``."""
 
     name: str
     columns: list[tuple[str, str]]  # (name, type text)
+    partition_by: str | None = None   # hash-partitioning column
+    partitions: int = 0               # partition count (0 = unpartitioned)
 
 
 @dataclass

@@ -184,11 +184,47 @@ class _Parser:
                 if not self.accept_punct(","):
                     break
             self.expect_punct(")")
-            return CreateTableStmt(name, columns)
+            partition_by, partitions = self._parse_partition_clause()
+            return CreateTableStmt(name, columns,
+                                   partition_by=partition_by,
+                                   partitions=partitions)
         self.expect_keyword("view")
         name = self.expect_ident()
         self.expect_keyword("as")
         return CreateViewStmt(name, self.parse_select())
+
+    def _accept_word(self, word: str) -> bool:
+        """Accept a *soft* word that lexes as an identifier (PARTITION,
+        HASH, PARTITIONS are not reserved — they stay usable as names)."""
+        token = self.current
+        if token.kind == TokenKind.IDENT and token.value == word:
+            self.advance()
+            return True
+        return False
+
+    def _parse_partition_clause(self) -> tuple[str | None, int]:
+        """Optional ``PARTITION BY HASH(col) PARTITIONS n`` after the
+        column list of CREATE TABLE."""
+        if not self._accept_word("partition"):
+            return None, 0
+        self.expect_keyword("by")
+        if not self._accept_word("hash"):
+            raise self.error("expected HASH (the only partitioning "
+                             "scheme) after PARTITION BY")
+        self.expect_punct("(")
+        column = self.expect_ident()
+        self.expect_punct(")")
+        if not self._accept_word("partitions"):
+            raise self.error("expected PARTITIONS after PARTITION BY "
+                             "HASH(...)")
+        token = self.current
+        if token.kind != TokenKind.NUMBER or not token.value.isdigit():
+            raise self.error("expected an integer partition count")
+        self.advance()
+        count = int(token.value)
+        if count < 1:
+            raise self.error("partition count must be >= 1")
+        return column, count
 
     def _parse_insert(self) -> InsertStmt:
         self.expect_keyword("insert")

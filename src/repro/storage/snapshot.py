@@ -12,6 +12,7 @@ byte::
 
     H  header: format version, last incorporated WAL LSN
     T  one table: name, schema, row block
+    P  one hash-partitioning declaration: table, column, count
     V  one view: name, pickled parsed SELECT
     I  one index definition: name, table, column, kind, unique
     S  one table's statistics
@@ -48,6 +49,7 @@ FORMAT_VERSION = 1
 
 _KIND_HEADER = ord("H")
 _KIND_TABLE = ord("T")
+_KIND_PARTITION = ord("P")
 _KIND_VIEW = ord("V")
 _KIND_INDEX = ord("I")
 _KIND_STATS = ord("S")
@@ -89,6 +91,13 @@ def write_snapshot(path: str | Path, catalog: Catalog,
             encode_schema(record, relation.schema)
             encode_columnar_rows(record, len(relation.schema),
                                  relation.rows)
+            write_record(fh, bytes(record))
+
+        for name, (column, count) in sorted(catalog.partitions().items()):
+            record = bytearray([_KIND_PARTITION])
+            encode_str(record, name)
+            encode_str(record, column)
+            encode_varint(record, count)
             write_record(fh, bytes(record))
 
         for name in catalog.view_names():
@@ -170,6 +179,11 @@ def load_snapshot(path: str | Path) -> tuple[Catalog, int]:
                 # engine's cache — a reopened table scans columnar from
                 # its first query, with no transposition pass
                 seed_columns(relation.rows, columns)
+            elif kind == _KIND_PARTITION:
+                name, pos = decode_str(payload, 1)
+                column, pos = decode_str(payload, pos)
+                count, pos = decode_varint(payload, pos)
+                catalog.set_partition(name, column, count)
             elif kind == _KIND_VIEW:
                 name, pos = decode_str(payload, 1)
                 length, pos = decode_varint(payload, pos)

@@ -23,6 +23,7 @@ Op set::
     6  create_index  name, table, column, kind, unique
     7  drop_index    name
     8  put_stats     TableStats
+    9  set_partition name, column, count  (hash-partitioning declaration)
 
 Replay applies ops in record order through the plain
 :class:`~repro.catalog.Catalog` mutators; after a ``rows_delta`` the
@@ -54,6 +55,7 @@ _OP_DROP_VIEW = 5
 _OP_CREATE_INDEX = 6
 _OP_DROP_INDEX = 7
 _OP_PUT_STATS = 8
+_OP_SET_PARTITION = 9
 
 
 # -- building ops ------------------------------------------------------------
@@ -191,6 +193,12 @@ def encode_commit_ops(ops: list[tuple]) -> bytes:
         elif kind == "put_stats":
             out.append(_OP_PUT_STATS)
             encode_table_stats(out, op[1])
+        elif kind == "set_partition":
+            _, name, column, count = op
+            out.append(_OP_SET_PARTITION)
+            encode_str(out, name)
+            encode_str(out, column)
+            encode_varint(out, count)
         else:
             raise StorageError(f"unknown commit op {kind!r}")
     return bytes(out)
@@ -309,6 +317,11 @@ def apply_commit_ops(catalog: Catalog, payload, pos: int,
         elif op == _OP_PUT_STATS:
             stats, pos = decode_table_stats(payload, pos)
             catalog.stats.put(stats.table, stats)
+        elif op == _OP_SET_PARTITION:
+            name, pos = decode_str(payload, pos)
+            column, pos = decode_str(payload, pos)
+            count, pos = decode_varint(payload, pos)
+            catalog.set_partition(name, column, count)
         else:
             raise StorageError(f"unknown WAL op 0x{op:02x}")
 
@@ -343,6 +356,9 @@ def collect_commit_ops(txn: Any, created: list, dropped: list,
     for key in created:
         relation = final_tables[key]
         ops.append(("create_table", key, relation.schema, relation.rows))
+        declared = private.partition_of(key)
+        if declared is not None:
+            ops.append(("set_partition", key, declared[0], declared[1]))
         for index in private.indexes_on(key):
             ops.append(("create_index", index.name, index.table,
                         index.column, index.kind, index.unique))
