@@ -12,5 +12,7 @@ setup(
         "(Glavic & Alonso, EDBT 2009)"),
     package_dir={"": "src"},
     packages=find_packages(where="src"),
+    package_data={"repro": ["py.typed"]},
+    zip_safe=False,
     python_requires=">=3.10",
 )

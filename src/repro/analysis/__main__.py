@@ -1,0 +1,177 @@
+"""``python -m repro.analysis`` — run the project lints.
+
+Exit status is 0 when every finding is in the committed baseline (and
+the mypy gate, when enforced, is no worse), 1 otherwise::
+
+    python -m repro.analysis                 # human-readable report
+    python -m repro.analysis --json          # machine-readable report
+    python -m repro.analysis --rules hygiene,typing
+    python -m repro.analysis --write-baseline  # re-triage
+    python -m repro.analysis --mypy          # also run mypy --strict
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Sequence
+
+from . import analyze_tree, available_rules
+from .baseline import Baseline, diff_violations, run_mypy
+from .project import Project
+from .rules import Violation
+
+
+def _default_root() -> Path:
+    import repro
+    return Path(repro.__file__).resolve().parent
+
+
+def _repo_root(package_root: Path) -> Path:
+    # <repo>/src/<package> by convention; fall back to the package's
+    # parent when the tree is laid out differently
+    if package_root.parent.name == "src":
+        return package_root.parent.parent
+    return package_root.parent
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project-specific static analysis "
+                    "(lock discipline, WAL/wire exhaustiveness, kernel "
+                    "purity, hygiene, strict typing).")
+    parser.add_argument("--root", type=Path, default=None,
+                        help="package directory to analyze "
+                             "(default: the installed repro package)")
+    parser.add_argument("--baseline", type=Path, default=None,
+                        help="baseline file "
+                             "(default: <repo>/analysis_baseline.json)")
+    parser.add_argument("--write-baseline", action="store_true",
+                        help="re-triage: write the current findings as "
+                             "the new baseline and exit 0")
+    parser.add_argument("--rules", default=None,
+                        help="comma-separated rule families "
+                             f"(default: all of "
+                             f"{', '.join(available_rules())})")
+    parser.add_argument("--json", action="store_true", dest="as_json",
+                        help="emit a JSON report on stdout")
+    parser.add_argument("--mypy", action="store_true",
+                        help="also run mypy --strict over the gated "
+                             "packages (skipped when mypy is not "
+                             "installed)")
+    args = parser.parse_args(argv)
+
+    root = (args.root or _default_root()).resolve()
+    repo_root = _repo_root(root)
+    baseline_path = args.baseline or repo_root / "analysis_baseline.json"
+    rules = None
+    if args.rules:
+        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
+
+    project, violations = analyze_tree(root, rules=rules)
+    baseline = Baseline.load(baseline_path)
+    new, fixed = diff_violations(violations, baseline)
+
+    mypy_errors: int | None = None
+    mypy_ran = False
+    mypy_output = ""
+    if args.mypy:
+        result = run_mypy(repo_root)
+        if result is not None:
+            mypy_ran = True
+            mypy_errors, mypy_output = result
+        elif not args.as_json:
+            print("mypy --strict: skipped (mypy is not installed); "
+                  "the annotation gate still ran via [typing-annotations]")
+
+    if args.write_baseline:
+        Baseline.write(baseline_path, violations,
+                       mypy_errors if mypy_ran else baseline.mypy_errors)
+        print(f"wrote {baseline_path} "
+              f"({len(violations)} triaged finding(s))")
+        return 0
+
+    failed = bool(new)
+    mypy_regressed = (
+        mypy_ran and baseline.mypy_errors is not None
+        and mypy_errors is not None
+        and mypy_errors > baseline.mypy_errors)
+    failed = failed or mypy_regressed
+    if not baseline.exists and violations:
+        failed = True
+
+    if args.as_json:
+        print(json.dumps(_json_report(
+            project, violations, new, fixed, baseline, mypy_ran,
+            mypy_errors, failed), indent=2))
+    else:
+        _text_report(violations, new, fixed, baseline, mypy_ran,
+                     mypy_errors, mypy_output, mypy_regressed)
+    return 1 if failed else 0
+
+
+def _json_report(project: Project, violations: Sequence[Violation],
+                 new: Sequence[Violation], fixed: Sequence[dict],
+                 baseline: Baseline, mypy_ran: bool,
+                 mypy_errors: int | None, failed: bool) -> dict:
+    def as_dict(violation: Violation) -> dict:
+        return {"fingerprint": violation.fingerprint,
+                "rule": violation.rule, "path": violation.path,
+                "line": violation.line, "symbol": violation.symbol,
+                "message": violation.message}
+
+    by_rule: dict[str, int] = {}
+    for violation in violations:
+        by_rule[violation.rule] = by_rule.get(violation.rule, 0) + 1
+    return {
+        "modules": len(project.modules),
+        "functions": len(project.functions),
+        "violations": [as_dict(v) for v in violations],
+        "by_rule": by_rule,
+        "new": [as_dict(v) for v in new],
+        "fixed_baseline_entries": fixed,
+        "baseline": {"path": str(baseline.path),
+                     "exists": baseline.exists,
+                     "entries": len(baseline.fingerprints),
+                     "mypy_errors": baseline.mypy_errors},
+        "mypy": {"ran": mypy_ran, "errors": mypy_errors},
+        "ok": not failed,
+    }
+
+
+def _text_report(violations: Sequence[Violation], new: Sequence[Violation],
+                 fixed: Sequence[dict], baseline: Baseline, mypy_ran: bool,
+                 mypy_errors: int | None, mypy_output: str,
+                 mypy_regressed: bool) -> None:
+    new_prints = {id(v) for v in new}
+    for violation in violations:
+        marker = "NEW " if id(violation) in new_prints else "     "
+        print(f"{marker}{violation.render()}")
+    if fixed:
+        print(f"\n{len(fixed)} baselined finding(s) no longer present — "
+              f"ratchet with --write-baseline:")
+        for entry in fixed[:10]:
+            print(f"  {entry.get('rule')}: {entry.get('path')} "
+                  f"{entry.get('symbol')}")
+    if mypy_ran:
+        status = "REGRESSED" if mypy_regressed else "ok"
+        recorded = baseline.mypy_errors
+        print(f"\nmypy --strict: {mypy_errors} error(s) "
+              f"(baseline: {recorded}) [{status}]")
+        if mypy_regressed:
+            print(mypy_output[-4000:])
+    print(f"\n{len(violations)} finding(s), {len(new)} new, "
+          f"{len(baseline.fingerprints)} baselined.")
+    if new:
+        print("FAIL: new findings — fix them, suppress with "
+              "'# repro: allow(<rule>)' and a reason, or re-triage "
+              "with --write-baseline.")
+    else:
+        print("OK: no new findings.")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

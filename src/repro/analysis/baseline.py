@@ -1,0 +1,117 @@
+"""Baseline bookkeeping and the optional mypy bridge.
+
+The committed ``analysis_baseline.json`` freezes the triaged findings:
+CI fails on any violation whose fingerprint is *not* in the baseline,
+and reports (without failing) baselined findings that disappeared so
+the file can be ratcheted down.  Fingerprints exclude line numbers —
+editing code above a finding does not make it "new".
+
+``mypy --strict`` results ride the same mechanism: when mypy is
+importable, :func:`run_mypy` runs it over the gated packages and the
+error count is compared against the recorded ``mypy.errors``; when the
+recorded value is ``null`` (no environment with mypy has written a
+baseline yet) the count is reported but not enforced.  This keeps the
+gate honest on machines without mypy instead of silently passing.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from .rules import Violation
+
+#: Packages under ``mypy --strict`` (paths relative to the repo root).
+MYPY_GATED = ("src/repro/storage", "src/repro/engine", "src/repro/api",
+              "src/repro/client", "src/repro/analysis")
+
+
+@dataclass
+class Baseline:
+    """The parsed baseline file."""
+
+    fingerprints: set[str] = field(default_factory=set)
+    #: triaged entries, kept verbatim for the human reading the file
+    entries: list[dict] = field(default_factory=list)
+    mypy_errors: int | None = None
+    path: Path | None = None
+    exists: bool = False
+
+    @classmethod
+    def load(cls, path: "Path | str") -> "Baseline":
+        path = Path(path)
+        baseline = cls(path=path)
+        try:
+            data = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            return baseline
+        baseline.exists = True
+        baseline.entries = list(data.get("violations", ()))
+        baseline.fingerprints = {
+            entry["fingerprint"] for entry in baseline.entries
+            if "fingerprint" in entry}
+        mypy = data.get("mypy") or {}
+        baseline.mypy_errors = mypy.get("errors")
+        return baseline
+
+    @staticmethod
+    def write(path: "Path | str", violations: list[Violation],
+              mypy_errors: int | None) -> None:
+        data = {
+            "version": 1,
+            "comment": (
+                "Triaged static-analysis baseline: CI fails on findings "
+                "whose fingerprint is not listed here.  Regenerate with "
+                "python -m repro.analysis --write-baseline after fixing "
+                "or pragma-suppressing findings; never add entries by "
+                "hand without a triage note in docs/invariants.md."),
+            "violations": [
+                {"fingerprint": v.fingerprint, "rule": v.rule,
+                 "path": v.path, "symbol": v.symbol, "message": v.message}
+                for v in violations],
+            "mypy": {"errors": mypy_errors,
+                     "gated": list(MYPY_GATED)},
+        }
+        Path(path).write_text(json.dumps(data, indent=2) + "\n",
+                              encoding="utf-8")
+
+
+def diff_violations(violations: list[Violation], baseline: Baseline
+                    ) -> tuple[list[Violation], list[dict]]:
+    """``(new, fixed)``: findings not in the baseline, and baseline
+    entries no longer found (candidates for ratcheting)."""
+    current = {v.fingerprint for v in violations}
+    new = [v for v in violations
+           if v.fingerprint not in baseline.fingerprints]
+    fixed = [entry for entry in baseline.entries
+             if entry.get("fingerprint") not in current]
+    return new, fixed
+
+
+def mypy_available() -> bool:
+    import importlib.util
+    return importlib.util.find_spec("mypy") is not None
+
+
+def run_mypy(repo_root: "Path | str") -> "tuple[int, str] | None":
+    """Run ``mypy --strict`` (via ``mypy.ini``) over the gated packages.
+
+    Returns ``(error_count, output)`` or None when mypy is not
+    installed — the caller reports the gate as skipped, not passed.
+    """
+    if not mypy_available():
+        return None
+    repo_root = Path(repo_root)
+    targets = [str(repo_root / t) for t in MYPY_GATED
+               if (repo_root / t).exists()]
+    proc = subprocess.run(
+        [sys.executable, "-m", "mypy", "--config-file",
+         str(repo_root / "mypy.ini"), *targets],
+        capture_output=True, text=True, cwd=repo_root, check=False)
+    output = proc.stdout + proc.stderr
+    errors = sum(1 for line in output.splitlines()
+                 if ": error:" in line)
+    return errors, output

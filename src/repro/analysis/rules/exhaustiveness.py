@@ -1,0 +1,234 @@
+"""Exhaustiveness checks: every tag/message/operator is fully wired.
+
+``exhaustiveness-wal`` — every ``_OP_*`` op code in a WAL module is
+referenced by an encode-side function **and** a decode/replay-side
+function.  A tag with an encoder but no replay branch writes records
+recovery silently drops; the reverse replays garbage.
+
+``exhaustiveness-wire`` — in a protocol module (one defining a
+``*_PARSERS`` dispatch table), every message dataclass must define
+``encode`` and be reachable from a parse path (the dispatch table, or
+a module-level ``*parse*`` function); each message class must also be
+exercised by the wire-protocol test file.
+
+``exhaustiveness-physical`` — every concrete physical plan node must
+(a) be constructed somewhere (it has a lowering), (b) carry its own
+``label`` so EXPLAIN renders a real branch for it, and (c) either run
+columnar (a vector operator, or handled by the vectorizer) or appear
+in the explicit ``ROW_ONLY_FALLBACK`` registry — an operator in
+neither is a silent vectorization hole.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+
+from ..project import ClassInfo, ModuleInfo, Project
+from . import RuleContext, rule
+
+_OP_CONST = re.compile(r"^_?OP_[A-Z0-9_]+$|^_OP_[A-Z0-9_]+$")
+
+
+@rule("exhaustiveness")
+def check_exhaustiveness(ctx: RuleContext) -> None:
+    _check_wal_ops(ctx)
+    _check_wire_messages(ctx)
+    _check_physical_nodes(ctx)
+
+
+# -- WAL op codes -------------------------------------------------------------
+
+def _check_wal_ops(ctx: RuleContext) -> None:
+    for module in ctx.project.modules.values():
+        ops = [name for name in module.constants
+               if _OP_CONST.match(name)]
+        if len(ops) < 2:
+            continue
+        encoders: set[str] = set()
+        decoders: set[str] = set()
+        for info in ctx.project.functions.values():
+            if info.module is not module:
+                continue
+            kind = info.name.lower()
+            if "encode" in kind:
+                encoders.update(info.facts.name_loads)
+            if "decode" in kind or "apply" in kind or "replay" in kind:
+                decoders.update(info.facts.name_loads)
+        for op in ops:
+            node = module.constants[op]
+            lineno = getattr(node, "lineno", 1)
+            if op not in encoders:
+                ctx.emit(
+                    "exhaustiveness-wal", module, lineno,
+                    f"{module.name}.{op}",
+                    f"WAL op {op} has no encode path (no *encode* "
+                    f"function references it) — commits carrying it "
+                    f"cannot be logged")
+            if op not in decoders:
+                ctx.emit(
+                    "exhaustiveness-wal", module, lineno,
+                    f"{module.name}.{op}",
+                    f"WAL op {op} has no decode/replay path — recovery "
+                    f"would drop or misread records carrying it")
+
+
+# -- wire messages ------------------------------------------------------------
+
+def _parser_table_names(module: ModuleInfo) -> set[str]:
+    """Every Name referenced inside ``*_PARSERS`` dispatch tables."""
+    names: set[str] = set()
+    for const, value in module.constants.items():
+        if not const.endswith("_PARSERS"):
+            continue
+        for node in ast.walk(value):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+    return names
+
+
+def _check_wire_messages(ctx: RuleContext) -> None:
+    project = ctx.project
+    for module in project.modules.values():
+        table_names = _parser_table_names(module)
+        if not table_names:
+            continue
+        # parse coverage: classes named in the dispatch tables, plus
+        # everything referenced by module-level *parse* functions
+        covered = set(table_names)
+        for info in project.functions.values():
+            if info.module is module and "parse" in info.name.lower():
+                covered |= info.facts.name_loads
+        test_text = _wire_test_text(project)
+        for cls in module.classes.values():
+            if not cls.has_decorator("dataclass"):
+                continue
+            symbol = cls.qualname
+            if project.method_resolves(symbol, "encode") is None:
+                ctx.emit(
+                    "exhaustiveness-wire", module, cls.lineno, symbol,
+                    f"wire message {cls.name} defines no encode()")
+            if cls.name not in covered:
+                ctx.emit(
+                    "exhaustiveness-wire", module, cls.lineno, symbol,
+                    f"wire message {cls.name} is not reachable from any "
+                    f"parse path — a peer sending it would hit 'unknown "
+                    f"message'")
+            if test_text is not None and cls.name not in test_text:
+                ctx.emit(
+                    "exhaustiveness-wire", module, cls.lineno, symbol,
+                    f"wire message {cls.name} never appears in the "
+                    f"wire-protocol test suite")
+
+
+def _wire_test_text(project: Project) -> str | None:
+    path = project.root.parent.parent / "tests" / "test_wire_protocol.py"
+    try:
+        return path.read_text(encoding="utf-8")
+    except OSError:
+        return None
+
+
+# -- physical operators -------------------------------------------------------
+
+def _class_body_assigns(cls: ClassInfo, name: str) -> ast.expr | None:
+    for stmt in cls.node.body:
+        if isinstance(stmt, ast.Assign):
+            for target in stmt.targets:
+                if isinstance(target, ast.Name) and target.id == name:
+                    return stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            if isinstance(stmt.target, ast.Name) and \
+                    stmt.target.id == name:
+                return stmt.value
+    return None
+
+
+def _is_bridge(cls: ClassInfo, project: Project) -> bool:
+    value = _class_body_assigns(cls, "is_bridge")
+    if isinstance(value, ast.Constant):
+        return bool(value.value)
+    for ancestor in project.ancestors(cls.qualname):
+        value = _class_body_assigns(project.classes[ancestor], "is_bridge")
+        if isinstance(value, ast.Constant):
+            return bool(value.value)
+    return False
+
+
+def _registry_names(project: Project, registry: str) -> tuple[set[str],
+                                                              set[str]]:
+    """(names listed in the fallback registry, modules defining it)."""
+    names: set[str] = set()
+    modules: set[str] = set()
+    for module in project.modules.values():
+        value = module.constants.get(registry)
+        if value is None:
+            continue
+        modules.add(module.name)
+        for node in ast.walk(value):
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+            elif isinstance(node, ast.Constant) and \
+                    isinstance(node.value, str):
+                names.add(node.value)
+    return names, modules
+
+
+def _check_physical_nodes(ctx: RuleContext) -> None:
+    project = ctx.project
+    base = ctx.config.physical_base_class
+    vector_base = ctx.config.vector_base_class
+    operators = [cls for cls in project.classes.values()
+                 if project.is_subclass_of(cls.qualname, base)]
+    if not operators:
+        return
+    # one pass over every call in the project: which classes are built?
+    constructed: set[str] = set()
+    for info in project.functions.values():
+        for call in info.facts.calls:
+            resolved = project.resolve(info.module, call.path)
+            if resolved in project.classes:
+                constructed.add(resolved)
+    fallback_names, registry_modules = _registry_names(
+        project, ctx.config.row_fallback_registry)
+    # classes the vectorizer handles: every name its modules' vectorize
+    # helpers touch
+    vectorizer_names: set[str] = set()
+    for info in project.functions.values():
+        if info.module.name in registry_modules and \
+                "vectorize" in info.name.lower():
+            vectorizer_names |= info.facts.name_loads
+    # classes with project subclasses are abstract bases, not operators
+    ancestors_with_subs: set[str] = set()
+    for cls in operators:
+        ancestors_with_subs.update(project.ancestors(cls.qualname))
+
+    for cls in operators:
+        symbol = cls.qualname
+        is_abstract = cls.qualname in ancestors_with_subs
+        if is_abstract or _is_bridge(cls, project):
+            continue
+        if cls.qualname not in constructed:
+            ctx.emit(
+                "exhaustiveness-physical", cls.module, cls.lineno, symbol,
+                f"physical node {cls.name} is never constructed — it has "
+                f"no lowering path")
+        label = project.method_resolves(cls.qualname, "label")
+        if label is None or label.class_name == base or (
+                label.class_qualname is not None
+                and label.class_qualname.rpartition(".")[2] == base):
+            ctx.emit(
+                "exhaustiveness-physical", cls.module, cls.lineno, symbol,
+                f"physical node {cls.name} defines no label() — EXPLAIN "
+                f"would fall back to the bare class name")
+        if registry_modules and not \
+                project.is_subclass_of(cls.qualname, vector_base):
+            if cls.name not in vectorizer_names and \
+                    cls.name not in fallback_names:
+                ctx.emit(
+                    "exhaustiveness-physical", cls.module, cls.lineno,
+                    symbol,
+                    f"row operator {cls.name} is neither handled by the "
+                    f"vectorizer nor listed in "
+                    f"{ctx.config.row_fallback_registry} — declare the "
+                    f"fallback explicitly")

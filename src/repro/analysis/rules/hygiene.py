@@ -1,0 +1,156 @@
+"""Hygiene checks on the commit/recovery/teardown-critical paths.
+
+``hygiene-bare-except`` — a bare ``except:`` catches ``SystemExit`` and
+``KeyboardInterrupt``; nothing in the tree is allowed one.
+
+``hygiene-broad-except`` — ``except Exception``/``except BaseException``
+in a *critical module* (storage, transaction/connection/result
+lifecycles, server teardown, client teardown) is only acceptable when
+the handler re-raises (cleanup-and-propagate) or converts into a
+library error; a swallowing broad handler in a commit or recovery path
+hides corruption.
+
+``hygiene-raise`` — everything the library raises must derive from
+:class:`repro.errors.ReproError` so ``except Error`` keeps its contract;
+raising builtins (``ValueError``, ``RuntimeError``) from core modules
+leaks untyped failures to DB-API callers.
+
+``hygiene-pickle`` — ``pickle.loads`` deserializes attacker-controlled
+bytes into arbitrary code execution; only the restricted unpickler
+module may call it.  Trusted same-process IPC uses may opt out with an
+inline pragma, which documents the trust boundary in place.
+"""
+
+from __future__ import annotations
+
+from ..project import ExceptSite, FunctionInfo, ModuleInfo
+from . import RuleContext, rule
+
+_BROAD = frozenset({"Exception", "BaseException"})
+
+#: Builtin exception class names (anything raised by name that is not a
+#: project class and appears here is a builtin raise).
+_BUILTIN_EXCEPTIONS = frozenset({
+    "ArithmeticError", "AssertionError", "AttributeError", "BaseException",
+    "BlockingIOError", "BrokenPipeError", "BufferError", "BytesWarning",
+    "ChildProcessError", "ConnectionAbortedError", "ConnectionError",
+    "ConnectionRefusedError", "ConnectionResetError", "EOFError",
+    "Exception", "FileExistsError", "FileNotFoundError",
+    "FloatingPointError", "GeneratorExit", "IOError", "ImportError",
+    "IndentationError", "IndexError", "InterruptedError",
+    "IsADirectoryError", "KeyError", "KeyboardInterrupt", "LookupError",
+    "MemoryError", "ModuleNotFoundError", "NameError",
+    "NotADirectoryError", "NotImplementedError", "OSError",
+    "OverflowError", "PermissionError", "ProcessLookupError",
+    "RecursionError", "ReferenceError", "RuntimeError", "StopIteration",
+    "StopAsyncIteration", "SyntaxError", "SystemError", "SystemExit",
+    "TabError", "TimeoutError", "TypeError", "UnboundLocalError",
+    "UnicodeDecodeError", "UnicodeEncodeError", "UnicodeError",
+    "ValueError", "ZeroDivisionError",
+})
+
+#: Dunders in which raising the matching builtin is the protocol.
+_PROTOCOL_RAISES = {
+    "AttributeError": ("__getattr__", "__getattribute__", "__get__",
+                       "__delattr__"),
+    "KeyError": ("__getitem__", "__delitem__", "__missing__"),
+    "IndexError": ("__getitem__",),
+    "TypeError": ("__init_subclass__",),
+}
+
+
+@rule("hygiene")
+def check_hygiene(ctx: RuleContext) -> None:
+    for info in ctx.project.functions.values():
+        _check_excepts(ctx, info)
+        _check_raises(ctx, info)
+        _check_pickle(ctx, info)
+
+
+def _converts_to_library_error(ctx: RuleContext, module: ModuleInfo,
+                               site: ExceptSite) -> bool:
+    for raised in site.raised:
+        name = raised.rpartition(".")[2]
+        for cls in ctx.project.classes_named(name):
+            if ctx.project.is_subclass_of(
+                    cls.qualname, ctx.config.error_root_class) or \
+                    cls.name == ctx.config.error_root_class:
+                return True
+        resolved = ctx.project.resolve(module, raised)
+        if resolved is not None and "errors" in resolved:
+            return True
+    return False
+
+
+def _check_excepts(ctx: RuleContext, info: FunctionInfo) -> None:
+    critical = any(info.module.matches(p)
+                   for p in ctx.config.critical_modules)
+    for site in info.facts.excepts:
+        if site.types is None:
+            ctx.emit(
+                "hygiene-bare-except", info.module, site.lineno,
+                info.qualname,
+                "bare 'except:' also catches SystemExit and "
+                "KeyboardInterrupt; name the exceptions")
+            continue
+        if not critical:
+            continue
+        broad = [t for t in site.types
+                 if t.rpartition(".")[2] in _BROAD]
+        if not broad:
+            continue
+        if site.reraises:
+            continue                     # cleanup-and-propagate
+        if _converts_to_library_error(ctx, info.module, site):
+            continue                     # convert-and-raise
+        ctx.emit(
+            "hygiene-broad-except", info.module, site.lineno,
+            info.qualname,
+            f"'except {broad[0]}' in a commit/recovery/teardown path "
+            f"swallows failures; catch the specific exceptions (or "
+            f"re-raise after cleanup)")
+
+
+def _check_raises(ctx: RuleContext, info: FunctionInfo) -> None:
+    if not any(info.module.matches(p)
+               for p in ctx.config.raise_checked_modules):
+        return
+    allowed = set(ctx.config.allowed_builtin_raises)
+    for site in info.facts.raises:
+        if site.name is None:
+            continue                     # bare re-raise / variable
+        name = site.name.rpartition(".")[2]
+        if name in allowed:
+            continue
+        if info.name in _PROTOCOL_RAISES.get(name, ()):
+            continue
+        if name in _BUILTIN_EXCEPTIONS and \
+                not ctx.project.classes_named(name):
+            ctx.emit(
+                "hygiene-raise", info.module, site.lineno, info.qualname,
+                f"raises builtin {name}; library errors must derive "
+                f"from {ctx.config.error_root_class} so 'except Error' "
+                f"catches everything")
+            continue
+        classes = ctx.project.classes_named(name)
+        root = ctx.config.error_root_class
+        if classes and not any(
+                cls.name == root
+                or ctx.project.is_subclass_of(cls.qualname, root)
+                for cls in classes):
+            ctx.emit(
+                "hygiene-raise", info.module, site.lineno, info.qualname,
+                f"raises {name}, which does not derive from {root}")
+
+
+def _check_pickle(ctx: RuleContext, info: FunctionInfo) -> None:
+    if any(info.module.matches(p)
+           for p in ctx.config.pickle_allowed_modules):
+        return
+    for call in info.facts.calls:
+        if call.path in ("pickle.loads", "pickle.load",
+                         "pickle.Unpickler"):
+            ctx.emit(
+                "hygiene-pickle", info.module, call.lineno, info.qualname,
+                f"calls {call.path} outside the restricted unpickler; "
+                f"untrusted bytes here are remote code execution")

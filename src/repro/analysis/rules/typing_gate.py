@@ -1,0 +1,44 @@
+"""The strict typing gate.
+
+``typing-annotations`` — every function and method in the gated
+packages (storage, engine, api, client, analysis) must carry complete
+parameter and return annotations.  This is the locally-enforced half
+of the typing gate: it runs with zero dependencies on every
+``python -m repro.analysis`` invocation.  The other half — running
+``mypy --strict`` over the same packages against ``mypy.ini`` — needs
+mypy installed and is wired into CI via ``--mypy`` (see
+:func:`repro.analysis.baseline.run_mypy`); the annotation rule
+guarantees the gated surface never regresses to untyped defs even
+where mypy is unavailable.
+
+Named nested closures are exempt: the kernel/step closures are
+intentionally minimal hot-path functions whose types are fixed by
+their factory's signature.
+"""
+
+from __future__ import annotations
+
+from . import RuleContext, rule
+
+
+@rule("typing")
+def check_typing(ctx: RuleContext) -> None:
+    patterns = ctx.config.typed_modules
+    for info in ctx.project.functions.values():
+        if info.parent is not None:      # nested closure
+            continue
+        if not any(info.module.matches(p) for p in patterns):
+            continue
+        facts = info.facts
+        missing: list[str] = []
+        if facts.unannotated_params:
+            missing.append(
+                "parameter(s) " + ", ".join(facts.unannotated_params))
+        if not facts.has_return_annotation:
+            missing.append("return type")
+        if missing:
+            ctx.emit(
+                "typing-annotations", info.module, info.lineno,
+                info.qualname,
+                f"missing annotations: {'; '.join(missing)} — the "
+                f"gated packages are fully typed (mypy --strict)")

@@ -45,7 +45,8 @@ from __future__ import annotations
 import threading
 import weakref
 from contextlib import contextmanager
-from typing import Any, Iterable, Sequence
+from typing import TYPE_CHECKING, Any, Callable, Iterable, Iterator, \
+    Sequence
 
 from ..catalog import Catalog
 from ..datatypes import SQLType
@@ -77,6 +78,9 @@ from .prepared import PreparedStatement, check_arity
 from .result import Result
 from .transaction import Transaction
 
+if TYPE_CHECKING:
+    from ..engine.physical import PhysicalPlan
+
 
 class Connection:
     """An in-process session over a shared engine, with a per-session
@@ -85,7 +89,7 @@ class Connection:
     def __init__(self, config: SessionConfig | None = None,
                  catalog: Catalog | None = None,
                  engine: Engine | None = None,
-                 path: str | None = None):
+                 path: str | None = None) -> None:
         if engine is not None:
             if catalog is not None and catalog is not engine.catalog:
                 raise InterfaceError(
@@ -240,7 +244,7 @@ class Connection:
                 txn.rollback()
 
     @contextmanager
-    def transaction(self):
+    def transaction(self) -> Iterator["Connection"]:
         """``with conn.transaction(): ...`` — begin, then commit on
         success or roll back on exception."""
         self.begin()
@@ -492,7 +496,8 @@ class Connection:
                 plan, catalog if catalog is not None else self.catalog)
         return plan
 
-    def _lower(self, plan: Operator, catalog: Catalog):
+    def _lower(self, plan: Operator,
+               catalog: Catalog) -> "PhysicalPlan":
         """Physical lowering with the given catalog and the session's
         index knob — the one spelling shared by every planning surface,
         so EXPLAIN output always describes the plan execution would run."""
@@ -680,7 +685,7 @@ class Connection:
         return self._execute_plan(
             cached, check_arity(cached.param_count, params), catalog)
 
-    def _write(self, apply):
+    def _write(self, apply: Callable[[Transaction], Any]) -> Any:
         """Run one write operation transactionally: inside the open
         transaction when there is one (implicitly beginning one when
         ``autocommit`` is off), otherwise as a one-statement transaction
@@ -701,7 +706,7 @@ class Connection:
             return result
 
     @contextmanager
-    def _bulk(self):
+    def _bulk(self) -> Iterator[None]:
         """Group many write statements into one transaction (the
         ``executemany`` fast path: one copy-on-write privatization and
         one commit for the whole batch)."""

@@ -48,7 +48,7 @@ class Cursor:
 
     arraysize = 1
 
-    def __init__(self, connection: "Connection"):
+    def __init__(self, connection: "Connection") -> None:
         self._connection = connection
         self._closed = False
         self._result: Result | None = None

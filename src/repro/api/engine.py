@@ -40,7 +40,7 @@ from __future__ import annotations
 
 import threading
 import weakref
-from typing import TYPE_CHECKING, Any
+from typing import TYPE_CHECKING, Any, Callable
 
 from ..catalog import Catalog
 from ..errors import InterfaceError
@@ -115,15 +115,16 @@ class RWLock:
     class _Guard:
         __slots__ = ("_acquire", "_release")
 
-        def __init__(self, acquire, release):
+        def __init__(self, acquire: Callable[[], None],
+                     release: Callable[[], None]) -> None:
             self._acquire = acquire
             self._release = release
 
-        def __enter__(self):
+        def __enter__(self) -> "RWLock._Guard":
             self._acquire()
             return self
 
-        def __exit__(self, *exc_info):
+        def __exit__(self, *exc_info: object) -> None:
             self._release()
 
     def read(self) -> "RWLock._Guard":
@@ -153,7 +154,7 @@ class Engine:
 
     def __init__(self, config: SessionConfig | None = None,
                  catalog: Catalog | None = None,
-                 path: "str | None" = None):
+                 path: "str | None" = None) -> None:
         self.config = config or SessionConfig()
         self.storage = None
         if path is not None:

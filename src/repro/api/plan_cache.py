@@ -109,7 +109,7 @@ class PlanCache:
     """A tiny lock-guarded LRU mapping from plan keys to
     :class:`CachedPlan` objects."""
 
-    def __init__(self, capacity: int = 128):
+    def __init__(self, capacity: int = 128) -> None:
         self.capacity = capacity
         self.hits = 0
         self.misses = 0

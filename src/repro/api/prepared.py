@@ -46,7 +46,7 @@ class PreparedStatement:
     """
 
     def __init__(self, connection: "Connection", sql: str,
-                 strategy: str | None = None):
+                 strategy: str | None = None) -> None:
         self._connection = connection
         self._sql = sql
         self._strategy = strategy

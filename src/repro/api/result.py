@@ -84,7 +84,7 @@ class Result(Relation):
                  rows: list | None = None,
                  on_close: Callable[[], None] | None = None,
                  strategy: str | None = None,
-                 accesses: list[BaseAccess] | None = None):
+                 accesses: list[BaseAccess] | None = None) -> None:
         self.schema = schema
         Relation.rows.__set__(self, rows if rows is not None else [])
         self._batches = batches
@@ -247,7 +247,8 @@ class Result(Relation):
         prov = [positions[name] for name in self.provenance_columns]
         return [("?", prov)] if prov else []
 
-    def witnesses(self, index: int | None = None):
+    def witnesses(self, index: int | None = None
+                  ) -> "list[Witness] | Witness":
         """Group the flat provenance encoding by output tuple.
 
         ``witnesses()`` returns every :class:`Witness` in first-appearance

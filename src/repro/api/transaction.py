@@ -39,7 +39,8 @@ from typing import TYPE_CHECKING, Any, Iterable, Sequence
 from ..catalog import Catalog
 from ..errors import CatalogError, TransactionError
 from ..relation import Relation
-from ..storage.index import build_index
+from ..schema import Schema
+from ..storage.index import SecondaryIndex, build_index
 
 if TYPE_CHECKING:  # pragma: no cover
     from .engine import Engine
@@ -48,7 +49,7 @@ if TYPE_CHECKING:  # pragma: no cover
 class Transaction:
     """One snapshot-isolated unit of work (see the module docstring)."""
 
-    def __init__(self, engine: "Engine"):
+    def __init__(self, engine: "Engine") -> None:
         self.engine = engine
         #: the private catalog this transaction reads from and writes to
         self.catalog: Catalog = engine.snapshot()
@@ -147,7 +148,8 @@ class Transaction:
             self._wal_deltas.setdefault(
                 name.lower(), ([], []))[0].extend(removed)
 
-    def create_table(self, name: str, schema, rows=(),
+    def create_table(self, name: str, schema: Schema,
+                     rows: Iterable[tuple] = (),
                      partition: tuple[str, int] | None = None) -> None:
         """Create a table privately; *partition* is the optional
         ``PARTITION BY HASH(column) PARTITIONS count`` declaration."""
@@ -190,7 +192,8 @@ class Transaction:
 # Commit: validate, then apply — caller holds the engine's write lock.
 # ---------------------------------------------------------------------------
 
-def same_index_def(left, right) -> bool:
+def same_index_def(left: "SecondaryIndex",
+                   right: "SecondaryIndex") -> bool:
     """Whether two same-named index objects define the same index.
 
     The commit diff cannot use object identity alone — privatizing a

@@ -19,13 +19,15 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+from typing import Any, AsyncIterator, Callable, Sequence
 from dataclasses import dataclass, field
 
 from ..errors import InterfaceError, OperationalError, ProtocolError
 from ..server import protocol
 
 
-def _decode(values, description) -> tuple:
+def _decode(values: Sequence["bytes | None"],
+            description: "Sequence[tuple[str, int]] | None") -> tuple:
     """Wire values -> Python values per a (name, oid) description."""
     if description is None or len(values) != len(description):
         raise ProtocolError(
@@ -72,7 +74,7 @@ class AsyncConnection:
     (open one connection per task instead)."""
 
     def __init__(self, reader: asyncio.StreamReader,
-                 writer: asyncio.StreamWriter):
+                 writer: asyncio.StreamWriter) -> None:
         self._reader = reader
         self._writer = writer
         self._stream = protocol.MessageStream()
@@ -84,7 +86,7 @@ class AsyncConnection:
 
     # -- plumbing -------------------------------------------------------------
 
-    async def _recv(self):
+    async def _recv(self) -> Any:
         """The next backend message (decoded)."""
         while True:
             framed = self._stream.next_message()
@@ -96,7 +98,7 @@ class AsyncConnection:
                 raise OperationalError("server closed the connection")
             self._stream.feed(data)
 
-    async def _send(self, *messages) -> None:
+    async def _send(self, *messages: Any) -> None:
         if self._closed:
             raise InterfaceError("connection is closed")
         try:
@@ -107,7 +109,9 @@ class AsyncConnection:
             raise OperationalError(
                 f"connection lost: {exc}") from exc
 
-    async def _drain_until_ready(self, error=None, on_message=None):
+    async def _drain_until_ready(
+            self, error: "BaseException | None" = None,
+            on_message: "Callable[[Any], None] | None" = None) -> None:
         """Consume messages up to ReadyForQuery, then raise the first
         error seen (if any).  *on_message* observes every message."""
         while True:
@@ -256,7 +260,7 @@ class AsyncConnection:
     async def __aenter__(self) -> "AsyncConnection":
         return self
 
-    async def __aexit__(self, *exc_info) -> None:
+    async def __aexit__(self, *exc_info: object) -> None:
         await self.close()
 
 
@@ -264,7 +268,8 @@ class AsyncPreparedStatement:
     """A named server-side statement created by
     :meth:`AsyncConnection.prepare`."""
 
-    def __init__(self, conn: AsyncConnection, name: str, sql: str):
+    def __init__(self, conn: AsyncConnection, name: str,
+                 sql: str) -> None:
         self._conn = conn
         self.name = name
         self.sql = sql
@@ -285,7 +290,8 @@ class AsyncPreparedStatement:
             protocol.Sync())
         return await self._conn._collect_execution()
 
-    async def stream(self, params: tuple = (), batch: int = 100):
+    async def stream(self, params: tuple = (), batch: int = 100
+                     ) -> "AsyncIterator[tuple]":
         """Async iterator over decoded rows, fetched *batch* at a time
         through a named portal (Execute ``max_rows`` + PortalSuspended).
         Closing the iterator early closes the portal server-side."""

@@ -10,6 +10,7 @@ from __future__ import annotations
 
 import asyncio
 import threading
+from typing import Any, Coroutine
 
 from .connection import AsyncConnection, ClientResult, connect
 
@@ -19,7 +20,8 @@ class SyncConnection:
 
     def __init__(self, host: str = "127.0.0.1", port: int = 5433, *,
                  user: str = "repro", password: "str | None" = None,
-                 database: "str | None" = None, timeout: float = 10.0):
+                 database: "str | None" = None,
+                 timeout: float = 10.0) -> None:
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
             target=self._loop.run_forever,
@@ -33,7 +35,7 @@ class SyncConnection:
             self._shutdown_loop()
             raise
 
-    def _call(self, coro):
+    def _call(self, coro: "Coroutine[Any, Any, Any]") -> Any:
         return asyncio.run_coroutine_threadsafe(coro, self._loop).result()
 
     def _shutdown_loop(self) -> None:
@@ -83,5 +85,5 @@ class SyncConnection:
     def __enter__(self) -> "SyncConnection":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()

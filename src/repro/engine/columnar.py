@@ -52,7 +52,7 @@ class Column:
     __slots__ = ("values", "kind", "has_nulls")
 
     def __init__(self, values: list, kind: str = "any",
-                 has_nulls: bool = True):
+                 has_nulls: bool = True) -> None:
         self.values = values
         self.kind = kind
         self.has_nulls = has_nulls
@@ -104,7 +104,7 @@ class ColumnBatch:
 
     __slots__ = ("columns", "sel")
 
-    def __init__(self, columns: list[Column], sel: "range | list[int]"):
+    def __init__(self, columns: list[Column], sel: "range | list[int]") -> None:
         self.columns = columns
         self.sel = sel
 

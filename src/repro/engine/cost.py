@@ -121,7 +121,7 @@ ColumnMap = dict[str, ColumnOrigin]
 class CardinalityEstimator:
     """Estimates logical-operator output cardinalities over a catalog."""
 
-    def __init__(self, catalog: Catalog):
+    def __init__(self, catalog: Catalog) -> None:
         self.catalog = catalog
         # Memoized per operator identity.  The operator itself is kept in
         # the entry: id() values may be reused once an object is freed,

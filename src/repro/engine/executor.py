@@ -24,7 +24,11 @@ measurement.  Disable it for the ablation benchmark.
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import TYPE_CHECKING, Any, Iterable, Iterator
+
+if TYPE_CHECKING:
+    from ..api.config import SessionConfig
+    from .physical import PhysicalPlan
 
 from ..catalog import Catalog
 from ..algebra.operators import Operator
@@ -47,9 +51,10 @@ class Executor:
     """
 
     def __init__(self, catalog: Catalog, optimize: bool | None = None,
-                 compile_expressions: bool | None = None, config=None,
+                 compile_expressions: bool | None = None,
+                 config: SessionConfig | None = None,
                  compiled_cache: dict[int, Any] | None = None,
-                 engine: str | None = None):
+                 engine: str | None = None) -> None:
         self.catalog = catalog
         self.config = config
         self.optimize = optimize if optimize is not None else (
@@ -98,7 +103,8 @@ class Executor:
             op = optimize_tree(op, self.catalog)
         return self._impl.execute(op, params)
 
-    def execute_physical(self, plan, params: Iterable[Any] = ()) -> Relation:
+    def execute_physical(self, plan: PhysicalPlan,
+                         params: Iterable[Any] = ()) -> Relation:
         """Run an already-lowered :class:`~repro.engine.physical.
         PhysicalPlan` (the plan-cache hot path).  The materializing
         engine falls back to interpreting the plan's logical tree."""
@@ -106,7 +112,8 @@ class Executor:
             return self._impl.execute(plan.logical, params)
         return self._impl.execute_physical(plan, params)
 
-    def stream_physical(self, plan, params: Iterable[Any] = ()):
+    def stream_physical(self, plan: PhysicalPlan,
+                        params: Iterable[Any] = ()) -> Iterator[list[tuple]]:
         """Run an already-lowered physical plan as a generator of row
         batches (the streaming-result path).  The materializing engine
         cannot pipeline — it executes eagerly and yields one batch."""

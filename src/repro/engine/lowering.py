@@ -49,6 +49,7 @@ from ..expressions.ast import (
     Sublink, TRUE, and_all, conjuncts_of, walk,
 )
 from ..expressions.evaluator import Frame
+from ..schema import Schema
 from ..algebra.operators import (
     Aggregate, BaseRelation, Join, JoinKind, Limit, Operator, Project,
     Select, SetOp, Sort, Values,
@@ -124,7 +125,7 @@ class _Lowerer:
     cost-based choices."""
 
     def __init__(self, catalog: Catalog | None, use_indexes: bool = True,
-                 force_nested_loop: bool = False):
+                 force_nested_loop: bool = False) -> None:
         self.catalog = catalog
         self.use_indexes = use_indexes and catalog is not None
         self.force_nested_loop = force_nested_loop
@@ -267,7 +268,7 @@ class _Lowerer:
             return scan, remaining
         return None, conjuncts
 
-    def _index_lookup(self, base: BaseRelation, part: Expr):
+    def _index_lookup(self, base: BaseRelation, part: Expr) -> "tuple[str, int, str, Expr, str] | None":
         """``(column, position, op, key expression, index kind)`` if
         *part* is an index-servable comparison over *base*, else None."""
         if not isinstance(part, Comparison) or \
@@ -472,7 +473,7 @@ _TYPE_FAMILY = {
 }
 
 
-def _static_family(expr: Expr, schema) -> str | None:
+def _static_family(expr: Expr, schema: Schema) -> str | None:
     """The comparison-type family of *expr*, if statically known:
     ``"null"`` for a literal NULL (comparisons with NULL never raise),
     a :data:`_TYPE_FAMILY` tag for typed columns and literals, None when
@@ -493,7 +494,7 @@ def _static_family(expr: Expr, schema) -> str | None:
     return None
 
 
-def _is_safe_conjunct(expr: Expr, schema) -> bool:
+def _is_safe_conjunct(expr: Expr, schema: Schema) -> bool:
     """True iff *expr* provably cannot raise, so reordering it ahead of
     other conjuncts cannot surface an error the written AND order would
     have short-circuited away.  Comparisons and LIKE raise on operands

@@ -27,7 +27,7 @@ Design notes relevant to reproducing the paper's performance results:
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any, Callable, Iterable, Sequence
 
 from ..catalog import Catalog
 from ..datatypes import is_true
@@ -36,7 +36,7 @@ from ..expressions.ast import Expr, TRUE
 from ..expressions.evaluator import EvalContext, Frame, evaluate
 from ..algebra.operators import (
     Aggregate, BaseRelation, Join, JoinKind, Limit, Operator, Project,
-    Select, SetOp, SetOpKind, Sort, Values,
+    Select, SetOp, SetOpKind, Sort, SortKey, Values,
 )
 from ..algebra.properties import is_correlated
 from ..expressions.aggregates import make_accumulator
@@ -53,7 +53,7 @@ class MaterializingEngine:
 
     def __init__(self, catalog: Catalog, compile_expressions: bool,
                  collect_stats: bool, stats: ExecutionStats,
-                 compiled_cache: dict[int, Any] | None = None):
+                 compiled_cache: dict[int, Any] | None = None) -> None:
         self.catalog = catalog
         self.compile_expressions = compile_expressions
         self.collect_stats = collect_stats
@@ -64,7 +64,7 @@ class MaterializingEngine:
         self._compiled: dict[int, Any] = \
             compiled_cache if compiled_cache is not None else {}
 
-    def _evaluator(self, expr: Expr):
+    def _evaluator(self, expr: Expr) -> "Callable[[dict], Any]":
         """A callable ctx -> value for *expr*: compiled (cached by node
         identity) or the tree-walking interpreter per the ablation flag."""
         if not self.compile_expressions:
@@ -300,8 +300,8 @@ class MaterializingEngine:
         return rows
 
 
-def sort_rows(rows: list[tuple], keys, frames: Frames,
-              index: dict[str, int], runner, params: tuple) -> None:
+def sort_rows(rows: list[tuple], keys: Sequence[SortKey], frames: Frames,
+              index: dict[str, int], runner: Any, params: tuple) -> None:
     """In-place multi-key sort with SQL NULL ordering (NULLs first
     ascending, last descending); shared by both engines."""
     for key in reversed(keys):
@@ -327,7 +327,7 @@ class _DescWrapper:
 
     __slots__ = ("value",)
 
-    def __init__(self, value: Any):
+    def __init__(self, value: Any) -> None:
         self.value = value
 
     def __lt__(self, other: "_DescWrapper") -> bool:

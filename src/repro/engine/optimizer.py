@@ -44,6 +44,12 @@ from ..algebra.operators import (
 )
 from ..algebra.trees import transform_expressions
 
+from typing import TYPE_CHECKING, Sequence
+
+if TYPE_CHECKING:
+    from ..catalog import Catalog
+    from .cost import CardinalityEstimator
+
 
 def scope_column_names(expr: Expr, boundary: int = 0) -> set[str]:
     """Column names *expr* reads at its own scope (see module docstring)."""
@@ -184,7 +190,7 @@ def _optimize_node(op: Operator) -> Operator:
     return op
 
 
-def optimize(op: Operator, catalog=None) -> Operator:
+def optimize(op: Operator, catalog: Catalog | None = None) -> Operator:
     """Optimize an operator tree (bottom-up, including sublink queries).
 
     With *catalog*, a cost-based join-ordering pass runs after the
@@ -230,7 +236,7 @@ def _optimize_expr_sublinks(expr: Expr) -> Expr:
 _MIN_CHAIN = 3
 
 
-def _reorder_joins(op: Operator, estimator) -> Operator:
+def _reorder_joins(op: Operator, estimator: CardinalityEstimator) -> Operator:
     """Top-down pass: re-order every maximal inner/cross join chain."""
     if isinstance(op, Join) and op.kind in (JoinKind.INNER, JoinKind.CROSS):
         relations, conjuncts = _flatten_chain(op)
@@ -259,7 +265,7 @@ def _reorder_joins(op: Operator, estimator) -> Operator:
     return op
 
 
-def _reorder_expr(expr: Expr, estimator) -> Expr:
+def _reorder_expr(expr: Expr, estimator: CardinalityEstimator) -> Expr:
     new_children = [_reorder_expr(child, estimator)
                     for child in expr.children()]
     if new_children != list(expr.children()):
@@ -292,7 +298,8 @@ def _flatten_chain(op: Join) -> tuple[list[Operator], list[Expr]]:
 
 
 def _greedy_chain(relations: list[Operator], conjuncts: list[Expr],
-                  estimator, original_names) -> Operator:
+                  estimator: CardinalityEstimator,
+                  original_names: Sequence[str]) -> Operator:
     """Left-deep greedy join order: smallest relation first, then always
     the join with the smallest estimated output."""
     pool = [(conjunct, scope_column_names(conjunct))

@@ -67,9 +67,9 @@ import threading
 import zlib
 from collections import OrderedDict
 from time import perf_counter
-from typing import Any
+from typing import TYPE_CHECKING, Any, Sequence
 
-from ..errors import ExecutionError
+from ..errors import CatalogError, ExecutionError
 from ..expressions.aggregates import make_accumulator
 from ..expressions.ast import BoolOp, Col, Comparison, Const, Expr
 from ..expressions.compiler import (
@@ -81,6 +81,13 @@ from .physical import (
     Filter, HashAggregate, PhysicalOperator, PhysicalPlan, Project, SeqScan,
     SortNode, StreamingLimit,
 )
+
+if TYPE_CHECKING:
+    from multiprocessing.connection import Connection
+    from multiprocessing.context import BaseContext
+    from multiprocessing.process import BaseProcess
+
+    from ..catalog import Catalog
 
 _FLOAT = struct.Struct("<d")
 _INT64_MIN = -(1 << 63)
@@ -140,6 +147,27 @@ _MAP_CACHE_CAP = 32
 _map_lock = threading.Lock()
 
 
+def _reset_after_fork() -> None:  # pragma: no cover - runs inside fork()
+    """Re-arm the cache lock in the child.
+
+    A forked child inherits ``_map_lock`` in whatever state some parent
+    thread left it at ``fork()`` — acquiring an inherited *held* lock
+    deadlocks forever.  The child gets a fresh, unlocked lock and an
+    empty cache (its tables are decoded per worker, so parent entries
+    would only pin copied row lists anyway).
+    """
+    global _map_lock
+    _map_lock = threading.Lock()
+    _MAP_CACHE.clear()
+
+
+if hasattr(os, "register_at_fork"):
+    os.register_at_fork(after_in_child=_reset_after_fork)
+
+
+# repro: allow(lock-fork) - _map_lock is re-created unlocked in the
+# child by _reset_after_fork (os.register_at_fork above), so workers
+# can never block on a lock a parent thread held across fork().
 def partition_map(rows: list, position: int,
                   count: int) -> list[list[int]]:
     """Ascending row-index lists, one per partition, for *rows* hash-
@@ -183,7 +211,8 @@ class PartitionScan(PhysicalOperator):
                  "_rows", "_order", "_pos")
 
     def __init__(self, table: str, alias: str, names: tuple[str, ...],
-                 position: int, count: int, parts: tuple[int, ...]):
+                 position: int, count: int,
+                 parts: tuple[int, ...]) -> None:
         super().__init__()
         self.table = table
         self.alias = alias
@@ -233,13 +262,15 @@ _TABLE_CACHE_CAP = 8      # decoded tables kept per worker
 _SPEC_CACHE_CAP = 64      # fragment specs kept per worker
 
 
-def _worker_main(conn) -> None:  # pragma: no cover - runs in a subprocess
+def _worker_main(conn: "Connection") -> None:  # pragma: no cover - runs in a subprocess
     """Worker loop: cache tables and specs, answer tasks."""
     tables: "OrderedDict[int, list]" = OrderedDict()
     specs: "OrderedDict[int, dict]" = OrderedDict()
     pending_error: str | None = None
     while True:
         try:
+            # repro: allow(hygiene-pickle) - parent<->child pipe created
+            # by this process; never carries attacker-controlled bytes
             message = pickle.loads(conn.recv_bytes())
         except (EOFError, OSError):
             return
@@ -311,7 +342,9 @@ def _run_task(task: dict, specs: dict,
                                partial=(mode == "twophase"))
 
 
-def _apply_steps(rows, idxs, steps, params, engine: str, track: bool):
+def _apply_steps(rows: list, idxs: "Sequence[int]",
+                 steps: "Sequence[tuple]", params: tuple, engine: str,
+                 track: bool) -> "tuple[list, Sequence[int]]":
     """Run a fragment's Filter/Project steps over *rows*.
 
     *idxs* holds each row's global index (tracked only when *track* —
@@ -354,7 +387,8 @@ def _apply_steps(rows, idxs, steps, params, engine: str, track: bool):
     return rows, idxs
 
 
-def _realign(rows, idxs, survivors):
+def _realign(rows: list, idxs: "Sequence[int]",
+             survivors: list) -> list[int]:
     """Global indices of *survivors*, an order-preserving subsequence of
     *rows* (matched by object identity, so duplicate tuples are safe)."""
     out = []
@@ -367,13 +401,14 @@ def _realign(rows, idxs, survivors):
     return out
 
 
-def _make_accumulators(aggregates) -> list:
+def _make_accumulators(aggregates: "Sequence[tuple]") -> list:
     return [make_accumulator(call.name, star=call.arg is None,
                              distinct=call.distinct)
             for _, call in aggregates]
 
 
-def _aggregate_fragment(rows, idxs, agg: dict, params,
+def _aggregate_fragment(rows: list, idxs: "Sequence[int]",
+                        agg: dict, params: tuple,
                         partial: bool) -> list[tuple]:
     """One worker's aggregation over its fragment: ``(key, payload,
     first_global_index)`` per group — *payload* is the accumulator
@@ -405,7 +440,8 @@ def _aggregate_fragment(rows, idxs, agg: dict, params,
 class _Worker:
     __slots__ = ("process", "conn", "tables", "specs")
 
-    def __init__(self, process, conn):
+    def __init__(self, process: "BaseProcess",
+                 conn: "Connection") -> None:
         self.process = process
         self.conn = conn
         self.tables: set[int] = set()
@@ -416,6 +452,7 @@ class _Worker:
             message, protocol=pickle.HIGHEST_PROTOCOL))
 
     def recv(self) -> tuple:
+        # repro: allow(hygiene-pickle) - same trusted pipe, parent side
         return pickle.loads(self.conn.recv_bytes())
 
     def alive(self) -> bool:
@@ -453,7 +490,7 @@ class WorkerPool:
         self._lock = threading.Lock()
         self._context = None
 
-    def _ctx(self):
+    def _ctx(self) -> "BaseContext":
         if self._context is None:
             import multiprocessing
             try:
@@ -626,7 +663,7 @@ class Gather(PhysicalOperator):
     def __init__(self, child: PhysicalOperator, workers: int, mode: str,
                  table: str, n_cols: int, spec: dict, threshold: int,
                  group: tuple = (), aggregates: tuple = (),
-                 positions: tuple = ()):
+                 positions: tuple = ()) -> None:
         super().__init__()
         self.child = child
         self.workers = workers
@@ -645,7 +682,7 @@ class Gather(PhysicalOperator):
         #: parallel execution — rendered by EXPLAIN ANALYZE.
         self.worker_stats: list[tuple[int, int, float]] | None = None
 
-    def children(self):
+    def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.child,)
 
     def _reset(self) -> None:
@@ -720,7 +757,8 @@ class Gather(PhysicalOperator):
             return merged
         return self._merge_groups(results)
 
-    def _plan_tasks(self, rows: list, params: tuple):
+    def _plan_tasks(self, rows: list, params: tuple
+                    ) -> "list[tuple[list, dict]] | None":
         """Per-worker ``(shipments, dynamic-task)`` pairs, or None when
         this execution cannot be split (e.g. nothing to shuffle)."""
         spec_ship = ("spec", self._spec_id, self.spec)
@@ -813,7 +851,7 @@ class Gather(PhysicalOperator):
 # The parallel lowering pass
 # ---------------------------------------------------------------------------
 
-def parallelize_plan(plan: PhysicalPlan, catalog, workers: int,
+def parallelize_plan(plan: PhysicalPlan, catalog: Catalog, workers: int,
                      threshold: int,
                      engine_name: str = "pipelined") -> PhysicalPlan:
     """Rewrite *plan* in place, inserting :class:`Gather` exchanges (and
@@ -831,16 +869,17 @@ def parallelize_plan(plan: PhysicalPlan, catalog, workers: int,
     return plan
 
 
-def _table_size(scan: SeqScan, catalog) -> float:
+def _table_size(scan: SeqScan, catalog: Catalog) -> float:
     if scan.est_rows is not None:
         return scan.est_rows
     try:
         return len(catalog.get(scan.table).rows)
-    except Exception:
+    except CatalogError:
         return 0.0
 
 
-def _scan_pipeline(node: PhysicalOperator):
+def _scan_pipeline(node: PhysicalOperator
+                   ) -> "tuple[SeqScan, list[tuple], bool] | None":
     """Decompose a Filter/Project(plain) chain over a SeqScan into
     ``(scan, steps, saw_project)`` with steps innermost-first, or None.
     Nodes carrying sublink plans cannot ship to a worker."""
@@ -865,7 +904,7 @@ def _scan_pipeline(node: PhysicalOperator):
             return None
 
 
-def _try_gather(node: PhysicalOperator, catalog, workers: int,
+def _try_gather(node: PhysicalOperator, catalog: Catalog, workers: int,
                 threshold: int, engine_name: str) -> Gather | None:
     if isinstance(node, HashAggregate) and not node.sublinks:
         decomposed = _scan_pipeline(node.child)
@@ -944,10 +983,11 @@ def _has_sublink(expr: Expr) -> bool:
     return False
 
 
-def _base_position(catalog, table: str, column: str) -> int | None:
+def _base_position(catalog: Catalog, table: str,
+                   column: str) -> int | None:
     try:
         schema = catalog.get(table).schema
-    except Exception:
+    except CatalogError:
         return None
     if column not in schema:
         return None
@@ -957,7 +997,7 @@ def _base_position(catalog, table: str, column: str) -> int | None:
 _DESCEND = (Filter, Project, SortNode, StreamingLimit, HashAggregate)
 
 
-def _parallelize(node: PhysicalOperator, catalog, workers: int,
+def _parallelize(node: PhysicalOperator, catalog: Catalog, workers: int,
                  threshold: int, engine_name: str) -> PhysicalOperator:
     gather = _try_gather(node, catalog, workers, threshold, engine_name)
     if gather is not None:
@@ -969,7 +1009,7 @@ def _parallelize(node: PhysicalOperator, catalog, workers: int,
 
 
 def _prune_partitions(node: PhysicalOperator,
-                      catalog) -> PhysicalOperator:
+                      catalog: Catalog) -> PhysicalOperator:
     """Replace ``Filter(pcol = const)`` over a SeqScan of a hash-
     partitioned table with the same filter over a single-partition
     :class:`PartitionScan` (collisions keep the filter necessary)."""

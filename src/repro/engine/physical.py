@@ -29,11 +29,12 @@ of a cached plan is safe because ``open`` resets everything.
 
 from __future__ import annotations
 
-from typing import Any
+from typing import TYPE_CHECKING, Any, Iterator
 
 from ..datatypes import is_true
 from ..expressions.ast import Expr, Sublink
 from ..expressions.compiler import (
+    BatchFilter, BatchProjector, BatchValues, RowCompiled,
     compile_batch_predicate, compile_batch_projector, compile_batch_values,
     compile_row,
 )
@@ -43,6 +44,10 @@ from ..expressions.printer import format_expr
 from ..algebra.operators import JoinKind, SetOpKind, SortKey
 from ..relation import Relation
 from ..schema import Schema
+
+if TYPE_CHECKING:
+    from .pipeline import PipelineEngine
+    from .stats import ExecutionStats
 
 
 class SublinkPlan:
@@ -56,7 +61,7 @@ class SublinkPlan:
     correlated = False
 
     def __init__(self, sublink: Sublink, query: Any,
-                 plan: "PhysicalOperator"):
+                 plan: "PhysicalOperator") -> None:
         self.sublink = sublink
         self.query = query        # logical operator tree (identity key)
         self.plan = plan
@@ -114,7 +119,8 @@ class PhysicalOperator:
     def children(self) -> tuple["PhysicalOperator", ...]:
         return ()
 
-    def open(self, engine, frames: tuple) -> None:
+    def open(self, engine: PipelineEngine,
+             frames: tuple) -> None:
         self.engine = engine
         self.frames = frames
         if engine.collect_stats:
@@ -156,7 +162,7 @@ class PhysicalPlan:
                  "vector_counts")
 
     def __init__(self, root: PhysicalOperator, logical: Any,
-                 schema: Schema, subplans: dict[int, SublinkPlan]):
+                 schema: Schema, subplans: dict[int, SublinkPlan]) -> None:
         self.root = root
         self.logical = logical
         self.schema = schema
@@ -167,7 +173,7 @@ class PhysicalPlan:
         self.vectorized = False
         self.vector_counts: tuple[int, int] | None = None
 
-    def nodes(self):
+    def nodes(self) -> Iterator[PhysicalOperator]:
         """All physical nodes of the plan, sublink plans included."""
         stack: list[PhysicalOperator] = [self.root]
         while stack:
@@ -188,7 +194,7 @@ class SeqScan(PhysicalOperator):
 
     __slots__ = ("table", "alias", "names", "_rows", "_pos")
 
-    def __init__(self, table: str, alias: str, names: tuple[str, ...]):
+    def __init__(self, table: str, alias: str, names: tuple[str, ...]) -> None:
         super().__init__()
         self.table = table
         self.alias = alias
@@ -232,7 +238,7 @@ class IndexScan(PhysicalOperator):
 
     def __init__(self, table: str, alias: str, names: tuple[str, ...],
                  column: str, position: int, op: str, key_expr: Expr,
-                 index_kind: str):
+                 index_kind: str) -> None:
         super().__init__()
         self.table = table
         self.alias = alias
@@ -245,7 +251,7 @@ class IndexScan(PhysicalOperator):
         self._rows: list[tuple] = []
         self._pos = 0
 
-    def _key_value(self):
+    def _key_value(self) -> Any:
         context = EvalContext(self.frames, self.engine, self.engine.params)
         return evaluate(self.key_expr, context)
 
@@ -290,7 +296,8 @@ class IndexScan(PhysicalOperator):
                 f"cannot compare {self.column!r} values with "
                 f"{type(value).__name__} ({value!r})") from None
 
-    def _scan_fallback(self, rows: list[tuple], value) -> list[tuple]:
+    def _scan_fallback(self, rows: list[tuple],
+                       value: Any) -> list[tuple]:
         from ..datatypes import compare
         position = self.position
         op = self.op
@@ -318,7 +325,7 @@ class ValuesScan(PhysicalOperator):
 
     __slots__ = ("rows", "names", "_pos")
 
-    def __init__(self, rows: list[tuple], names: tuple[str, ...]):
+    def __init__(self, rows: list[tuple], names: tuple[str, ...]) -> None:
         super().__init__()
         self.rows = rows
         self.names = names
@@ -349,7 +356,7 @@ class Filter(PhysicalOperator):
     __slots__ = ("child", "condition", "index", "_fn", "_fn_compiled")
 
     def __init__(self, child: PhysicalOperator, condition: Expr,
-                 index: dict[str, int]):
+                 index: dict[str, int]) -> None:
         super().__init__()
         self.child = child
         self.condition = condition
@@ -357,10 +364,10 @@ class Filter(PhysicalOperator):
         self._fn = None
         self._fn_compiled: bool | None = None
 
-    def children(self):
+    def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.child,)
 
-    def _predicate(self):
+    def _predicate(self) -> BatchFilter:
         flag = self.engine.compile_expressions
         if self._fn is None or self._fn_compiled is not flag:
             self._fn = compile_batch_predicate(
@@ -391,7 +398,7 @@ class Project(PhysicalOperator):
                  "_fn_compiled", "_seen")
 
     def __init__(self, child: PhysicalOperator, items: tuple,
-                 distinct: bool, index: dict[str, int]):
+                 distinct: bool, index: dict[str, int]) -> None:
         super().__init__()
         self.child = child
         self.items = items
@@ -401,13 +408,13 @@ class Project(PhysicalOperator):
         self._fn_compiled: bool | None = None
         self._seen: dict | None = None
 
-    def children(self):
+    def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.child,)
 
     def _reset(self) -> None:
         self._seen = {} if self.distinct else None
 
-    def _projector(self):
+    def _projector(self) -> BatchProjector:
         flag = self.engine.compile_expressions
         if self._fn is None or self._fn_compiled is not flag:
             self._fn = compile_batch_projector(
@@ -457,7 +464,7 @@ class HashJoin(PhysicalOperator):
 
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
                  keys: list[tuple[int, int]], residual: Expr | None,
-                 kind: JoinKind, right_width: int, index: dict[str, int]):
+                 kind: JoinKind, right_width: int, index: dict[str, int]) -> None:
         super().__init__()
         self.left = left
         self.right = right
@@ -471,7 +478,7 @@ class HashJoin(PhysicalOperator):
         self._residual_fn = None
         self._fn_compiled: bool | None = None
 
-    def children(self):
+    def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.left, self.right)
 
     def _reset(self) -> None:
@@ -496,7 +503,7 @@ class HashJoin(PhysicalOperator):
                 table.setdefault(key, []).append(right)
         return table
 
-    def _residual(self):
+    def _residual(self) -> BatchFilter | None:
         if self.residual is None:
             return None
         flag = self.engine.compile_expressions
@@ -563,7 +570,7 @@ class NestedLoopJoin(PhysicalOperator):
 
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
                  condition: Expr | None, kind: JoinKind, right_width: int,
-                 index: dict[str, int]):
+                 index: dict[str, int]) -> None:
         super().__init__()
         self.left = left
         self.right = right
@@ -576,7 +583,7 @@ class NestedLoopJoin(PhysicalOperator):
         self._pred_needs_ctx = True
         self._pred_compiled: bool | None = None
 
-    def children(self):
+    def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.left, self.right)
 
     def _reset(self) -> None:
@@ -595,7 +602,7 @@ class NestedLoopJoin(PhysicalOperator):
                 return rows
             rows.extend(batch)
 
-    def _predicate(self):
+    def _predicate(self) -> RowCompiled:
         flag = self.engine.compile_expressions
         if self._pred is None or self._pred_compiled is not flag:
             if flag:
@@ -678,7 +685,7 @@ class IndexNestedLoopJoin(PhysicalOperator):
                  right_names: tuple[str, ...], left_position: int,
                  right_column: str, right_position: int,
                  residual: Expr | None, kind: JoinKind,
-                 index: dict[str, int]):
+                 index: dict[str, int]) -> None:
         super().__init__()
         self.left = left
         self.table = table
@@ -696,7 +703,7 @@ class IndexNestedLoopJoin(PhysicalOperator):
         self._residual_fn = None
         self._fn_compiled: bool | None = None
 
-    def children(self):
+    def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.left,)
 
     def _reset(self) -> None:
@@ -720,7 +727,7 @@ class IndexNestedLoopJoin(PhysicalOperator):
         self._index_obj = None
         self._fallback = None
 
-    def _probe(self, key) -> list[tuple]:
+    def _probe(self, key: Any) -> list[tuple]:
         if key is None:
             return []
         if self._index_obj is not None:
@@ -733,7 +740,7 @@ class IndexNestedLoopJoin(PhysicalOperator):
                 return []
         return self._fallback.get(key, [])
 
-    def _residual(self):
+    def _residual(self) -> BatchFilter | None:
         if self.residual is None:
             return None
         flag = self.engine.compile_expressions
@@ -797,7 +804,7 @@ class HashAggregate(PhysicalOperator):
 
     def __init__(self, child: PhysicalOperator, group: tuple[str, ...],
                  group_positions: tuple[int, ...], aggregates: tuple,
-                 index: dict[str, int]):
+                 index: dict[str, int]) -> None:
         super().__init__()
         self.child = child
         self.group = group
@@ -809,7 +816,7 @@ class HashAggregate(PhysicalOperator):
         self._result: list[tuple] | None = None
         self._pos = 0
 
-    def children(self):
+    def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.child,)
 
     def _reset(self) -> None:
@@ -819,7 +826,7 @@ class HashAggregate(PhysicalOperator):
     def _release(self) -> None:
         self._result = None
 
-    def _fns(self):
+    def _fns(self) -> list[BatchValues | None]:
         flag = self.engine.compile_expressions
         if self._arg_fns is None or self._fn_compiled is not flag:
             self._arg_fns = [
@@ -895,7 +902,7 @@ class SetOperation(PhysicalOperator):
 
     def __init__(self, kind: SetOpKind, all_: bool,
                  left: PhysicalOperator, right: PhysicalOperator,
-                 schema: Schema):
+                 schema: Schema) -> None:
         super().__init__()
         self.kind = kind
         self.all = all_
@@ -906,7 +913,7 @@ class SetOperation(PhysicalOperator):
         self._pos = 0
         self._streaming_right = False
 
-    def children(self):
+    def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.left, self.right)
 
     def _reset(self) -> None:
@@ -976,7 +983,7 @@ class SortNode(PhysicalOperator):
     __slots__ = ("child", "keys", "index", "_result", "_pos")
 
     def __init__(self, child: PhysicalOperator, keys: tuple[SortKey, ...],
-                 index: dict[str, int]):
+                 index: dict[str, int]) -> None:
         super().__init__()
         self.child = child
         self.keys = keys
@@ -984,7 +991,7 @@ class SortNode(PhysicalOperator):
         self._result: list[tuple] | None = None
         self._pos = 0
 
-    def children(self):
+    def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.child,)
 
     def _reset(self) -> None:
@@ -1028,7 +1035,7 @@ class StreamingLimit(PhysicalOperator):
                  "_done")
 
     def __init__(self, child: PhysicalOperator, count: int | None,
-                 offset: int):
+                 offset: int) -> None:
         super().__init__()
         self.child = child
         self.count = count
@@ -1037,7 +1044,7 @@ class StreamingLimit(PhysicalOperator):
         self._emitted = 0
         self._done = False
 
-    def children(self):
+    def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.child,)
 
     def _reset(self) -> None:
@@ -1081,7 +1088,7 @@ class StreamingLimit(PhysicalOperator):
 # ---------------------------------------------------------------------------
 
 def explain_physical(plan: "PhysicalPlan | PhysicalOperator",
-                     stats=None) -> str:
+                     stats: ExecutionStats | None = None) -> str:
     """Multi-line, indented rendering of a physical plan.
 
     Nodes lowered with a catalog in hand carry the cost model's
@@ -1115,7 +1122,8 @@ def _format_estimate(value: float) -> str:
 
 
 def _render(node: PhysicalOperator, indent: int, lines: list[str],
-            stats, tagged: bool = False) -> None:
+            stats: ExecutionStats | None,
+            tagged: bool = False) -> None:
     pad = "  " * indent
     text = pad + node.label()
     if tagged:

@@ -18,7 +18,7 @@ re-enters the interpreter.
 from __future__ import annotations
 
 from time import perf_counter_ns
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
 
 from ..catalog import Catalog
 from ..algebra.operators import Operator
@@ -44,7 +44,7 @@ class PipelineEngine:
                  collect_stats: bool, stats: ExecutionStats,
                  batch_size: int = 1024, use_indexes: bool = True,
                  max_parallel_workers: int = 0,
-                 parallel_threshold: int = 10000):
+                 parallel_threshold: int = 10000) -> None:
         self.catalog = catalog
         self.compile_expressions = compile_expressions
         self.collect_stats = collect_stats
@@ -92,7 +92,7 @@ class PipelineEngine:
         return Relation.from_trusted_rows(plan.schema, rows)
 
     def stream_physical(self, plan: PhysicalPlan,
-                        params: Iterable[Any] = ()):
+                        params: Iterable[Any] = ()) -> "Iterator[list[tuple]]":
         """Run an already-lowered plan as a lazy generator of row
         batches — the streaming sink behind
         :class:`repro.api.result.Result`.

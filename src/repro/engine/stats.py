@@ -9,6 +9,10 @@ in for ``EXPLAIN ANALYZE``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from .physical import PhysicalOperator
 
 
 @dataclass
@@ -82,11 +86,11 @@ class ExecutionStats:
     operator_timings: dict[str, float] = field(default_factory=dict)
     node_stats: dict[int, NodeStats] = field(default_factory=dict)
 
-    def bump(self, op) -> None:
+    def bump(self, op: PhysicalOperator) -> None:
         name = type(op).__name__
         self.operator_evals[name] = self.operator_evals.get(name, 0) + 1
 
-    def node(self, node) -> NodeStats:
+    def node(self, node: PhysicalOperator) -> NodeStats:
         """The :class:`NodeStats` entry for a physical *node*."""
         key = id(node)
         entry = self.node_stats.get(key)

@@ -29,13 +29,13 @@ do not model).
 
 from __future__ import annotations
 
-from typing import Any, Iterable
+from typing import Any, Iterable, Iterator
 
 from ..algebra.operators import JoinKind, SetOpKind
 from ..expressions.aggregates import make_accumulator
 from ..expressions.ast import Col, Expr
 from ..expressions.compiler import (
-    compile_vector_predicate, compile_vector_values,
+    VectorPredicate, compile_vector_predicate, compile_vector_values,
 )
 from ..expressions.printer import format_expr
 from ..relation import Relation
@@ -70,16 +70,16 @@ class RowsFromColumns(PhysicalOperator):
 
     is_bridge = True
 
-    def __init__(self, child: PhysicalOperator):
+    def __init__(self, child: PhysicalOperator) -> None:
         super().__init__()
         self.child = child
         self.est_rows = child.est_rows
         self.est_cost = child.est_cost
 
-    def children(self):
+    def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.child,)
 
-    def next_batch(self):
+    def next_batch(self) -> list | None:
         batch = self.engine.pull(self.child)
         if batch is None:
             return None
@@ -97,16 +97,16 @@ class ColumnsFromRows(VectorOperator):
 
     is_bridge = True
 
-    def __init__(self, child: PhysicalOperator):
+    def __init__(self, child: PhysicalOperator) -> None:
         super().__init__()
         self.child = child
         self.est_rows = child.est_rows
         self.est_cost = child.est_cost
 
-    def children(self):
+    def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.child,)
 
-    def next_batch(self):
+    def next_batch(self) -> ColumnBatch | None:
         batch = self.engine.pull(self.child)
         if batch is None:
             return None
@@ -127,7 +127,7 @@ class VTableScan(VectorOperator):
 
     __slots__ = ("table", "alias", "names", "_columns", "_nrows", "_pos")
 
-    def __init__(self, table: str, alias: str, names: tuple[str, ...]):
+    def __init__(self, table: str, alias: str, names: tuple[str, ...]) -> None:
         super().__init__()
         self.table = table
         self.alias = alias
@@ -145,7 +145,7 @@ class VTableScan(VectorOperator):
     def _release(self) -> None:
         self._columns = []
 
-    def next_batch(self):
+    def next_batch(self) -> ColumnBatch | None:
         if self._pos >= self._nrows:
             return None
         end = min(self._pos + self.engine.batch_size, self._nrows)
@@ -163,7 +163,7 @@ class VValuesScan(VectorOperator):
 
     __slots__ = ("rows", "names", "_columns", "_pos")
 
-    def __init__(self, rows: list[tuple], names: tuple[str, ...]):
+    def __init__(self, rows: list[tuple], names: tuple[str, ...]) -> None:
         super().__init__()
         self.rows = rows
         self.names = names
@@ -176,7 +176,7 @@ class VValuesScan(VectorOperator):
                 self.rows, len(self.names)).columns
         self._pos = 0
 
-    def next_batch(self):
+    def next_batch(self) -> ColumnBatch | None:
         if self._pos >= len(self.rows):
             return None
         end = min(self._pos + self.engine.batch_size, len(self.rows))
@@ -198,16 +198,17 @@ class VFilter(VectorOperator):
 
     __slots__ = ("child", "condition", "kernel")
 
-    def __init__(self, child: PhysicalOperator, condition: Expr, kernel):
+    def __init__(self, child: PhysicalOperator, condition: Expr,
+                 kernel: VectorPredicate) -> None:
         super().__init__()
         self.child = child
         self.condition = condition
         self.kernel = kernel
 
-    def children(self):
+    def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.child,)
 
-    def next_batch(self):
+    def next_batch(self) -> ColumnBatch | None:
         engine = self.engine
         kernel = self.kernel
         params = engine.params
@@ -232,7 +233,7 @@ class VProject(VectorOperator):
                  "_seen")
 
     def __init__(self, child: PhysicalOperator, items: tuple,
-                 distinct: bool, plan: list):
+                 distinct: bool, plan: list) -> None:
         super().__init__()
         self.child = child
         self.items = items
@@ -244,13 +245,13 @@ class VProject(VectorOperator):
             self._positions = None
         self._seen: dict | None = None
 
-    def children(self):
+    def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.child,)
 
     def _reset(self) -> None:
         self._seen = {} if self.distinct else None
 
-    def next_batch(self):
+    def next_batch(self) -> ColumnBatch | None:
         engine = self.engine
         positions = self._positions
         while True:
@@ -310,8 +311,9 @@ class VHashJoin(VectorOperator):
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
                  left_positions: tuple[int, ...],
                  right_positions: tuple[int, ...],
-                 residual: Expr | None, residual_kernel,
-                 kind: JoinKind, right_width: int):
+                 residual: Expr | None,
+                 residual_kernel: VectorPredicate | None,
+                 kind: JoinKind, right_width: int) -> None:
         super().__init__()
         self.left = left
         self.right = right
@@ -325,7 +327,7 @@ class VHashJoin(VectorOperator):
         self._right_cols: list[Column] | None = None
         self._sentinel = -1
 
-    def children(self):
+    def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.left, self.right)
 
     def _reset(self) -> None:
@@ -390,7 +392,7 @@ class VHashJoin(VectorOperator):
                             for c in range(width)]
         self._table = table
 
-    def next_batch(self):
+    def next_batch(self) -> ColumnBatch | None:
         if self._table is None:
             self._build()
         engine = self.engine
@@ -446,8 +448,10 @@ class VHashJoin(VectorOperator):
                             for column in self._right_cols]
             return ColumnBatch(out_columns, range(len(out_left)))
 
-    def _probe_residual(self, batch, table, kernel, pad_left, sentinel,
-                        out_left, out_right) -> None:
+    def _probe_residual(self, batch: ColumnBatch, table: dict,
+                        kernel: VectorPredicate, pad_left: bool,
+                        sentinel: Any, out_left: list[int],
+                        out_right: list[int]) -> None:
         """Collect candidate pairs, run the residual kernel once over the
         whole candidate set, then merge survivors span by span so output
         order (and LEFT padding) matches the row engine exactly."""
@@ -524,7 +528,7 @@ class VHashAggregate(VectorOperator):
 
     def __init__(self, child: PhysicalOperator, group: tuple[str, ...],
                  group_positions: tuple[int, ...], aggregates: tuple,
-                 arg_kernels: list):
+                 arg_kernels: list) -> None:
         super().__init__()
         self.child = child
         self.group = group
@@ -534,7 +538,7 @@ class VHashAggregate(VectorOperator):
         self._result: list[tuple] | None = None
         self._pos = 0
 
-    def children(self):
+    def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.child,)
 
     def _reset(self) -> None:
@@ -592,7 +596,7 @@ class VHashAggregate(VectorOperator):
         return [key + tuple(acc.result() for acc in accumulators)
                 for key, accumulators in groups.items()]
 
-    def next_batch(self):
+    def next_batch(self) -> ColumnBatch | None:
         if self._result is None:
             self._result = self._aggregate()
             self._pos = 0
@@ -623,8 +627,8 @@ class VNestedLoopJoin(VectorOperator):
                  "right_width", "_right_cols", "_nright")
 
     def __init__(self, left: PhysicalOperator, right: PhysicalOperator,
-                 condition: Expr | None, kernel, kind: JoinKind,
-                 right_width: int):
+                 condition: Expr | None, kernel: VectorPredicate | None,
+                 kind: JoinKind, right_width: int) -> None:
         super().__init__()
         self.left = left
         self.right = right
@@ -635,7 +639,7 @@ class VNestedLoopJoin(VectorOperator):
         self._right_cols: list[Column] | None = None
         self._nright = 0
 
-    def children(self):
+    def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.left, self.right)
 
     def _reset(self) -> None:
@@ -678,7 +682,7 @@ class VNestedLoopJoin(VectorOperator):
         self._right_cols = [Column(values[c], kinds[c] or "any", nulls[c])
                             for c in range(width)]
 
-    def next_batch(self):
+    def next_batch(self) -> ColumnBatch | None:
         if self._right_cols is None:
             self._materialize_right()
         engine = self.engine
@@ -758,7 +762,7 @@ class VSort(VectorOperator):
                  "_order", "_pos")
 
     def __init__(self, child: PhysicalOperator, keys: tuple,
-                 index: dict[str, int], kernels: list):
+                 index: dict[str, int], kernels: list) -> None:
         super().__init__()
         self.child = child
         self.keys = keys
@@ -768,7 +772,7 @@ class VSort(VectorOperator):
         self._order: list[int] = []
         self._pos = 0
 
-    def children(self):
+    def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.child,)
 
     def _reset(self) -> None:
@@ -825,7 +829,7 @@ class VSort(VectorOperator):
                          for c in range(len(values))]
         self._order = order
 
-    def next_batch(self):
+    def next_batch(self) -> ColumnBatch | None:
         if self._columns is None:
             self._collect()
             self._pos = 0
@@ -848,19 +852,19 @@ class VUnionAll(VectorOperator):
 
     __slots__ = ("left", "right", "_right_phase")
 
-    def __init__(self, left: PhysicalOperator, right: PhysicalOperator):
+    def __init__(self, left: PhysicalOperator, right: PhysicalOperator) -> None:
         super().__init__()
         self.left = left
         self.right = right
         self._right_phase = False
 
-    def children(self):
+    def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.left, self.right)
 
     def _reset(self) -> None:
         self._right_phase = False
 
-    def next_batch(self):
+    def next_batch(self) -> ColumnBatch | None:
         if not self._right_phase:
             batch = self.engine.pull(self.left)
             if batch is not None:
@@ -880,7 +884,7 @@ class VLimit(VectorOperator):
                  "_done")
 
     def __init__(self, child: PhysicalOperator, count: int | None,
-                 offset: int):
+                 offset: int) -> None:
         super().__init__()
         self.child = child
         self.count = count
@@ -889,7 +893,7 @@ class VLimit(VectorOperator):
         self._emitted = 0
         self._done = False
 
-    def children(self):
+    def children(self) -> tuple[PhysicalOperator, ...]:
         return (self.child,)
 
     def _reset(self) -> None:
@@ -897,7 +901,7 @@ class VLimit(VectorOperator):
         self._emitted = 0
         self._done = False
 
-    def next_batch(self):
+    def next_batch(self) -> ColumnBatch | None:
         if self._done:
             return None
         if self.count is not None and self._emitted >= self.count:
@@ -938,7 +942,8 @@ def _copy_est(new: PhysicalOperator, old: PhysicalOperator) -> None:
     new.est_cost = old.est_cost
 
 
-def _bridge_to_rows(child: PhysicalOperator, vector, compute: bool
+def _bridge_to_rows(child: PhysicalOperator,
+                    vector: PhysicalOperator | None, compute: bool
                     ) -> PhysicalOperator:
     """The row-format version of a child: its vectorized subtree behind a
     transposing bridge when that subtree does real vector work, else the
@@ -949,7 +954,24 @@ def _bridge_to_rows(child: PhysicalOperator, vector, compute: bool
     return child
 
 
-def _vectorize(node: PhysicalOperator):
+#: Physical operators that deliberately stay row-format, with the reason.
+#: Every concrete plan node must either be handled by :func:`_vectorize`
+#: or appear here — the ``exhaustiveness-physical`` analysis rule fails
+#: the build otherwise, so a new operator cannot silently skip the
+#: columnar engine without an explicit entry.
+ROW_ONLY_FALLBACK: dict[str, str] = {
+    "IndexScan": "point/small-range lookups emit too few rows for "
+                 "column batches to pay for the transposition",
+    "IndexNestedLoopJoin": "probes the inner index one outer row at a "
+                           "time; there is no whole-column formulation",
+    "PartitionScan": "emits stored-order row slices straight off the "
+                     "partition map; batches would be rebuilt per part",
+    "Gather": "exchange boundary: fragments ship encoded rows between "
+              "processes, vector work happens inside the fragments",
+}
+
+
+def _vectorize(node: PhysicalOperator) -> tuple[PhysicalOperator | None, bool]:
     """Recursively build a columnar version of *node*'s subtree.
 
     Returns ``(vector, compute)``: *vector* is a columnar-format
@@ -1181,7 +1203,8 @@ class VectorizedEngine(PipelineEngine):
         return super().execute_physical(plan, params)
 
     def stream_physical(self, plan: PhysicalPlan,
-                        params: Iterable[Any] = ()):
+                        params: Iterable[Any] = ()
+                        ) -> Iterator[list[tuple]]:
         self._prepare(plan)
         return super().stream_physical(plan, params)
 

@@ -535,6 +535,8 @@ class ReadyForQuery:
         return frame(b"Z", _Writer().byte(ord(self.status)).out)
 
 
+# repro: allow(exhaustiveness-wire) - not a frame of its own: one
+# column's slice of RowDescription, encoded inline by its encode().
 @dataclass(frozen=True)
 class FieldDescription:
     name: str

@@ -158,7 +158,9 @@ class Server:
         for client in list(self._clients):
             try:
                 client.writer.write(shutdown)
-            except Exception:
+            except (OSError, RuntimeError):
+                # transport already closed or closing mid-shutdown; the
+                # client is being disconnected either way
                 pass
             if client.task is not None:
                 client.task.cancel()
@@ -200,6 +202,9 @@ class Server:
             pass
         except ProtocolError as exc:
             await self._send_error(writer, exc, fatal=True)
+        # repro: allow(hygiene-broad-except) - last-resort net: log the
+        # failure and drop this one connection rather than letting an
+        # unexpected bug take down the accept loop for every client
         except Exception:                      # pragma: no cover - safety net
             log.exception("unexpected error in connection handler")
         finally:

@@ -19,6 +19,8 @@ The durable modules import :mod:`repro.catalog` (which itself imports
 package import acyclic.
 """
 
+from typing import Any
+
 from .index import HashIndex, SecondaryIndex, SortedIndex, build_index
 
 __all__ = [
@@ -34,7 +36,7 @@ _LAZY = {
 }
 
 
-def __getattr__(name: str):
+def __getattr__(name: str) -> Any:
     try:
         module_name, attr = _LAZY[name]
     except KeyError:

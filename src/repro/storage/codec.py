@@ -36,6 +36,9 @@ from ..errors import StorageError
 from ..schema import Attribute, Schema
 from ..stats.collect import ColumnStats, TableStats
 
+#: What the decode side reads from: raw bytes or an mmap'ed view.
+ReadBuffer = bytes | memoryview
+
 #: Sanity bound on a single record's payload (1 GiB); a larger length
 #: field is treated as corruption, not an allocation request.
 MAX_RECORD_BYTES = 1 << 30
@@ -67,7 +70,7 @@ def encode_varint(out: bytearray, value: int) -> None:
             return
 
 
-def decode_varint(buf, pos: int) -> tuple[int, int]:
+def decode_varint(buf: ReadBuffer, pos: int) -> tuple[int, int]:
     """Read a varint at *pos*; returns ``(value, next_pos)``."""
     result = 0
     shift = 0
@@ -114,7 +117,7 @@ def encode_value(out: bytearray, value: Any) -> None:
             f"the SQL value model is NULL/bool/int/float/str")
 
 
-def decode_value(buf, pos: int) -> tuple[Any, int]:
+def decode_value(buf: ReadBuffer, pos: int) -> tuple[Any, int]:
     """Read one SQL value at *pos*; returns ``(value, next_pos)``."""
     if pos >= len(buf):
         raise StorageError("truncated value")
@@ -156,7 +159,7 @@ def encode_str(out: bytearray, text: str) -> None:
     out += body
 
 
-def decode_str(buf, pos: int) -> tuple[str, int]:
+def decode_str(buf: ReadBuffer, pos: int) -> tuple[str, int]:
     length, pos = decode_varint(buf, pos)
     end = pos + length
     if end > len(buf):
@@ -176,7 +179,7 @@ def encode_row(out: bytearray, row: Sequence[Any]) -> None:
         encode_value(out, value)
 
 
-def decode_row(buf, pos: int) -> tuple[tuple, int]:
+def decode_row(buf: ReadBuffer, pos: int) -> tuple[tuple, int]:
     arity, pos = decode_varint(buf, pos)
     values = []
     for _ in range(arity):
@@ -450,7 +453,7 @@ def encode_schema(out: bytearray, schema: Schema) -> None:
         encode_str(out, attribute.type.value)
 
 
-def decode_schema(buf, pos: int) -> tuple[Schema, int]:
+def decode_schema(buf: ReadBuffer, pos: int) -> tuple[Schema, int]:
     count, pos = decode_varint(buf, pos)
     attributes = []
     for _ in range(count):
@@ -466,7 +469,7 @@ def decode_schema(buf, pos: int) -> tuple[Schema, int]:
     return Schema(attributes), pos
 
 
-def _decode_float(buf, pos: int) -> tuple[float, int]:
+def _decode_float(buf: ReadBuffer, pos: int) -> tuple[float, int]:
     end = pos + 8
     if end > len(buf):
         raise StorageError("truncated float")
@@ -492,7 +495,7 @@ def encode_table_stats(out: bytearray, stats: TableStats) -> None:
             out += _FLOAT.pack(frequency)
 
 
-def decode_table_stats(buf, pos: int) -> tuple[TableStats, int]:
+def decode_table_stats(buf: ReadBuffer, pos: int) -> tuple[TableStats, int]:
     table, pos = decode_str(buf, pos)
     row_count, pos = decode_varint(buf, pos)
     column_count, pos = decode_varint(buf, pos)
@@ -528,7 +531,7 @@ _AST_MODULES = ("repro.sql.ast", "repro.expressions.ast")
 
 
 class _AstUnpickler(pickle.Unpickler):
-    def find_class(self, module: str, name: str):
+    def find_class(self, module: str, name: str) -> Any:
         if module in _AST_MODULES and not name.startswith("_"):
             return super().find_class(module, name)
         raise StorageError(

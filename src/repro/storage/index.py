@@ -42,7 +42,7 @@ class SecondaryIndex:
     kind = "abstract"
 
     def __init__(self, name: str, table: str, column: str, position: int,
-                 unique: bool = False):
+                 unique: bool = False) -> None:
         self.name = name
         self.table = table
         self.column = column
@@ -153,7 +153,7 @@ class HashIndex(SecondaryIndex):
     kind = "hash"
 
     def __init__(self, name: str, table: str, column: str, position: int,
-                 unique: bool = False):
+                 unique: bool = False) -> None:
         super().__init__(name, table, column, position, unique)
         self._buckets: dict[Any, list[tuple]] = {}
 
@@ -232,7 +232,7 @@ class SortedIndex(SecondaryIndex):
     kind = "sorted"
 
     def __init__(self, name: str, table: str, column: str, position: int,
-                 unique: bool = False):
+                 unique: bool = False) -> None:
         super().__init__(name, table, column, position, unique)
         self._entries: list[tuple[Any, tuple]] = []
 

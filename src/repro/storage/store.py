@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import os
 from pathlib import Path
+from typing import BinaryIO
 
 try:
     import fcntl
@@ -48,7 +49,7 @@ WAL_FILE = "wal.bin"
 LOCK_FILE = "lock"
 
 
-def _acquire_dir_lock(path: Path):
+def _acquire_dir_lock(path: Path) -> "BinaryIO | None":
     """An exclusive advisory lock on ``<path>/lock``, or StorageError.
 
     Two engines appending to one WAL would fork the LSN sequence and
@@ -72,7 +73,8 @@ def _acquire_dir_lock(path: Path):
 class DurableStore:
     """Filesystem state behind one durable :class:`~repro.api.Engine`."""
 
-    def __init__(self, path: str | Path, durability: str = "commit"):
+    def __init__(self, path: str | Path,
+                 durability: str = "commit") -> None:
         self.path = Path(path)
         self.durability = durability
         self.last_lsn = 0

@@ -206,6 +206,9 @@ def encode_commit_ops(ops: list[tuple]) -> bytes:
 
 # -- replaying ops -----------------------------------------------------------
 
+# repro: allow(lock-discipline) - replay mutates a catalog that is
+# private to the recovery pass: DurableStore.open rebuilds it before
+# the Engine (and its RWLock) exists or any session can see it.
 def _apply_rows_delta(catalog: Catalog, name: str,
                       deleted: list[tuple], inserted: list[tuple],
                       dirty: "set[str] | None") -> None:
@@ -259,7 +262,10 @@ def rebuild_dirty_indexes(catalog: Catalog, dirty: "set[str]") -> None:
             index.build(rows)
 
 
-def apply_commit_ops(catalog: Catalog, payload, pos: int,
+# repro: allow(lock-discipline) - same as _apply_rows_delta: the
+# catalog being replayed into is recovery-private, not yet shared.
+def apply_commit_ops(catalog: Catalog, payload: "bytes | memoryview",
+                     pos: int,
                      dirty: "set[str] | None" = None) -> None:
     """Replay one commit record's ops (payload after the LSN) onto
     *catalog*.

@@ -491,6 +491,42 @@ class TestShutdown:
 
         asyncio.run(_boot(scenario))
 
+    def test_stop_tolerates_already_closed_client_transport(self):
+        # the shutdown notice is written to every client; a transport
+        # torn down mid-stop raises OSError/RuntimeError, which must
+        # not abort the rest of the shutdown sequence
+        from repro.server.server import _Client
+
+        class _DeadWriter:
+            def write(self, data):
+                raise RuntimeError(
+                    "unable to perform operation on closed transport")
+
+        async def scenario(server):
+            server._clients.add(_Client(_DeadWriter(), task=None))
+            await server.stop()
+            assert server._stopped
+
+        asyncio.run(_boot(scenario))
+
+    def test_stop_does_not_swallow_unexpected_write_failures(self):
+        # the teardown handler is typed: a bug that surfaces as
+        # anything other than a transport error must propagate, not
+        # vanish into a broad except
+        from repro.server.server import _Client
+
+        class _BuggyWriter:
+            def write(self, data):
+                raise ZeroDivisionError("handler bug")
+
+        async def scenario(server):
+            server._clients.add(_Client(_BuggyWriter(), task=None))
+            with pytest.raises(ZeroDivisionError):
+                await server.stop()
+            server._clients.clear()
+
+        asyncio.run(_boot(scenario))
+
 
 async def _boot(scenario):
     server = await Server(ServerConfig(port=0)).start()
