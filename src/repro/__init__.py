@@ -82,6 +82,7 @@ from .errors import (
     ReproError,
     RewriteError,
     SchemaError,
+    SerializationError,
     ServerShutdownError,
     SQLSyntaxError,
     StorageError,
@@ -117,7 +118,7 @@ __all__ = [
     "IntegrityError", "InterfaceError", "InternalError",
     "NotSupportedError", "OperationalError", "ProgrammingError",
     "ProtocolError", "ReproError", "RewriteError", "SQLSyntaxError",
-    "SchemaError", "ServerShutdownError",
+    "SchemaError", "SerializationError", "ServerShutdownError",
     "StorageError", "TransactionError", "UnsupportedFeatureError",
     "Warning",
     "__version__",

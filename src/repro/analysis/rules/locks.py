@@ -19,6 +19,19 @@ acquired in the parent may be held by a thread that does not survive
 that fsyncs the parent's WAL fd corrupts commit ordering.  Everything
 reachable from the worker entry points (``_worker_main``) is checked
 for lock acquisition, ``os.fork`` and ``os.fsync``.
+
+``lock-tables`` — *the commit section runs under the per-name commit
+locks* (the PR-10 invariant).  ``validate_commit`` and
+``publish_commit`` mutate or judge live-catalog entries named by a
+transaction's conflict set; a path into them that does not pass
+through a ``table_locks.acquire(...)`` holder would let two commits
+interleave on the same table.
+
+``lock-flusher`` — *the group-commit flusher owns only the WAL tail.*
+Committers block on the flusher thread while holding their commit
+locks, so anything reachable from ``_flush_loop`` that touches the
+catalog or takes an engine lock is a deadlock or a data race by
+construction.
 """
 
 from __future__ import annotations
@@ -169,10 +182,27 @@ def _shared_receiver(info: FunctionInfo, call: CallSite, path: str,
     return False
 
 
+def acquires_table_locks(info: FunctionInfo, attr: str) -> bool:
+    """Whether the function takes the per-name commit locks:
+    ``with ...<attr>.acquire(keys):`` (or a bare ``.acquire()`` call on
+    the manager)."""
+    needle = f"{attr}."
+    for item in info.facts.with_items:
+        if item.is_call and item.path.rpartition(".")[2] == "acquire" \
+                and needle in item.path:
+            return True
+    for call in info.facts.calls:
+        if call.terminal == "acquire" and needle in call.path:
+            return True
+    return False
+
+
 @rule("lock-discipline")
 def check_lock_discipline(ctx: RuleContext) -> None:
     project, graph = ctx.project, ctx.graph
     _check_fork_side(ctx, graph)
+    _check_commit_section(ctx, graph)
+    _check_flusher_side(ctx, graph)
     mutators = shared_mutator_methods(ctx)
     if not mutators:
         return
@@ -207,6 +237,70 @@ def check_lock_discipline(ctx: RuleContext) -> None:
                 f"mutates shared state via '{path}' but is reachable "
                 f"without the engine write lock; wrap the call path in "
                 f"'with engine.lock.write():' (or take it in a caller)")
+
+
+def _check_commit_section(ctx: RuleContext, graph: CallGraph) -> None:
+    """``lock-tables``: the validate/publish half of a commit must be
+    unreachable except through a holder of the per-name commit locks."""
+    project = ctx.project
+    attr = ctx.config.table_lock_attr
+    targets = [info for info in project.functions.values()
+               if info.name in ctx.config.commit_section_functions]
+    if not targets:
+        return
+    acquirers = frozenset(
+        qualname for qualname, info in project.functions.items()
+        if acquires_table_locks(info, attr))
+    entries = [e for e in graph.entry_points() if e not in acquirers]
+    for info in targets:
+        if info.qualname in acquirers:
+            continue
+        if any(graph.reaches_avoiding(entry, info.qualname, acquirers)
+               for entry in entries):
+            ctx.emit(
+                "lock-tables", info.module, info.lineno, info.qualname,
+                f"commit-section function is reachable without the "
+                f"per-name commit locks; every path into it must pass "
+                f"through 'with engine.{attr}.acquire(diff.lock_keys):'")
+
+
+def _check_flusher_side(ctx: RuleContext, graph: CallGraph) -> None:
+    """``lock-flusher``: nothing reachable from the group-commit
+    flusher thread may touch the catalog or take an engine lock —
+    committers block on the flusher while holding their commit locks."""
+    project = ctx.project
+    flusher_roots = [
+        info.qualname for info in project.functions.values()
+        if info.name in ctx.config.flusher_entries]
+    if not flusher_roots:
+        return
+    shared = frozenset(ctx.config.shared_state_classes) - \
+        frozenset({"DurableStore"})     # the flusher lives *in* the store
+    for qualname in sorted(graph.reachable(flusher_roots)):
+        info = project.functions[qualname]
+        if _annotated_params(info, project, shared):
+            ctx.emit(
+                "lock-flusher", info.module, info.lineno, qualname,
+                "declares a Catalog/PlanCache parameter on the flusher "
+                "side; the flusher owns only the WAL tail — catalog "
+                "state belongs to committers under their commit locks")
+        for call in info.facts.calls:
+            path = _expand_alias(info, call.path)
+            receiver = path.split(".")[:-1]
+            if "catalog" in receiver:
+                ctx.emit(
+                    "lock-flusher", info.module, call.lineno, qualname,
+                    f"touches the catalog via '{path}' from the "
+                    f"group-commit flusher thread; committers block on "
+                    f"the flusher while holding their commit locks, so "
+                    f"this is a data race (or a deadlock) by "
+                    f"construction")
+            if "engine" in receiver and _lockish(path):
+                ctx.emit(
+                    "lock-flusher", info.module, call.lineno, qualname,
+                    f"takes an engine lock via '{path}' from the "
+                    f"group-commit flusher thread — a committer "
+                    f"blocked on the flusher may hold it: deadlock")
 
 
 def _check_fork_side(ctx: RuleContext, graph: CallGraph) -> None:

@@ -89,6 +89,29 @@ class SessionConfig:
         directory opens, so ``engine.connect()`` rejects a session
         override that disagrees with it.  Ignored by purely in-memory
         engines.
+    ``group_commit_ms``
+        Group-commit linger window, in milliseconds.  Commit records
+        are always flushed by one background flusher thread that
+        batches whatever is queued when it wakes — concurrent
+        committers already share one fsync with ``0`` (the default).
+        A positive value makes the flusher *wait* that long after the
+        first record arrives so more committers can join the batch:
+        higher commit latency, fewer fsyncs under sustained load.
+        Engine-level, fixed when the store opens.
+    ``commit_locking``
+        Commit concurrency mode.  ``"table"`` (the default): a commit
+        locks only its conflict set through the per-name lock manager,
+        so disjoint-table transactions validate and publish in
+        parallel.  ``"global"``: every commit takes the commit
+        barrier's write side — the pre-lock-manager behavior, kept as
+        the benchmark baseline and a belt-and-braces escape hatch.
+        Engine-level (the locks live on the shared engine).
+    ``checkpoint_wal_mb``
+        WAL size budget, in MiB, that triggers a *background*
+        checkpoint on a durable engine (the flusher signals a
+        dedicated thread; committers never compact the log
+        themselves).  ``0`` disables automatic checkpointing — only
+        explicit ``CHECKPOINT`` compacts.  Engine-level.
     ``max_parallel_workers``
         Upper bound on worker processes a single query may fan out to
         through the exchange operators (:mod:`repro.engine.parallel`).
@@ -116,6 +139,9 @@ class SessionConfig:
     use_indexes: bool = True
     autocommit: bool = True
     durability: str = "commit"
+    group_commit_ms: float = 0.0
+    commit_locking: str = "table"
+    checkpoint_wal_mb: int = 64
     max_parallel_workers: int = field(
         default_factory=lambda: _env_int("REPRO_PARALLEL", 0))
     parallel_threshold: int = field(
@@ -141,6 +167,18 @@ class SessionConfig:
             raise InterfaceError(
                 f"unknown durability {self.durability!r}; expected one "
                 f"of ['off', 'commit', 'checkpoint']")
+        if self.group_commit_ms < 0:
+            raise InterfaceError(
+                f"group_commit_ms must be >= 0, got "
+                f"{self.group_commit_ms}")
+        if self.commit_locking not in ("table", "global"):
+            raise InterfaceError(
+                f"unknown commit_locking {self.commit_locking!r}; "
+                f"expected one of ['table', 'global']")
+        if self.checkpoint_wal_mb < 0:
+            raise InterfaceError(
+                f"checkpoint_wal_mb must be >= 0, got "
+                f"{self.checkpoint_wal_mb}")
         if self.max_parallel_workers < 0:
             raise InterfaceError(
                 f"max_parallel_workers must be >= 0, got "

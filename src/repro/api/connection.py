@@ -52,6 +52,7 @@ from ..catalog import Catalog
 from ..datatypes import SQLType
 from ..errors import (
     AnalyzerError, InterfaceError, ProgrammingError, ReproError,
+    SerializationError,
 )
 from ..engine import ExecutionStats, Executor
 from ..expressions.ast import Expr
@@ -77,6 +78,11 @@ from .plan_cache import CachedPlan, PlanCache
 from .prepared import PreparedStatement, check_arity
 from .result import Result
 from .transaction import Transaction
+
+#: Upper bound on autocommit statement retries after serialization
+#: conflicts.  Each retry means a concurrent commit made progress, so
+#: this is a livelock tripwire, not a latency budget.
+_AUTOCOMMIT_RETRIES = 1000
 
 if TYPE_CHECKING:
     from ..engine.physical import PhysicalPlan
@@ -438,6 +444,10 @@ class Connection:
         step, and a unique violation rolls the whole statement back.
         """
         self._check_open()
+        # materialized up front: the autocommit path may retry the
+        # statement after a serialization conflict, and a generator
+        # argument would arrive exhausted on the second attempt
+        rows = list(rows)
         return self._write(lambda txn: txn.insert_rows(table, rows))
 
     # -- planning internals ---------------------------------------------------
@@ -688,22 +698,40 @@ class Connection:
     def _write(self, apply: Callable[[Transaction], Any]) -> Any:
         """Run one write operation transactionally: inside the open
         transaction when there is one (implicitly beginning one when
-        ``autocommit`` is off), otherwise as a one-statement transaction
-        under the engine's write lock."""
+        ``autocommit`` is off), otherwise as a one-statement
+        transaction.
+
+        Autocommit statements no longer serialize on a global writer
+        lock — the commit locks only its conflict set — so a statement
+        can lose a first-committer-wins race against a concurrent
+        commit on the same table.  Statement-level semantics absorb
+        that: the statement re-applies on a fresh snapshot and tries
+        again.  The retry bound is progress-bounded, not time-bounded —
+        each retry means some *other* commit succeeded — and generous
+        enough that hitting it indicates a livelock bug, which should
+        surface rather than spin forever.
+        """
         if self._txn is not None:
             return apply(self._txn)
         if not self.autocommit:
             self.begin()
             return apply(self._txn)
-        with self._engine.exclusive():
+        last: "SerializationError | None" = None
+        for _ in range(_AUTOCOMMIT_RETRIES):
             txn = self._engine.begin()
             try:
                 result = apply(txn)
                 txn.commit()
+                return result
+            except SerializationError as exc:
+                last = exc
+                if not txn.finished:
+                    txn.rollback()
             except BaseException:
                 txn.rollback()
                 raise
-            return result
+        raise last if last is not None else InterfaceError(
+            "autocommit retry loop exited without an error")
 
     @contextmanager
     def _bulk(self) -> Iterator[None]:

@@ -11,12 +11,14 @@ and writes go through that private catalog:
 * DDL (CREATE/DROP of tables, views, indexes; ANALYZE) applies to the
   private catalog directly, visible to this transaction only.
 
-``commit()`` hands the transaction to the engine, which — under the
-write lock — validates *first-committer-wins* against the per-table data
+``commit()`` hands the transaction to the engine, which — holding the
+commit locks of the transaction's conflict set, not a global writer
+lock — validates *first-committer-wins* against the per-table data
 generations captured at snapshot time and then **swaps** the private
-objects into the shared catalog.  A conflict raises
-:class:`~repro.errors.TransactionError` and leaves the shared state
-untouched; ``rollback()`` (or an abandoned transaction) simply discards
+objects into the shared catalog under the engine write lock.  A
+conflict raises :class:`~repro.errors.SerializationError` and leaves
+the shared state untouched; ``rollback()`` (or an abandoned
+transaction) simply discards
 the private snapshot — tables, indexes and statistics all revert for
 free because they were never changed.
 
@@ -34,16 +36,17 @@ commit is recoverable (:mod:`repro.storage.wal`).
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Iterable, Sequence
 
 from ..catalog import Catalog
-from ..errors import CatalogError, TransactionError
+from ..errors import CatalogError, SerializationError, TransactionError
 from ..relation import Relation
 from ..schema import Schema
 from ..storage.index import SecondaryIndex, build_index
 
 if TYPE_CHECKING:  # pragma: no cover
-    from .engine import Engine
+    from .engine import Engine, RWLock
 
 
 class Transaction:
@@ -175,11 +178,18 @@ class Transaction:
     # -- finishing ------------------------------------------------------------
 
     def commit(self) -> None:
-        """Validate and publish this transaction's changes atomically."""
+        """Validate and publish this transaction's changes atomically.
+
+        The engine drives the commit (see
+        :meth:`repro.api.engine.Engine.commit_transaction`): it locks
+        the transaction's conflict set, validates first-committer-wins,
+        group-flushes the WAL record, and publishes under the write
+        lock.  A loser raises
+        :class:`~repro.errors.SerializationError` and leaves the shared
+        state untouched."""
         self._check_active()
         try:
-            with self.engine.lock.write():
-                apply_commit(self, self.engine.catalog)
+            self.engine.commit_transaction(self)
         finally:
             self._finished = True
 
@@ -189,7 +199,11 @@ class Transaction:
 
 
 # ---------------------------------------------------------------------------
-# Commit: validate, then apply — caller holds the engine's write lock.
+# Commit, in three phases driven by Engine.commit_transaction:
+#   compute_commit_diff — pure diff of the private snapshot (no locks),
+#   validate_commit     — first-committer-wins checks against the live
+#                         catalog (caller holds the commit locks),
+#   publish_commit      — the apply step, under the engine write lock.
 # ---------------------------------------------------------------------------
 
 def same_index_def(left: "SecondaryIndex",
@@ -204,13 +218,65 @@ def same_index_def(left: "SecondaryIndex",
     return (left.table == right.table and left.column == right.column
             and left.kind == right.kind and left.unique == right.unique)
 
-def apply_commit(txn: Transaction, live: Catalog) -> None:
-    """First-committer-wins validation followed by an apply step that
-    cannot fail halfway: every operation that *could* fail (existence
-    checks, unique-index rebuilds) runs before the first mutation."""
+@dataclass
+class CommitDiff:
+    """One transaction's private write-set, as names.
+
+    Computed by :func:`compute_commit_diff` from the transaction's own
+    snapshot only — no live-catalog reads — so the commit path can size
+    its lock set *before* taking any lock.
+    """
+
+    created: list[str]
+    dropped: list[str]
+    written: list[str]
+    new_views: list[tuple[str, Any]]
+    gone_views: list[str]
+    #: private index objects whose definition is new or changed vs base
+    added_indexes: list[SecondaryIndex]
+    #: (name, base index) pairs dropped or replaced by this transaction
+    removed_indexes: list[tuple[str, SecondaryIndex]]
+    #: tables whose statistics this transaction re-ANALYZEd
+    stats_tables: list[str]
+
+    @property
+    def touched(self) -> set[str]:
+        """Tables whose live entry the publish will swap or install."""
+        return set(self.created) | set(self.written)
+
+    @property
+    def catalog_wide(self) -> bool:
+        """View DDL rewrites name→AST bindings that *every* concurrent
+        commit validates against by identity; it commits under the
+        global barrier instead of per-name locks."""
+        return bool(self.new_views or self.gone_views)
+
+    @property
+    def lock_keys(self) -> list[str]:
+        """The conflict set as commit-lock keys: ``t:<table>`` for each
+        table written/dropped/created/re-ANALYZEd or carrying index
+        DDL, plus ``i:<index>`` for each index name created or dropped
+        (two transactions creating the same index name on *different*
+        tables must still conflict)."""
+        keys = {f"t:{name}" for name in self.created}
+        keys.update(f"t:{name}" for name in self.dropped)
+        keys.update(f"t:{name}" for name in self.written)
+        keys.update(f"t:{name}" for name in self.stats_tables)
+        for index in self.added_indexes:
+            keys.add(f"t:{index.table}")
+            keys.add(f"i:{index.name}")
+        for name, index in self.removed_indexes:
+            keys.add(f"t:{index.table}")
+            keys.add(f"i:{name}")
+        return sorted(keys)
+
+
+def compute_commit_diff(txn: Transaction) -> CommitDiff:
+    """Identity-diff the transaction's private catalog against its
+    snapshot baseline (see the module docstring for why identity is the
+    right equality here)."""
     private = txn.catalog
     final_tables = private._tables
-
     created = [k for k in final_tables
                if k not in txn._base_tables or k in txn._recreated]
     dropped = [k for k in txn._base_tables
@@ -218,153 +284,195 @@ def apply_commit(txn: Transaction, live: Catalog) -> None:
     written = [k for k, rel in final_tables.items()
                if k in txn._base_tables and k not in txn._recreated
                and rel is not txn._base_tables[k]]
-
-    # -- validate -----------------------------------------------------------
-    conflict_tables = set(written) | set(dropped)
-    for key in conflict_tables:
-        if key not in live:
-            raise TransactionError(
-                f"could not serialize access: table {key!r} was "
-                f"concurrently dropped")
-        if live.data_version(key) != txn._base_data_versions.get(key, 0):
-            raise TransactionError(
-                f"could not serialize access: table {key!r} was "
-                f"concurrently updated")
-        # swapping/dropping this table replaces its index list wholesale
-        # with the snapshot-era (plus in-txn) objects — concurrent index
-        # DDL on it would be silently undone, so it must conflict
-        base_ids = {id(ix) for ix in txn._base_indexes.values()
-                    if ix.table == key}
-        live_ids = {id(ix) for ix in live.indexes_on(key)}
-        if base_ids != live_ids:
-            raise TransactionError(
-                f"could not serialize access: indexes on table {key!r} "
-                f"were concurrently changed")
-    for key in created:
-        if key in live and key not in dropped:
-            raise TransactionError(
-                f"could not serialize access: table {key!r} was "
-                f"concurrently created")
-
-    touched = set(created) | set(written)
     new_views = [(name, query) for name, query in private._views.items()
                  if txn._base_views.get(name) is not query]
     gone_views = [name for name in txn._base_views
                   if name not in private._views]
-    for name, _ in new_views:
-        base_query = txn._base_views.get(name)
-        live_query = live._views.get(name)
-        if base_query is None:
-            if live_query is not None:
-                raise TransactionError(
-                    f"could not serialize access: view {name!r} was "
-                    f"concurrently created")
-        elif live_query is not base_query:
-            raise TransactionError(
-                f"could not serialize access: view {name!r} was "
-                f"concurrently replaced or dropped")
-    for name in gone_views:
-        if live._views.get(name) is not txn._base_views.get(name):
-            raise TransactionError(
-                f"could not serialize access: view {name!r} was "
-                f"concurrently replaced or dropped")
-
-    new_indexes = []      # (index object or rebuilt copy, bump-only flag)
-    gone_indexes = []     # names to drop from the live catalog
+    added_indexes = []
     for name, index in private._indexes.items():
         base = txn._base_indexes.get(name)
         if base is not None and same_index_def(base, index):
             continue    # pre-existing index, or its copy-on-write clone
-        if base is None and name in live._indexes:
-            raise TransactionError(
-                f"could not serialize access: index {name!r} was "
-                f"concurrently created")
-        if index.table in touched:
-            new_indexes.append((index, True))   # installed via the swap
-            continue
-        if live.data_version(index.table) != \
-                txn._base_data_versions.get(index.table, 0):
-            # the indexed table moved under us: rebuild over the live
-            # rows now, so a unique violation surfaces as a conflict
-            # here rather than failing mid-apply
-            try:
-                index = build_index(
-                    index.kind, index.name, index.table, index.column,
-                    index.position, live.get(index.table).rows,
-                    index.unique)
-            except CatalogError as exc:
-                raise TransactionError(
-                    f"could not serialize access: {exc}") from exc
-        new_indexes.append((index, False))
+        added_indexes.append(index)
+    removed_indexes = []
     for name, index in txn._base_indexes.items():
         survivor = private._indexes.get(name)
         if survivor is not None and same_index_def(survivor, index):
             continue    # kept (possibly as a clone), not dropped/replaced
-        if index.table in touched or index.table in dropped:
-            gone_indexes.append((name, True))   # removed via swap / drop
-            continue
-        live_index = live._indexes.get(name)
-        if live_index is None:
-            raise TransactionError(
-                f"could not serialize access: index {name!r} was "
-                f"concurrently dropped")
-        if not same_index_def(live_index, index):
-            # definition, not just presence: a concurrent transaction
-            # replaced the index — dropping the *name* would clobber
-            # its committed definition (first-committer-wins).  A mere
-            # clone (concurrent DML on the table) keeps the definition
-            # and may be dropped.
-            raise TransactionError(
-                f"could not serialize access: index {name!r} was "
-                f"concurrently replaced")
-        gone_indexes.append((name, False))
+        removed_indexes.append((name, index))
+    # stats only for tables that are not *finally* gone — a
+    # dropped-and-recreated table's in-txn ANALYZE must publish
+    finally_gone = set(dropped) - set(created)
+    stats_tables = [table for table, stats in private.stats._stats.items()
+                    if table not in finally_gone
+                    and txn._base_stats.get(table) is not stats]
+    return CommitDiff(created=created, dropped=dropped, written=written,
+                      new_views=new_views, gone_views=gone_views,
+                      added_indexes=added_indexes,
+                      removed_indexes=removed_indexes,
+                      stats_tables=stats_tables)
 
-    # -- write-ahead log ----------------------------------------------------
-    # The validated write-set is logged (and, per the durability mode,
-    # fsynced) *before* the first shared-state mutation: an append or
-    # fsync failure aborts the commit with the live catalog untouched,
-    # so the log may run ahead of memory but never behind it.
-    storage = txn.engine.storage
-    if storage is not None and storage.logs_commits:
-        from ..storage.wal import collect_commit_ops, encode_commit_ops
-        ops = collect_commit_ops(txn, created, dropped, written,
-                                 new_views, gone_views,
-                                 new_indexes, gone_indexes)
-        if ops:
-            storage.append_commit(encode_commit_ops(ops))
 
-    # -- apply (no failure paths from here on) ------------------------------
-    # Index drops run before installs so that a replaced index name
-    # (DROP INDEX i; CREATE INDEX i ON other...) frees its entry first.
-    for key in dropped:
+def validate_commit(
+    txn: Transaction, diff: CommitDiff, live: Catalog,
+    rlock: "RWLock | None" = None,
+) -> tuple[list[tuple[SecondaryIndex, bool]], list[tuple[str, bool]]]:
+    """First-committer-wins validation against the live catalog.
+
+    The caller holds the commit barrier and every lock in
+    ``diff.lock_keys``, so the names under check cannot be republished
+    concurrently — but *disjoint* commits may be publishing other names
+    right now, so every live-catalog read happens under *rlock*'s read
+    side (publishers mutate the shared dicts under its write side).
+    The expensive part — rebuilding an index over a table that moved
+    since the snapshot — runs after the read lock is released, against
+    row lists pinned while it was held.
+
+    Returns ``(new_indexes, gone_indexes)`` for :func:`publish_commit`:
+    index objects (rebuilt where needed) paired with their
+    installed-via-table-swap flag.  Any conflict raises
+    :class:`~repro.errors.SerializationError`.
+    """
+    from contextlib import nullcontext
+
+    private = txn.catalog
+    new_indexes: list[tuple[SecondaryIndex, bool]] = []
+    gone_indexes: list[tuple[str, bool]] = []
+    #: (position in new_indexes, stale index, pinned live rows)
+    rebuilds: list[tuple[int, SecondaryIndex, list]] = []
+    touched = diff.touched
+    dropped = set(diff.dropped)
+    guard = nullcontext() if rlock is None else rlock.read()
+    with guard:
+        for key in set(diff.written) | dropped:
+            if key not in live:
+                raise SerializationError(
+                    f"could not serialize access: table {key!r} was "
+                    f"concurrently dropped")
+            if live.data_version(key) != \
+                    txn._base_data_versions.get(key, 0):
+                raise SerializationError(
+                    f"could not serialize access: table {key!r} was "
+                    f"concurrently updated")
+            # swapping/dropping this table replaces its index list
+            # wholesale with the snapshot-era (plus in-txn) objects —
+            # concurrent index DDL on it would be silently undone, so
+            # it must conflict
+            base_ids = {id(ix) for ix in txn._base_indexes.values()
+                        if ix.table == key}
+            live_ids = {id(ix) for ix in live.indexes_on(key)}
+            if base_ids != live_ids:
+                raise SerializationError(
+                    f"could not serialize access: indexes on table "
+                    f"{key!r} were concurrently changed")
+        for key in diff.created:
+            if key in live and key not in dropped:
+                raise SerializationError(
+                    f"could not serialize access: table {key!r} was "
+                    f"concurrently created")
+        for name, _ in diff.new_views:
+            base_query = txn._base_views.get(name)
+            live_query = live._views.get(name)
+            if base_query is None:
+                if live_query is not None:
+                    raise SerializationError(
+                        f"could not serialize access: view {name!r} "
+                        f"was concurrently created")
+            elif live_query is not base_query:
+                raise SerializationError(
+                    f"could not serialize access: view {name!r} was "
+                    f"concurrently replaced or dropped")
+        for name in diff.gone_views:
+            if live._views.get(name) is not txn._base_views.get(name):
+                raise SerializationError(
+                    f"could not serialize access: view {name!r} was "
+                    f"concurrently replaced or dropped")
+        for index in diff.added_indexes:
+            base = txn._base_indexes.get(index.name)
+            if base is None and index.name in live._indexes:
+                raise SerializationError(
+                    f"could not serialize access: index {index.name!r} "
+                    f"was concurrently created")
+            if index.table in touched:
+                new_indexes.append((index, True))  # installed via swap
+                continue
+            if live.data_version(index.table) != \
+                    txn._base_data_versions.get(index.table, 0):
+                # the indexed table moved under us: rebuild over the
+                # live rows (outside the read lock, over the list
+                # pinned here), so a unique violation surfaces as a
+                # conflict rather than failing mid-apply
+                rebuilds.append((len(new_indexes), index,
+                                 live.get(index.table).rows))
+            new_indexes.append((index, False))
+        for name, index in diff.removed_indexes:
+            if index.table in touched or index.table in dropped:
+                gone_indexes.append((name, True))  # removed via swap/drop
+                continue
+            live_index = live._indexes.get(name)
+            if live_index is None:
+                raise SerializationError(
+                    f"could not serialize access: index {name!r} was "
+                    f"concurrently dropped")
+            if not same_index_def(live_index, index):
+                # definition, not just presence: a concurrent
+                # transaction replaced the index — dropping the *name*
+                # would clobber its committed definition
+                # (first-committer-wins).  A mere clone (concurrent DML
+                # on the table) keeps the definition and may be
+                # dropped.
+                raise SerializationError(
+                    f"could not serialize access: index {name!r} was "
+                    f"concurrently replaced")
+            gone_indexes.append((name, False))
+    for position, index, rows in rebuilds:
+        try:
+            rebuilt = build_index(
+                index.kind, index.name, index.table, index.column,
+                index.position, rows, index.unique)
+        except CatalogError as exc:
+            raise SerializationError(
+                f"could not serialize access: {exc}") from exc
+        new_indexes[position] = (rebuilt, False)
+    return new_indexes, gone_indexes
+
+
+def publish_commit(txn: Transaction, diff: CommitDiff,
+                   new_indexes: list[tuple[SecondaryIndex, bool]],
+                   gone_indexes: list[tuple[str, bool]],
+                   live: Catalog) -> None:
+    """The apply step — it cannot fail halfway: everything that *could*
+    fail ran in :func:`validate_commit`.  The caller holds the engine
+    write lock (plus the commit locks that validated *diff*).
+
+    Index drops run before installs so that a replaced index name
+    (``DROP INDEX i; CREATE INDEX i ON other...``) frees its entry
+    first."""
+    private = txn.catalog
+    final_tables = private._tables
+    for key in diff.dropped:
         live.drop(key)
     for name, swapped in gone_indexes:
         if swapped:
             live.bump_ddl()
         else:
             live.drop_index(name)
-    for key in created:
+    for key in diff.created:
         live.install_table(key, final_tables[key],
                            private.indexes_on(key))
         declared = private.partition_of(key)
         if declared is not None:
             live.set_partition(key, declared[0], declared[1])
-    for key in written:
+    for key in diff.written:
         live.swap_table(key, final_tables[key], private.indexes_on(key))
-    for name, query in new_views:
+    for name, query in diff.new_views:
         live.create_view(name, query)
-    for name in gone_views:
+    for name in diff.gone_views:
         live.drop_view(name)
     for index, swapped in new_indexes:
         if swapped:
             live.bump_ddl()
         else:
             live.install_index(index)
-    # skip stats only for tables that are *finally* gone — a
-    # dropped-and-recreated table's in-txn ANALYZE must publish
-    finally_gone = set(dropped) - set(created)
-    for table, stats in private.stats._stats.items():
-        if table in finally_gone:
-            continue
-        if txn._base_stats.get(table) is not stats:
-            live.stats.put(table, stats)
+    for table in diff.stats_tables:
+        live.stats.put(table, private.stats._stats[table])

@@ -88,6 +88,20 @@ def main(argv: list[str] | None = None) -> int:
         help="repeated executions per cell and worker setting for "
              "--parallel (default 3, best of 3 rounds)")
     parser.add_argument(
+        "--mvcc", action="store_true",
+        help="run the multi-writer commit grid: 1/2/4 writer threads "
+             "doing autocommit INSERTs on a durability=commit engine, "
+             "under the retired global commit lock and the per-table "
+             "lock manager, over disjoint and contended table layouts; "
+             "every cell cross-checks bit-identical tables across the "
+             "two locking modes and the committed BENCH_mvcc.json is "
+             "regenerated from --json (the >= 2x disjoint-speedup gate "
+             "arms only on hosts with >= 4 real cores; the host CPU "
+             "count is recorded in the JSON)")
+    parser.add_argument(
+        "--mvcc-commits", type=int, default=None, metavar="N",
+        help="autocommit INSERTs per writer for --mvcc (default 50)")
+    parser.add_argument(
         "--serve", action="store_true",
         help="run the network-serving load benchmark: boot the wire "
              "server on an ephemeral port, drive it with --clients "
@@ -105,8 +119,8 @@ def main(argv: list[str] | None = None) -> int:
         help="repeated executions for --smoke (default 20)")
     parser.add_argument(
         "--json", metavar="PATH", default=None,
-        help="with --smoke or --serve, also write the results as JSON "
-             "to PATH (uploaded as a CI artifact)")
+        help="with --smoke, --serve or --mvcc, also write the results "
+             "as JSON to PATH (uploaded as a CI artifact)")
     parser.add_argument(
         "--instances", type=int, default=3,
         metavar="N", help="random query instances per point (default 3)")
@@ -156,6 +170,35 @@ def main(argv: list[str] | None = None) -> int:
             return 1
         print("ok: the exchange operators fan out and every parallel "
               "run matched its serial baseline bit for bit")
+        return 0
+
+    if args.mvcc:
+        if args.mvcc_commits is not None and args.mvcc_commits < 1:
+            parser.error("--mvcc-commits must be >= 1")
+        from .mvcc import COMMITS_PER_WRITER, format_mvcc, run_mvcc_bench
+        result = run_mvcc_bench(
+            commits=args.mvcc_commits or COMMITS_PER_WRITER,
+            verbose=args.verbose)
+        print("== multi-writer commits ==")
+        print(format_mvcc(result))
+        if args.json:
+            import json
+            with open(args.json, "w") as handle:
+                json.dump(result.to_dict(), handle, indent=2)
+            print(f"wrote {args.json}")
+        if not result.parity_ok:
+            print("FAIL: table contents diverged between global and "
+                  "per-table commit locking")
+            return 1
+        if result.cpus >= 4 and result.disjoint_speedup < 2.0:
+            print("FAIL: disjoint multi-writer speedup below the 2x "
+                  "floor on a >= 4-core host")
+            return 1
+        print("ok: per-table commit locking matches the global lock "
+              "bit for bit" + (
+                  " and clears the 2x disjoint-writer floor"
+                  if result.cpus >= 4 else
+                  " (single-core host: speedup reported, not gated)"))
         return 0
 
     if args.serve:

@@ -1,0 +1,241 @@
+"""Multi-writer commit benchmark (``python -m repro.bench --mvcc``).
+
+One grid over **writer count x commit locking x table layout**, on a
+durable engine with ``durability="commit"`` — the configuration where
+the old global writer lock hurt most, because every commit paid its own
+fsync inside the exclusive section:
+
+* ``commit_locking="global"`` — every commit takes the commit
+  barrier's write side: the pre-lock-manager behavior, kept in the
+  engine precisely so this bench can price it;
+* ``commit_locking="table"`` — commits lock only their conflict sets,
+  so the *disjoint* layout (each writer owns its own table) validates,
+  group-flushes and publishes in parallel, while the *contended*
+  layout (all writers on one table) measures the first-committer-wins
+  retry path under pressure.
+
+Every (layout, writers) cell runs the same deterministic workload under
+both locking modes and cross-checks the resulting tables
+**bit-identical** (sorted row lists compared with ``==``) — the lock
+manager is required to change throughput, never data.  The flusher's
+batch counters are recorded per cell, so the committed JSON
+(``BENCH_mvcc.json``) shows how many fsyncs the group commit actually
+amortized.  The host's CPU count is recorded alongside: on a
+single-core container the writer threads time-slice one core and only
+the fsync batching can win, so the >= 2x disjoint-speedup gate arms on
+>= 4 cores only (parity is gated everywhere).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import threading
+import time
+from dataclasses import dataclass
+
+from ..api import Engine, SessionConfig
+from ..errors import ReproError
+
+#: Concurrent writer settings per cell; 1 is the no-concurrency floor.
+WRITER_SETTINGS = (1, 2, 4)
+#: Autocommit INSERT statements (= commits) each writer issues.
+COMMITS_PER_WRITER = 50
+_MODES = ("global", "table")
+_LAYOUTS = ("disjoint", "contended")
+
+
+@dataclass
+class MvccCell:
+    """One (layout, writers) workload, measured under both lock modes."""
+
+    layout: str               # "disjoint" or "contended"
+    writers: int
+    commits: int              # total commits per mode run
+    seconds: dict[str, float]        # mode -> wall seconds
+    flush_batches: dict[str, int]    # mode -> WAL batches flushed
+    flushed_records: dict[str, int]  # mode -> commit records flushed
+    parity_ok: bool           # sorted table rows identical across modes
+
+    @property
+    def commits_per_s(self) -> dict[str, float]:
+        return {mode: (self.commits / secs if secs > 0 else float("inf"))
+                for mode, secs in self.seconds.items()}
+
+    @property
+    def speedup(self) -> float:
+        """Per-table locking vs the global-lock baseline."""
+        if self.seconds["table"] == 0:
+            return float("inf")
+        return self.seconds["global"] / self.seconds["table"]
+
+    @property
+    def avg_batch(self) -> dict[str, float]:
+        """Mean commit records per fsync batch (the amortization)."""
+        return {mode: (self.flushed_records[mode] / batches
+                       if (batches := self.flush_batches[mode]) else 0.0)
+                for mode in self.flush_batches}
+
+    def to_dict(self) -> dict:
+        return {
+            "layout": self.layout,
+            "writers": self.writers,
+            "commits": self.commits,
+            "seconds": dict(self.seconds),
+            "commits_per_s": self.commits_per_s,
+            "flush_batches": dict(self.flush_batches),
+            "flushed_records": dict(self.flushed_records),
+            "avg_batch": self.avg_batch,
+            "speedup": self.speedup,
+            "parity_ok": self.parity_ok,
+        }
+
+
+@dataclass
+class MvccBenchResult:
+    """The full multi-writer grid."""
+
+    commits_per_writer: int
+    cpus: int                 # os.cpu_count() of the measuring host
+    cells: list[MvccCell]
+
+    @property
+    def parity_ok(self) -> bool:
+        return all(cell.parity_ok for cell in self.cells)
+
+    @property
+    def disjoint_speedup(self) -> float:
+        """Table-locking speedup on the widest disjoint cell — the
+        headline the >= 2x multi-core gate reads."""
+        widest = max((cell for cell in self.cells
+                      if cell.layout == "disjoint" and cell.writers > 1),
+                     key=lambda cell: cell.writers, default=None)
+        return float("nan") if widest is None else widest.speedup
+
+    def to_dict(self) -> dict:
+        return {
+            "commits_per_writer": self.commits_per_writer,
+            "cpus": self.cpus,
+            "writer_settings": list(WRITER_SETTINGS),
+            "parity_ok": self.parity_ok,
+            "disjoint_speedup": self.disjoint_speedup,
+            "cells": [cell.to_dict() for cell in self.cells],
+        }
+
+
+def _writer_rows(writer: int, commits: int) -> list[tuple]:
+    """The deterministic rows writer *writer* inserts, one per commit —
+    int, float and text columns so the parity check is type-diverse."""
+    return [(writer, seq, seq * 0.5 + writer, f"w{writer}-c{seq}")
+            for seq in range(commits)]
+
+
+def _run_side(mode: str, writers: int, layout: str, commits: int
+              ) -> tuple[float, dict[str, list], int, int]:
+    """One cell under one locking mode: returns (seconds, sorted rows
+    per table, flush batches, flushed records)."""
+    with tempfile.TemporaryDirectory(prefix="repro-mvcc-") as tmp:
+        engine = Engine(
+            config=SessionConfig(durability="commit", commit_locking=mode,
+                                 checkpoint_wal_mb=0),
+            path=os.path.join(tmp, "db"))
+        try:
+            tables = [f"t{i}" for i in range(writers)] \
+                if layout == "disjoint" else ["t0"] * writers
+            setup = engine.connect()
+            for table in sorted(set(tables)):
+                setup.execute(f"CREATE TABLE {table} "
+                              f"(w int, seq int, v float, tag text)")
+            setup.close()
+            errors: list[BaseException] = []
+            barrier = threading.Barrier(writers + 1)
+
+            def run_writer(writer: int, table: str) -> None:
+                conn = engine.connect()
+                try:
+                    rows = _writer_rows(writer, commits)
+                    barrier.wait()
+                    for row in rows:
+                        conn.insert(table, [row])   # one commit per row
+                except ReproError as exc:
+                    errors.append(exc)
+                finally:
+                    conn.close()
+
+            threads = [threading.Thread(target=run_writer,
+                                        args=(i, tables[i]))
+                       for i in range(writers)]
+            for thread in threads:
+                thread.start()
+            barrier.wait()
+            started = time.perf_counter()
+            for thread in threads:
+                thread.join()
+            elapsed = time.perf_counter() - started
+            if errors:
+                raise errors[0]
+            rows = {table: sorted(engine.catalog.get(table).rows)
+                    for table in set(tables)}
+            storage = engine.storage
+            assert storage is not None
+            return (elapsed, rows, storage.flush_batches,
+                    storage.flushed_records)
+        finally:
+            engine.close()
+
+
+def run_mvcc_bench(commits: int = COMMITS_PER_WRITER,
+                   verbose: bool = False) -> MvccBenchResult:
+    """Run the multi-writer grid (see the module docstring)."""
+    cells: list[MvccCell] = []
+    for layout in _LAYOUTS:
+        for writers in WRITER_SETTINGS:
+            if layout == "contended" and writers == 1:
+                continue            # identical to disjoint at one writer
+            seconds: dict[str, float] = {}
+            batches: dict[str, int] = {}
+            records: dict[str, int] = {}
+            tables: dict[str, dict[str, list]] = {}
+            for mode in _MODES:
+                elapsed, rows, flushed, count = _run_side(
+                    mode, writers, layout, commits)
+                seconds[mode] = elapsed
+                tables[mode] = rows
+                batches[mode] = flushed
+                records[mode] = count
+            cell = MvccCell(
+                layout=layout, writers=writers, commits=writers * commits,
+                seconds=seconds, flush_batches=batches,
+                flushed_records=records,
+                parity_ok=tables["global"] == tables["table"])
+            cells.append(cell)
+            if verbose:
+                print(f"  {layout} x{writers}: "
+                      f"{cell.commits_per_s['global']:.0f} -> "
+                      f"{cell.commits_per_s['table']:.0f} commits/s "
+                      f"({cell.speedup:.2f}x)")
+    return MvccBenchResult(commits_per_writer=commits,
+                           cpus=os.cpu_count() or 1, cells=cells)
+
+
+def format_mvcc(result: MvccBenchResult) -> str:
+    lines = [
+        f"multi-writer commits, durability=commit "
+        f"({result.commits_per_writer} commits/writer, "
+        f"cpus={result.cpus})",
+        f"{'layout':<11} {'writers':>7} {'global c/s':>11} "
+        f"{'table c/s':>10} {'speedup':>8} {'batch':>6} {'parity':>7}",
+    ]
+    for cell in result.cells:
+        lines.append(
+            f"{cell.layout:<11} {cell.writers:>7} "
+            f"{cell.commits_per_s['global']:>11.0f} "
+            f"{cell.commits_per_s['table']:>10.0f} "
+            f"{cell.speedup:>7.2f}x "
+            f"{cell.avg_batch['table']:>6.1f} "
+            f"{'ok' if cell.parity_ok else 'DIVERGED':>7}")
+    lines.append(
+        f"disjoint speedup at x{max(WRITER_SETTINGS)}: "
+        f"{result.disjoint_speedup:.2f}x "
+        f"(gated >= 2x on hosts with >= 4 cores)")
+    return "\n".join(lines)

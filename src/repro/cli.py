@@ -138,17 +138,21 @@ class Shell:
             scale = float(args[0]) if args else 0.0001
             generated = load_tpch(scale=scale)
             engine = self.conn.engine
-            with engine.lock.write():
+            # exclusive() = commit barrier + write lock, in the
+            # canonical order — taking the bare write lock here and
+            # then checkpointing (which needs the barrier) would
+            # invert the lock order against in-flight commits
+            with engine.exclusive():
                 for table in generated.catalog.names():
                     self.conn.catalog.register(
                         table, generated.catalog.get(table),
                         replace=True)
                 if engine.storage is not None:
                     # register() bypasses the transactional WAL path;
-                    # checkpointing inside the same lock hold (the
-                    # write lock is reentrant) makes the bulk load
-                    # durable *before* the WAL-logged view commits
-                    # below can reference the new tables
+                    # checkpointing inside the same hold (both locks
+                    # are reentrant) makes the bulk load durable
+                    # *before* the WAL-logged view commits below can
+                    # reference the new tables
                     engine.checkpoint()
             install_views(self.conn)
             print(f"loaded TPC-H at scale {scale}", file=out)

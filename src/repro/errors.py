@@ -150,6 +150,13 @@ class TransactionError(OperationalError):
     table this one wrote (first-committer-wins)."""
 
 
+class SerializationError(TransactionError):
+    """A commit lost a first-committer-wins race: a concurrently
+    committed transaction already changed a table, view or index this
+    one touched.  Retrying the whole transaction on a fresh snapshot is
+    always safe (autocommit statements retry automatically)."""
+
+
 class StorageError(OperationalError):
     """Durable storage failed: a snapshot or WAL file is missing its
     magic, a record's CRC32 does not match its payload, a value carries

@@ -15,11 +15,15 @@ the engines themselves:
 * ``worker_threads`` — the bounded session pool.  Engine work (parse,
   plan, execute, stream) runs on this many threads; with more clients
   than workers, statements queue — backpressure instead of thread
-  explosion.
+  explosion.  The default scales with the host's CPU count: commits on
+  disjoint tables proceed in parallel (per-table commit locks + group
+  commit), so a write-heavy multi-client load is no longer serialized
+  behind one global writer lock and benefits from more workers.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 
 from ..errors import AuthenticationError, InterfaceError
@@ -43,7 +47,8 @@ class ServerConfig:
     databases: dict = field(
         default_factory=lambda: {DEFAULT_DATABASE: None})
     max_connections: int = 64
-    worker_threads: int = 8
+    worker_threads: int = field(
+        default_factory=lambda: max(8, 2 * (os.cpu_count() or 1)))
     #: seconds stop() waits for in-flight statements before cancelling.
     shutdown_timeout: float = 10.0
 

@@ -339,9 +339,10 @@ def collect_commit_ops(txn: Any, created: list, dropped: list,
     """The logical write-set of a validated transaction, as replayable
     ops.
 
-    Consumes the diff :func:`repro.api.transaction.apply_commit` just
-    computed (the recovered catalog must equal the live one op for op,
-    so there is exactly one diff), and only adds what replay needs that
+    Consumes the diff :func:`repro.api.transaction.compute_commit_diff`
+    computed and :func:`~repro.api.transaction.validate_commit` refined
+    (the recovered catalog must equal the live one op for op, so there
+    is exactly one diff), and only adds what replay needs that the
     apply does not: row deltas for written tables, and the definitions
     of indexes the apply installs implicitly via table swaps.  Replay
     order mirrors the apply order — table drops, index drops, table

@@ -214,6 +214,64 @@ class TestLockDiscipline:
         assert [v.rule for v in out] == ["lock-fork"]
         assert "fsync" in out[0].message
 
+    def test_commit_section_without_table_locks_is_flagged(self, tmp_path):
+        root = write_fixture(tmp_path, {"api.py": """
+            def commit(engine, txn) -> None:
+                publish_commit(txn, engine.catalog)
+
+            def publish_commit(txn, live) -> None:
+                pass
+        """})
+        out = findings(root, rules=["lock-discipline"])
+        assert rule_ids(out) == ["lock-tables"]
+        assert any(v.symbol == "fix.api.publish_commit" for v in out)
+
+    def test_commit_section_under_table_locks_is_clean(self, tmp_path):
+        root = write_fixture(tmp_path, {"api.py": """
+            def commit(engine, txn) -> None:
+                with engine.table_locks.acquire(["t:a"]):
+                    validate_commit(txn, engine.catalog)
+                    publish_commit(txn, engine.catalog)
+
+            def validate_commit(txn, live) -> None:
+                pass
+
+            def publish_commit(txn, live) -> None:
+                pass
+        """})
+        assert findings(root, rules=["lock-discipline"]) == []
+
+    def test_flusher_touching_catalog_is_flagged(self, tmp_path):
+        root = write_fixture(tmp_path, {"store.py": """
+            def _flush_loop(self) -> None:
+                _flush_batch(self)
+
+            def _flush_batch(self) -> None:
+                self.engine.catalog.drop("t")
+        """})
+        out = findings(root, rules=["lock-discipline"])
+        assert rule_ids(out) == ["lock-flusher"]
+        assert any(v.symbol == "fix.store._flush_batch" for v in out)
+
+    def test_flusher_taking_engine_lock_is_flagged(self, tmp_path):
+        root = write_fixture(tmp_path, {"store.py": """
+            def _flush_loop(self) -> None:
+                self.engine.lock.acquire_write()
+        """})
+        out = findings(root, rules=["lock-discipline"])
+        assert rule_ids(out) == ["lock-flusher"]
+        assert "engine lock" in out[0].message
+
+    def test_flusher_owning_the_wal_tail_is_clean(self, tmp_path):
+        root = write_fixture(tmp_path, {"store.py": """
+            import os
+
+            def _flush_loop(self) -> None:
+                self._wal.write(b"batch")
+                os.fsync(self._wal.fileno())
+        """})
+        assert findings(root, rules=["lock-discipline"]) == []
+
 
 # -- hygiene ------------------------------------------------------------------
 

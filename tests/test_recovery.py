@@ -358,6 +358,7 @@ class TestRecoveryLifecycle:
         must not linger in the file, and later commits (with the same
         reused LSN) must recover exactly."""
         import repro.storage.store as store_mod
+        from repro import StorageError
 
         dbdir = str(tmp_path / "db")
         conn = connect(path=dbdir)
@@ -374,7 +375,9 @@ class TestRecoveryLifecycle:
 
         monkeypatch.setattr(store_mod.os, "fsync", failing_fsync)
         import pytest as _pytest
-        with _pytest.raises(OSError):
+        # the flusher fails the whole group-commit batch; every waiter
+        # gets a StorageError naming the underlying failure
+        with _pytest.raises(StorageError, match="injected I/O error"):
             conn.execute("INSERT INTO a VALUES (111)")
         monkeypatch.setattr(store_mod.os, "fsync", real_fsync)
         # the aborted commit is invisible in memory...
@@ -543,5 +546,188 @@ class TestRecoveryLifecycle:
         try:
             assert Counter(reopened.catalog.get("a").rows) == \
                 Counter([(1,), (2,)])
+        finally:
+            reopened.close()
+
+
+class TestGroupCommit:
+    """Group-commit batching: determinism, all-or-none batch failure,
+    torn multi-record batches, and the linger window.
+
+    The deterministic scheme: hold ``store._io_lock`` and issue one
+    sacrificial commit — the flusher drains it and parks inside
+    ``_flush_batch`` on that lock.  Tickets enqueued now *cannot* leave
+    ``_pending`` until the lock is released, so "two committers in one
+    batch" is a certainty, not a race.  Committers must target disjoint
+    tables (same-table committers serialize on the per-table commit
+    lock *before* reaching the WAL queue, so they can never share a
+    batch — that ordering is exactly what makes batch failure safe).
+    """
+
+    def _pinned_pair(self, engine, monkeypatch=None, arm=None):
+        """Pin the flusher, run two disjoint-table committers into one
+        pending batch, optionally arm a fault, release; returns the
+        per-thread outcomes."""
+        import threading
+        import time
+
+        store = engine.storage
+        outcomes: dict = {}
+
+        def insert(table: str) -> None:
+            conn = engine.connect()
+            try:
+                conn.insert(table, [(7,)])
+                outcomes[table] = "ok"
+            except Exception as exc:      # noqa: BLE001 — recorded, asserted on
+                outcomes[table] = exc
+            finally:
+                conn.close()
+
+        lsn0 = store._allocated_lsn
+        with store._io_lock:
+            pin = threading.Thread(target=insert, args=("s",))
+            pin.start()
+            # wait until the sacrificial ticket was allocated (the LSN
+            # moved — unlike the queue, never a transient state) *and*
+            # drained: the flusher is now parked on the io lock
+            deadline = time.monotonic() + 10
+            while not (store._allocated_lsn == lsn0 + 1
+                       and not store._pending):
+                assert time.monotonic() < deadline
+                time.sleep(0.001)
+            a = threading.Thread(target=insert, args=("a",))
+            b = threading.Thread(target=insert, args=("b",))
+            a.start()
+            b.start()
+            while len(store._pending) < 2:      # both tickets queued
+                assert time.monotonic() < deadline
+                time.sleep(0.001)
+            if arm is not None:
+                arm()
+        for thread in (pin, a, b):
+            thread.join(10)
+            assert not thread.is_alive()
+        return outcomes
+
+    def _engine(self, tmp_path, **options):
+        from repro import Engine, SessionConfig
+
+        engine = Engine(SessionConfig(**options), path=str(tmp_path / "db"))
+        setup = engine.connect()
+        for table in ("s", "a", "b"):
+            setup.execute(f"CREATE TABLE {table} (x int)")
+        setup.close()
+        return engine
+
+    def test_concurrent_committers_share_one_flush_batch(self, tmp_path):
+        engine = self._engine(tmp_path)
+        store = engine.storage
+        batches0, records0 = store.flush_batches, store.flushed_records
+        outcomes = self._pinned_pair(engine)
+        assert outcomes == {"s": "ok", "a": "ok", "b": "ok"}
+        # the sacrificial commit flushed alone; a and b shared a batch
+        assert store.flush_batches == batches0 + 2
+        assert store.flushed_records == records0 + 3
+        engine.close()
+        reopened = connect(path=str(tmp_path / "db"))
+        try:
+            for table in ("s", "a", "b"):
+                assert reopened.catalog.get(table).rows == [(7,)]
+        finally:
+            reopened.close()
+
+    def test_batch_fsync_failure_fails_every_waiter(
+            self, tmp_path, monkeypatch):
+        """One failed fsync aborts *both* commits in the batch: neither
+        publishes, the batch is truncated off the WAL, and the engine
+        keeps working afterwards."""
+        import repro.storage.store as store_mod
+        from repro import StorageError
+
+        engine = self._engine(tmp_path)
+        store = engine.storage
+        real_fsync = os.fsync
+        calls = [0]
+
+        def counting_fsync(fd):
+            calls[0] += 1
+            # call 1 after arming: the sacrificial batch (succeeds);
+            # call 2: the a+b batch (fails); call 3+: the truncation
+            # fsync and everything later succeed
+            if calls[0] == 2:
+                raise OSError(5, "injected I/O error")
+            return real_fsync(fd)
+
+        outcomes = self._pinned_pair(
+            engine,
+            arm=lambda: monkeypatch.setattr(
+                store_mod.os, "fsync", counting_fsync))
+        monkeypatch.setattr(store_mod.os, "fsync", real_fsync)
+        assert outcomes["s"] == "ok"
+        for table in ("a", "b"):
+            assert isinstance(outcomes[table], StorageError)
+            assert "group-commit batch failed" in str(outcomes[table])
+            # neither loser published anything in memory
+            assert engine.catalog.get(table).rows == []
+        # the engine stays usable: the WAL tail was rolled back cleanly
+        conn = engine.connect()
+        conn.insert("a", [(42,)])
+        conn.close()
+        engine.close()
+        reopened = connect(path=str(tmp_path / "db"))
+        try:
+            assert reopened.catalog.get("s").rows == [(7,)]
+            assert reopened.catalog.get("a").rows == [(42,)]
+            assert reopened.catalog.get("b").rows == []
+        finally:
+            reopened.close()
+
+    def test_torn_multi_record_batch_replays_only_the_intact_prefix(
+            self, tmp_path):
+        """Cut the WAL inside the second record of a two-record batch:
+        recovery must apply the batch's first commit and discard the
+        torn one — batches are a flush optimization, not a recovery
+        unit."""
+        engine = self._engine(tmp_path)
+        outcomes = self._pinned_pair(engine)
+        assert set(outcomes.values()) == {"ok"}
+        engine.close()
+
+        dbdir = str(tmp_path / "db")
+        with open(os.path.join(dbdir, WAL_FILE), "rb") as fh:
+            wal_bytes = fh.read()
+        spans = _record_spans(wal_bytes)
+        # 3 CREATEs + s + a + b autocommits
+        assert len(spans) == 6
+        last_start, last_end = spans[-1]
+        cut = last_start + (last_end - last_start) // 2
+        reopened = _reopen_with_wal(dbdir, str(tmp_path / "scratch"),
+                                    wal_bytes[:cut])
+        try:
+            survivors = [t for t in ("a", "b")
+                         if reopened.catalog.get(t).rows == [(7,)]]
+            # exactly the batch's first record survived the tear
+            assert len(survivors) == 1
+            assert reopened.catalog.get("s").rows == [(7,)]
+        finally:
+            reopened.close()
+
+    def test_linger_window_commits_are_durable(self, tmp_path):
+        """A nonzero group_commit_ms delays the fsync to gather a
+        batch, but append_commit still blocks until *its* record is
+        durable — close/reopen loses nothing."""
+        engine = self._engine(tmp_path, group_commit_ms=5.0)
+        conn = engine.connect()
+        for value in (1, 2, 3):
+            conn.insert("a", [(value,)])
+        conn.close()
+        store = engine.storage
+        assert store.flushed_records >= 3
+        engine.close()
+        reopened = connect(path=str(tmp_path / "db"))
+        try:
+            assert Counter(reopened.catalog.get("a").rows) == \
+                Counter([(1,), (2,), (3,)])
         finally:
             reopened.close()
